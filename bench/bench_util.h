@@ -1,0 +1,37 @@
+// Shared helpers for the figure-reproduction bench harnesses.
+//
+// Each bench binary regenerates one table/figure of the paper's §VI and
+// prints the series as an aligned table (paste-ready for
+// EXPERIMENTS.md). Randomized experiments average over SFP_BENCH_SEEDS
+// dataset draws (default 3; the paper used 5 — set SFP_BENCH_SEEDS=5
+// to match at ~1.7x runtime).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+
+namespace sfp::bench {
+
+/// Number of dataset seeds to average over.
+inline int NumSeeds() {
+  if (const char* env = std::getenv("SFP_BENCH_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 3;
+}
+
+/// Prints a figure header in a uniform style.
+inline void PrintHeader(const char* figure, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("================================================================\n");
+}
+
+/// Prints a short note line (calibration caveats etc.).
+inline void PrintNote(const char* note) { std::printf("note: %s\n", note); }
+
+}  // namespace sfp::bench

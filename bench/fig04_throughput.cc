@@ -1,0 +1,118 @@
+// Fig. 4 — Throughput comparison between SFP and software (DPDK) SFC
+// deployment, packet size 64..1500 B at 100 Gbps offered load.
+//
+// SFP runs the 4-NF chain on the 12-stage switch simulator: the chip
+// forwards at line rate regardless of frame size, so the sender's
+// 100 Gbps bounds it. The DPDK baseline is packet-rate bound by its
+// worker cores. The bench also pushes real packets through the
+// virtualized pipeline to confirm the chain semantics while measuring.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/sfp_system.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "nf/load_balancer.h"
+#include "nf/router.h"
+#include "serversim/server_model.h"
+
+using namespace sfp;
+
+namespace {
+
+core::SfpSystem MakeTestbedSwitch() {
+  // The §VI-B testbed: Tofino with 12 stages, 3.2 Tbps backplane.
+  switchsim::SwitchConfig config;
+  config.num_stages = 12;
+  config.blocks_per_stage = 20;
+  config.entries_per_block = 1000;
+  config.backplane_gbps = 3200.0;
+  core::SfpSystem system(config);
+  system.ProvisionPhysical({{nf::NfType::kFirewall},
+                            {nf::NfType::kLoadBalancer},
+                            {nf::NfType::kClassifier},
+                            {nf::NfType::kRouter}});
+  return system;
+}
+
+dataplane::Sfc TestChain() {
+  dataplane::Sfc sfc;
+  sfc.tenant = 1;
+  sfc.bandwidth_gbps = 100.0;
+  nf::NfConfig fw;
+  fw.type = nf::NfType::kFirewall;
+  fw.rules.push_back(nf::Firewall::Deny(
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Range(23, 23),
+      switchsim::FieldMatch::Any()));
+  nf::NfConfig lb;
+  lb.type = nf::NfType::kLoadBalancer;
+  lb.rules.push_back(nf::LoadBalancer::SetBackend(net::Ipv4Address::Of(10, 0, 0, 100), 80,
+                                                  net::Ipv4Address::Of(192, 168, 0, 1)));
+  nf::NfConfig tc;
+  tc.type = nf::NfType::kClassifier;
+  tc.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, 1));
+  nf::NfConfig rt;
+  rt.type = nf::NfType::kRouter;
+  rt.rules.push_back(nf::Router::Route(0, 0, 1));
+  sfc.chain = {fw, lb, tc, rt};
+  return sfc;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 4", "throughput vs packet size: SFP vs DPDK SFC");
+
+  auto system = MakeTestbedSwitch();
+  const auto admit = system.AdmitTenant(TestChain());
+  if (!admit.admitted) {
+    std::printf("FATAL: chain admission failed: %s\n", admit.reason.c_str());
+    return 1;
+  }
+
+  serversim::ServerSfc dpdk{serversim::ServerConfig{}, serversim::DefaultChain()};
+  const double offered_gbps = 100.0;
+
+  Table table({"pkt size (B)", "SFP (Gbps)", "DPDK (Gbps)", "SFP (Mpps)", "DPDK (Mpps)",
+               "speedup"});
+  Rng rng(2022);
+  for (const int size : {64, 128, 256, 512, 1024, 1500}) {
+    // Functional check: a sample of real frames of this size flows the
+    // whole chain on the simulated switch.
+    for (int i = 0; i < 200; ++i) {
+      auto packet = net::MakeTcpPacket(
+          1, net::Ipv4Address::Of(10, 1, 0, static_cast<std::uint8_t>(1 + i % 200)),
+          net::Ipv4Address::Of(10, 0, 0, 100),
+          static_cast<std::uint16_t>(1024 + i), 80, static_cast<std::uint32_t>(size));
+      const auto out = system.Process(packet);
+      if (out.meta.dropped) {
+        std::printf("FATAL: unexpected drop at size %d\n", size);
+        return 1;
+      }
+    }
+    // SFP: the pipeline is line-rate; the sender's 100 Gbps binds.
+    const double sfp_gbps =
+        std::min(offered_gbps, system.data_plane().pipeline().config().backplane_gbps);
+    const double dpdk_gbps = dpdk.ThroughputGbps(size, offered_gbps);
+    table.Row()
+        .Add(static_cast<std::int64_t>(size))
+        .Add(sfp_gbps, 1)
+        .Add(dpdk_gbps, 1)
+        .Add(GbpsToPps(sfp_gbps, size) / 1e6, 2)
+        .Add(GbpsToPps(dpdk_gbps, size) / 1e6, 2)
+        .Add(sfp_gbps / dpdk_gbps, 1);
+  }
+  table.Print(std::cout);
+
+  std::printf("\nDPDK footprint: %.0f MB memory, %.2f%% CPU (%d/%d cores)\n",
+              dpdk.MemoryMb(), dpdk.CpuUtilization() * 100.0,
+              dpdk.config().worker_cores + dpdk.config().master_cores + 6,
+              dpdk.config().total_cores);
+  bench::PrintNote(
+      "paper: SFP saturates 100G at every size; DPDK reaches 100G only at "
+      "~1500B and is >=10x slower at 64B (here the gap is the pps bound).");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 7 — Throughput and resource utilization varying the allowed
+// recirculation times (0..6, i.e. virtual pipelines of 8..56 stages).
+//
+// Setup per §VI-C: L=15 candidate SFCs (few, to isolate the effect of
+// recirculation from inter-SFC contention), each a chain of 8 NFs
+// drawn from 10 types — longer than the 8-stage pipeline, so ordering
+// conflicts are common and folding matters.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "controlplane/approx_solver.h"
+#include "workload/sfc_gen.h"
+
+using namespace sfp;
+using namespace sfp::controlplane;
+
+int main() {
+  bench::PrintHeader("Fig. 7", "throughput + utilization vs recirculation times");
+  const int seeds = bench::NumSeeds();
+
+  Table table({"recirc", "SFP thr (Gbps)", "Base thr (Gbps)", "SFP blocks", "Base blocks",
+               "SFP entries", "Base entries"});
+
+  for (int recirc = 0; recirc <= 6; ++recirc) {
+    double sfp_thr = 0, base_thr = 0, sfp_blocks = 0, base_blocks = 0, sfp_entries = 0,
+           base_entries = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(7000 + static_cast<std::uint64_t>(seed) * 13);
+      workload::DatasetParams params;
+      params.num_sfcs = 15;
+      params.num_types = 10;
+      params.fixed_chain_len = 8;
+      SwitchResources sw;
+      auto instance = workload::GenerateInstance(params, sw, rng);
+
+      ApproxOptions sfp_options;
+      sfp_options.model.max_passes = recirc + 1;
+      sfp_options.model.memory_model = MemoryModel::kConsolidated;
+      sfp_options.only_max_passes = true;
+      sfp_options.seed = static_cast<std::uint64_t>(seed) + 1;
+      auto sfp = SolveApprox(instance, sfp_options);
+
+      ApproxOptions base_options = sfp_options;
+      base_options.model.memory_model = MemoryModel::kPerLogicalNf;
+      auto base = SolveApprox(instance, base_options);
+
+      sfp_thr += sfp.solution.OffloadedGbps(instance);
+      base_thr += base.solution.OffloadedGbps(instance);
+      sfp_blocks += sfp.solution.AvgBlockUtilization(instance, MemoryModel::kConsolidated);
+      base_blocks += base.solution.AvgBlockUtilization(instance, MemoryModel::kPerLogicalNf);
+      sfp_entries += sfp.solution.AvgEntryUtilization(instance);
+      base_entries += base.solution.AvgEntryUtilization(instance);
+    }
+    const double n = seeds;
+    table.Row()
+        .Add(static_cast<std::int64_t>(recirc))
+        .Add(sfp_thr / n, 1)
+        .Add(base_thr / n, 1)
+        .Add(sfp_blocks / n, 1)
+        .Add(base_blocks / n, 1)
+        .Add(sfp_entries / n, 1)
+        .Add(base_entries / n, 1);
+  }
+  table.Print(std::cout);
+  bench::PrintNote(
+      "paper shape: with up to B=20 NF types per stage most length-8 chains "
+      "already fit one pass, so recirc=0 places the bulk; one recirculation "
+      "admits the order-conflicted remainder (paper: 138.3 -> 142.0 Gbps); "
+      "more than one adds nothing. SFP > baseline entries throughout.");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 9 — Early-terminated SFP-IP: objective quality vs solver time
+// limit, L=25 SFCs.
+//
+// The paper tunes Gurobi's time limit: at 5 s it has no solution, at
+// 10 s it is near-optimal, and it reaches the optimum threshold by
+// ~30 s. We run our branch & bound once with the rounding heuristic
+// disabled (mirroring a raw MIP warm-up) and once with it, record the
+// incumbent trace, and report the objective available at each time
+// limit, alongside SFP-Appro as the reference.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "controlplane/approx_solver.h"
+#include "controlplane/ilp_solver.h"
+#include "workload/sfc_gen.h"
+
+using namespace sfp;
+using namespace sfp::controlplane;
+
+namespace {
+
+/// Best incumbent available at `limit` seconds from a trace.
+double ObjectiveAt(const std::vector<lp::IncumbentEvent>& trace, double limit) {
+  double best = 0.0;
+  for (const auto& event : trace) {
+    if (event.seconds <= limit) best = event.objective;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 9", "early-terminated SFP-IP: objective vs runtime limit");
+
+  Rng rng(9000);
+  workload::DatasetParams params;
+  params.num_sfcs = 25;
+  params.num_types = 10;
+  SwitchResources sw;
+  auto instance = workload::GenerateInstance(params, sw, rng);
+
+  const double horizon = 60.0;
+  // "Leaf-guided": incumbents only once the physical layout and chain
+  // selection go integral in the tree — the closest analogue of a raw
+  // MIP solver's warm-up (a truly heuristic-free B&B finds nothing at
+  // this size; Gurobi's warm-up sits between the two series).
+  IlpOptions raw_options;
+  raw_options.model.max_passes = 3;
+  raw_options.time_limit_seconds = horizon;
+  raw_options.use_rounding_heuristic = true;
+  raw_options.heuristic_period = 0;  // threshold-triggered only
+  raw_options.root_burst = false;    // expose the raw warm-up
+  auto raw = SolveIlp(instance, raw_options);
+
+  IlpOptions heur_options = raw_options;
+  heur_options.heuristic_period = 25;
+  heur_options.root_burst = true;
+  auto heur = SolveIlp(instance, heur_options);
+
+  ApproxOptions approx_options;
+  approx_options.model.max_passes = 3;
+  auto approx = SolveApprox(instance, approx_options);
+
+  Table table({"time limit (s)", "IP leaf-guided obj", "IP+heuristic obj", "% of best bound"});
+  const double reference = std::max({raw.best_bound, heur.best_bound, 1e-9});
+  for (const double limit : {5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0}) {
+    const double raw_at = ObjectiveAt(raw.incumbent_trace, limit);
+    const double heur_at = ObjectiveAt(heur.incumbent_trace, limit);
+    table.Row()
+        .Add(limit, 0)
+        .Add(raw_at, 1)
+        .Add(heur_at, 1)
+        .Add(100.0 * std::max(raw_at, heur_at) / reference, 1);
+  }
+  table.Print(std::cout);
+
+  std::printf("\nIP dual bound: %.1f (raw status: %s); SFP-Appro: %.1f in %.1f s\n",
+              reference, lp::ToString(raw.status), approx.objective, approx.seconds);
+  bench::PrintNote(
+      "paper shape: nothing at the smallest limit, near-optimal shortly "
+      "after, optimal plateau by ~30 s; early-terminated IP rivals the "
+      "approximation as a practical strategy.");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 10 — Objective throughput of SFP-IP, SFP-Appro and the greedy
+// baseline varying the number of candidate SFCs (10..60).
+//
+// Setup per §VI-C: 8 stages, recirculation budget 2, 10 NF types,
+// average chain length 5, 400 Gbps backplane. SFP-IP is time-capped
+// (SFP_BENCH_IP_CAP/2 per point, default 30 s) with the rounding
+// heuristic on, so it reports its best incumbent — the paper's story
+// (IP >= Appro >= Greedy, saturating near the backplane capacity with
+// enough candidates) is about those incumbents.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "controlplane/approx_solver.h"
+#include "controlplane/greedy_solver.h"
+#include "controlplane/ilp_solver.h"
+#include "workload/sfc_gen.h"
+
+using namespace sfp;
+using namespace sfp::controlplane;
+
+namespace {
+
+double IpCapSeconds() {
+  if (const char* env = std::getenv("SFP_BENCH_IP_CAP")) {
+    const double v = std::atof(env);
+    if (v > 0) return v / 2;
+  }
+  return 30.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Fig. 10", "throughput of SFP-IP vs SFP-Appro vs Greedy");
+  const double ip_cap = IpCapSeconds();
+
+  Table table({"L", "SFP-IP thr", "Appro thr", "Greedy thr", "IP obj", "Appro obj",
+               "Greedy obj"});
+  Rng rng(10000);
+  workload::DatasetParams params;
+  params.num_sfcs = 60;
+  params.num_types = 10;
+  SwitchResources sw;
+  const auto pool = workload::GenerateInstance(params, sw, rng);
+
+  for (const int L : {10, 20, 30, 40, 50, 60}) {
+    auto instance = pool;
+    instance.sfcs.resize(static_cast<std::size_t>(L));
+
+    IlpOptions ilp_options;
+    ilp_options.model.max_passes = 3;  // recirculation 2
+    ilp_options.time_limit_seconds = ip_cap;
+    ilp_options.relative_gap = 1e-3;
+    auto ilp = SolveIlp(instance, ilp_options);
+
+    ApproxOptions approx_options;
+    approx_options.model.max_passes = 3;
+    approx_options.only_max_passes = L > 30;  // keep large sweeps tractable
+    auto approx = SolveApprox(instance, approx_options);
+
+    GreedyOptions greedy_options;
+    greedy_options.max_passes = 3;
+    auto greedy = SolveGreedy(instance, greedy_options);
+
+    table.Row()
+        .Add(static_cast<std::int64_t>(L))
+        .Add(ilp.solution.OffloadedGbps(instance), 1)
+        .Add(approx.solution.OffloadedGbps(instance), 1)
+        .Add(greedy.solution.OffloadedGbps(instance), 1)
+        .Add(ilp.objective, 1)
+        .Add(approx.objective, 1)
+        .Add(greedy.objective, 1);
+  }
+  table.Print(std::cout);
+  bench::PrintNote(
+      "paper shape: IP saturates the 400 Gbps capacity by ~50 SFCs; Appro "
+      "and Greedy trail it (398 vs 377 vs 367 Gbps at L=60) with Appro above "
+      "Greedy.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 11 — Runtime update: throughput after re-placement vs drop rate.
+//
+// Setup per §VI-D: 8 stages, recirculation budget 2, average chain
+// length 5, 10 NF types, 20 initially allocated SFCs out of 50
+// candidates. Residents are dropped with each rate; the §V-E update
+// pins survivors in place and refills from the candidate pool.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "controlplane/runtime_update.h"
+#include "workload/sfc_gen.h"
+
+using namespace sfp;
+using namespace sfp::controlplane;
+
+int main() {
+  bench::PrintHeader("Fig. 11", "throughput after runtime update vs drop rate");
+  const int seeds = bench::NumSeeds();
+
+  Table table({"drop rate", "origin thr (Gbps)", "updated thr (Gbps)", "dropped",
+               "residents kept"});
+
+  for (const double rate : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    double origin_sum = 0, updated_sum = 0;
+    int dropped_sum = 0, kept_sum = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(11000 + static_cast<std::uint64_t>(seed) * 31);
+      workload::DatasetParams params;
+      params.num_sfcs = 50;
+      params.num_types = 10;
+      SwitchResources sw;
+      auto instance = workload::GenerateInstance(params, sw, rng);
+
+      RuntimeUpdateOptions options;
+      options.solver.model.max_passes = 3;
+      options.solver.only_max_passes = true;
+      options.solver.seed = static_cast<std::uint64_t>(seed) + 5;
+      RuntimeUpdateManager manager(instance, options);
+      manager.PlaceInitial(/*initial_candidates=*/20);
+      origin_sum += manager.current().OffloadedGbps(instance);
+
+      Rng drop_rng(static_cast<std::uint64_t>(seed) * 7 + 3);
+      dropped_sum += manager.DropRandom(rate, drop_rng);
+      kept_sum += static_cast<int>(manager.Residents().size());
+      manager.Refill();
+      updated_sum += manager.current().OffloadedGbps(instance);
+    }
+    const double n = seeds;
+    table.Row()
+        .Add(rate, 1)
+        .Add(origin_sum / n, 1)
+        .Add(updated_sum / n, 1)
+        .Add(static_cast<std::int64_t>(dropped_sum / seeds))
+        .Add(static_cast<std::int64_t>(kept_sum / seeds));
+  }
+  table.Print(std::cout);
+  bench::PrintNote(
+      "paper shape: the updated throughput stays near saturation at every "
+      "drop rate and inches up with more drops (394.0 at 0.1 -> 399.8 at "
+      "1.0): freed resources admit better candidate combinations.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Latency under load: the classifier's flow class drives strict-
+// priority egress queueing, protecting a premium tenant's latency when
+// a best-effort tenant floods the port.
+//
+// Pipeline: both tenants' SFCs classify their traffic (premium ->
+// class 2, best-effort -> class 1); the shared egress port then
+// schedules by class. The experiment ramps the best-effort offered
+// load and reports per-tenant queueing delay.
+//
+// Run: ./build/examples/latency_under_load
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/sfp_system.h"
+#include "nf/classifier.h"
+#include "switchsim/egress.h"
+#include "workload/traffic.h"
+
+using namespace sfp;
+
+namespace {
+
+nf::NfConfig Classify(std::uint8_t cls) {
+  nf::NfConfig config;
+  config.type = nf::NfType::kClassifier;
+  config.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, cls));
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  system.ProvisionPhysical({{nf::NfType::kClassifier}});
+
+  dataplane::Sfc premium;
+  premium.tenant = 1;
+  premium.bandwidth_gbps = 10;
+  premium.chain = {Classify(2)};
+  dataplane::Sfc best_effort;
+  best_effort.tenant = 2;
+  best_effort.bandwidth_gbps = 60;
+  best_effort.chain = {Classify(1)};
+  if (!system.AdmitTenant(premium).admitted || !system.AdmitTenant(best_effort).admitted) {
+    std::puts("admission failed");
+    return 1;
+  }
+
+  Table table({"BE load (Gbps)", "premium wait (ns)", "BE wait (ns)", "BE drops"});
+  Rng rng(1);
+  const double port_gbps = 100.0;
+  for (const double be_gbps : {20.0, 60.0, 95.0, 120.0, 160.0}) {
+    // 3 classes (0 unused), 100G port, 150 KB of buffer per class.
+    switchsim::EgressPort port(3, port_gbps, 150 * 1000);
+    // Premium sends a steady 10G of 500B frames; best-effort sends
+    // be_gbps of 1500B frames. Interleave arrivals over 200 us.
+    const double horizon_ns = 200e3;
+    const double premium_gap = 500 * 8.0 / 10.0;        // ns between frames
+    const double be_gap = 1500 * 8.0 / be_gbps;
+    double tp = 0, tb = 0;
+    while (tp < horizon_ns || tb < horizon_ns) {
+      const bool premium_next = tp <= tb;
+      const double t = premium_next ? tp : tb;
+      const std::uint16_t tenant = premium_next ? 1 : 2;
+      const std::uint32_t size = premium_next ? 500 : 1500;
+      auto packet = net::MakeTcpPacket(tenant, net::Ipv4Address::Of(10, 0, 0, tenant),
+                                       net::Ipv4Address::Of(10, 0, 1, 1), 999, 80, size);
+      auto out = system.Process(packet);  // classifier sets the class
+      port.Enqueue(t, size, out.meta.flow_class);
+      (premium_next ? tp : tb) += premium_next ? premium_gap : be_gap;
+    }
+    port.DrainAll();
+    port.TakeDepartures();
+    table.Row()
+        .Add(be_gbps, 0)
+        .Add(port.stats(2).MeanWaitNs(), 1)
+        .Add(port.stats(1).MeanWaitNs(), 1)
+        .Add(static_cast<std::int64_t>(port.stats(1).dropped));
+  }
+  table.Print(std::cout);
+  std::puts("\npremium latency stays flat while best-effort queues and drops");
+  return 0;
+}

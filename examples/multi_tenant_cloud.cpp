@@ -1,0 +1,126 @@
+// Multi-tenant cloud scenario (§II-A R2/R3): many tenants with
+// different — and differently ordered — SFCs share one physical
+// pipeline; tenants join and leave at runtime; out-of-order chains
+// recirculate.
+//
+// Run: ./build/examples/multi_tenant_cloud
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/sfp_system.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "nf/load_balancer.h"
+#include "nf/router.h"
+#include "workload/traffic.h"
+
+using namespace sfp;
+
+namespace {
+
+nf::NfConfig Fw(std::uint16_t port) {
+  nf::NfConfig config;
+  config.type = nf::NfType::kFirewall;
+  config.rules.push_back(nf::Firewall::Deny(
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Range(port, port),
+      switchsim::FieldMatch::Any()));
+  return config;
+}
+
+nf::NfConfig Tc(std::uint8_t cls) {
+  nf::NfConfig config;
+  config.type = nf::NfType::kClassifier;
+  config.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, cls));
+  return config;
+}
+
+nf::NfConfig Lb(net::Ipv4Address vip, net::Ipv4Address dip) {
+  nf::NfConfig config;
+  config.type = nf::NfType::kLoadBalancer;
+  config.rules.push_back(nf::LoadBalancer::SetBackend(vip, 80, dip));
+  return config;
+}
+
+nf::NfConfig Rt() {
+  nf::NfConfig config;
+  config.type = nf::NfType::kRouter;
+  config.rules.push_back(nf::Router::Route(0, 0, 1));
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  // The Fig. 3 pipeline, extended: TC @0, FW @1, LB @2, RT @3.
+  system.ProvisionPhysical({{nf::NfType::kClassifier},
+                            {nf::NfType::kFirewall},
+                            {nf::NfType::kLoadBalancer},
+                            {nf::NfType::kRouter}});
+
+  const auto vip = net::Ipv4Address::Of(10, 0, 0, 100);
+
+  // Tenant 1: TC -> FW -> LB (pipeline order: 1 pass, Fig. 3 SFC 1).
+  dataplane::Sfc t1;
+  t1.tenant = 1;
+  t1.bandwidth_gbps = 40;
+  t1.chain = {Tc(1), Fw(443), Lb(vip, net::Ipv4Address::Of(192, 168, 0, 1))};
+
+  // Tenant 2: FW -> LB -> TC (out of order: 2 passes, Fig. 3 SFC 2).
+  dataplane::Sfc t2;
+  t2.tenant = 2;
+  t2.bandwidth_gbps = 25;
+  t2.chain = {Fw(22), Lb(vip, net::Ipv4Address::Of(192, 168, 0, 2)), Tc(4)};
+
+  // Tenant 3: full 4-NF chain.
+  dataplane::Sfc t3;
+  t3.tenant = 3;
+  t3.bandwidth_gbps = 30;
+  t3.chain = {Tc(2), Fw(23), Lb(vip, net::Ipv4Address::Of(192, 168, 0, 3)), Rt()};
+
+  for (const auto* sfc : {&t1, &t2, &t3}) {
+    const auto admit = system.AdmitTenant(*sfc);
+    std::printf("tenant %u: %s (%d pass(es), charge %.0f Gbps)\n", sfc->tenant,
+                admit.admitted ? "admitted" : admit.reason.c_str(), admit.passes,
+                admit.backplane_gbps);
+  }
+
+  // Traffic: each tenant's HTTP flow picks up its own chain's effects.
+  for (std::uint16_t tenant = 1; tenant <= 3; ++tenant) {
+    auto out = system.Process(
+        net::MakeTcpPacket(tenant, net::Ipv4Address::Of(1, 1, 1, 1), vip, 999, 80, 256));
+    std::printf(
+        "tenant %u packet: passes=%d class=%u dst=%s dropped=%d latency=%.0f ns\n", tenant,
+        out.passes, out.meta.flow_class, out.packet.ipv4->dst.ToString().c_str(),
+        out.meta.dropped, out.latency_ns);
+  }
+
+  // Isolation check: tenant 2 blocks SSH, tenant 1 does not.
+  auto t1_ssh = system.Process(
+      net::MakeTcpPacket(1, net::Ipv4Address::Of(1, 1, 1, 1), vip, 999, 22, 64));
+  auto t2_ssh = system.Process(
+      net::MakeTcpPacket(2, net::Ipv4Address::Of(1, 1, 1, 1), vip, 999, 22, 64));
+  std::printf("SSH: tenant1 dropped=%d, tenant2 dropped=%d\n", t1_ssh.meta.dropped,
+              t2_ssh.meta.dropped);
+
+  // Churn (§V-E): tenant 2 leaves, a new tenant takes its place.
+  system.RemoveTenant(2);
+  dataplane::Sfc t4;
+  t4.tenant = 4;
+  t4.bandwidth_gbps = 50;
+  t4.chain = {Fw(8080), Rt()};
+  const auto admit4 = system.AdmitTenant(t4);
+  std::printf("after tenant 2 left, tenant 4: %s\n",
+              admit4.admitted ? "admitted" : admit4.reason.c_str());
+
+  // Former tenant-2 traffic now passes untouched.
+  auto ghost = system.Process(
+      net::MakeTcpPacket(2, net::Ipv4Address::Of(1, 1, 1, 1), vip, 999, 22, 64));
+  std::printf("departed tenant 2 SSH now dropped=%d (expected 0)\n", ghost.meta.dropped);
+
+  const auto stats = system.Stats();
+  std::printf("final: %d tenants, %.0f Gbps offered, %.0f Gbps backplane, %d blocks\n",
+              stats.tenants, stats.offered_gbps, stats.backplane_gbps, stats.blocks_used);
+  return 0;
+}

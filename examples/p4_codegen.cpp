@@ -1,0 +1,25 @@
+// Emits the P4-16-style program for a provisioned SFP pipeline, plus
+// the standalone 3-table load balancer of Fig. 2.
+//
+// Run: ./build/examples/p4_codegen
+#include <cstdio>
+
+#include "p4gen/p4gen.h"
+
+using namespace sfp;
+
+int main() {
+  dataplane::DataPlane dp{switchsim::SwitchConfig{}};
+  dp.InstallPhysicalNf(0, nf::NfType::kClassifier);
+  dp.InstallPhysicalNf(1, nf::NfType::kFirewall);
+  dp.InstallPhysicalNf(2, nf::NfType::kLoadBalancer);
+  dp.InstallPhysicalNf(3, nf::NfType::kRouter);
+  dp.InstallPhysicalNf(4, nf::NfType::kRateLimiter);
+  dp.InstallPhysicalNf(5, nf::NfType::kNat);
+
+  std::puts("=== SFP physical pipeline as P4-16 ===\n");
+  std::puts(p4gen::EmitProgram(dp, "sfp_pipeline").c_str());
+  std::puts("\n=== Fig. 2 three-table load balancer ===\n");
+  std::puts(p4gen::EmitFig2LoadBalancer().c_str());
+  return 0;
+}

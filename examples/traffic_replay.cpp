@@ -1,0 +1,92 @@
+// Trace capture & replay: synthesize an IMC'10-style workload, save it
+// to the SFPT binary trace format, reload it, and replay it through a
+// provisioned SFP switch, reporting per-tenant telemetry.
+//
+// Run: ./build/examples/traffic_replay [trace-path]
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/sfp_system.h"
+#include "net/trace.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "workload/traffic.h"
+
+using namespace sfp;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/sfp_demo_trace.sfpt";
+
+  // ---- capture: two tenants, bimodal frame sizes, 10 us of traffic.
+  Rng rng(2026);
+  workload::PacketSizeProfile profile;
+  net::Trace capture;
+  double clock_ns = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint16_t tenant = rng.Bernoulli(0.5) ? 1 : 2;
+    const int size = profile.Sample(rng);
+    auto packet = net::MakeTcpPacket(
+        tenant, net::Ipv4Address::Of(10, tenant & 0xFF, 0, 1),
+        net::Ipv4Address::Of(10, 0, 0, 100),
+        static_cast<std::uint16_t>(1024 + i % 512), i % 3 == 0 ? 23 : 80,
+        static_cast<std::uint32_t>(size));
+    capture.Append(clock_ns, packet);
+    clock_ns += rng.Exponential(5.0);  // ~200 Mpps aggregate arrivals
+  }
+  if (!capture.Save(path)) {
+    std::printf("cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("captured %zu frames, %.1f KB, offered %.1f Gbps -> %s\n", capture.size(),
+              capture.TotalBytes() / 1e3, capture.OfferedGbps(), path.c_str());
+
+  // ---- replay through a provisioned switch.
+  auto loaded = net::Trace::Load(path);
+  if (!loaded) {
+    std::printf("cannot load %s\n", path.c_str());
+    return 1;
+  }
+
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  system.ProvisionPhysical({{nf::NfType::kFirewall}, {nf::NfType::kClassifier}});
+  // Tenant 1 blocks telnet; tenant 2 runs only a classifier.
+  dataplane::Sfc t1;
+  t1.tenant = 1;
+  t1.bandwidth_gbps = 40;
+  nf::NfConfig fw;
+  fw.type = nf::NfType::kFirewall;
+  fw.rules.push_back(nf::Firewall::Deny(
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Range(23, 23),
+      switchsim::FieldMatch::Any()));
+  t1.chain = {fw};
+  dataplane::Sfc t2;
+  t2.tenant = 2;
+  t2.bandwidth_gbps = 40;
+  nf::NfConfig tc;
+  tc.type = nf::NfType::kClassifier;
+  tc.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, 3));
+  t2.chain = {tc};
+  if (!system.AdmitTenant(t1).admitted || !system.AdmitTenant(t2).admitted) return 1;
+
+  int parse_errors = 0;
+  for (const auto& record : loaded->records()) {
+    auto result = system.data_plane().pipeline().ProcessBytes(record.frame);
+    if (result.parse_error) {
+      ++parse_errors;
+      continue;
+    }
+    system.Telemetry().Record(static_cast<std::uint32_t>(record.frame.size()), result);
+  }
+
+  std::printf("replayed %zu frames (%d parse errors)\n", loaded->size(), parse_errors);
+  for (const std::uint16_t tenant : system.Telemetry().Tenants()) {
+    const auto counters = system.Telemetry().Tenant(tenant);
+    std::printf(
+        "tenant %u: %llu pkts, %.1f KB, drop rate %.1f%%, mean latency %.0f ns\n", tenant,
+        static_cast<unsigned long long>(counters.packets), counters.bytes / 1e3,
+        counters.DropRate() * 100.0, counters.MeanLatencyNs());
+  }
+  // Tenant 1's telnet share (~1/3) is dropped; tenant 2 drops nothing.
+  return 0;
+}

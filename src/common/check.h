@@ -1,0 +1,45 @@
+// Lightweight assertion macros used across the SFP library.
+//
+// SFP_CHECK* are always-on invariant checks (they survive NDEBUG): a
+// violated check indicates a programming error inside the library or a
+// caller breaking a documented precondition, and aborts with a message.
+// SFP_DCHECK compiles away in release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfp::detail {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SFP_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sfp::detail
+
+#define SFP_CHECK_MSG(cond, msg)                                \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::sfp::detail::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                           \
+  } while (0)
+
+#define SFP_CHECK(cond) SFP_CHECK_MSG(cond, "")
+
+#define SFP_CHECK_GE(a, b) SFP_CHECK((a) >= (b))
+#define SFP_CHECK_GT(a, b) SFP_CHECK((a) > (b))
+#define SFP_CHECK_LE(a, b) SFP_CHECK((a) <= (b))
+#define SFP_CHECK_LT(a, b) SFP_CHECK((a) < (b))
+#define SFP_CHECK_EQ(a, b) SFP_CHECK((a) == (b))
+#define SFP_CHECK_NE(a, b) SFP_CHECK((a) != (b))
+
+#ifndef NDEBUG
+#define SFP_DCHECK(cond) SFP_CHECK(cond)
+#else
+#define SFP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif

@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sfp {
+namespace {
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("SFP_LOG");
+    if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+    return static_cast<int>(ParseLogLevel(env));
+  }()};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load()); }
+
+void SetLogLevel(LogLevel level) { LevelStorage().store(static_cast<int>(level)); }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= static_cast<int>(GetLogLevel())) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace sfp

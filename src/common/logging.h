@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The library itself logs sparingly (solver progress, placement events);
+// benches and examples raise the level for narration. The level is
+// process-global and can be initialised from the SFP_LOG environment
+// variable ("debug", "info", "warn", "error", "off").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sfp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current process-global log level.
+LogLevel GetLogLevel();
+
+/// Sets the process-global log level.
+void SetLogLevel(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings map to kInfo.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+
+/// Stream-style log sink; emits on destruction if `level` is enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace sfp
+
+#define SFP_LOG(level) \
+  ::sfp::detail::LogMessage(::sfp::LogLevel::level, __FILE__, __LINE__)
+
+#define SFP_LOG_DEBUG SFP_LOG(kDebug)
+#define SFP_LOG_INFO SFP_LOG(kInfo)
+#define SFP_LOG_WARN SFP_LOG(kWarn)
+#define SFP_LOG_ERROR SFP_LOG(kError)

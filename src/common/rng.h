@@ -1,0 +1,79 @@
+// Deterministic random number generation for workload synthesis and the
+// randomized-rounding approximation.
+//
+// Every stochastic component in the library takes an explicit Rng so
+// experiments are reproducible from a single seed. The engine is
+// splitmix64-seeded xoshiro256**, which is fast, high-quality and
+// stable across platforms (unlike std::mt19937 distributions whose
+// outputs are not specified bit-exactly across standard libraries, the
+// distribution code here is ours and therefore reproducible).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sfp {
+
+/// xoshiro256** PRNG with helper distributions used by SFP.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes via splitmix64 so that nearby seeds
+  /// yield uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x5F0C0FFEEULL);
+
+  /// UniformRandomBitGenerator interface (usable with <random> too).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformDouble();
+
+  /// Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Pareto(shape, scale) draw: long-tail distribution used for per-SFC
+  /// bandwidth demands (§VI-A: "the bandwidth requirement of each NF
+  /// follows the long-tail distribution").
+  double Pareto(double shape, double scale);
+
+  /// Exponential draw with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child stream; used to hand sub-components
+  /// their own generator without sharing state.
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sfp

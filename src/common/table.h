@@ -1,0 +1,49 @@
+// Aligned plain-text table printer used by the benchmark harnesses to
+// emit the rows/series of each paper figure, plus CSV export so results
+// can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sfp {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendered with a header rule, suitable for
+/// pasting into EXPERIMENTS.md.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  Table& Row();
+
+  /// Appends a string cell to the current row.
+  Table& Add(std::string cell);
+
+  /// Appends an integer cell.
+  Table& Add(std::int64_t value);
+
+  /// Appends a floating-point cell with `precision` decimals.
+  Table& Add(double value, int precision = 1);
+
+  /// Renders the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment padding).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Number of data rows so far.
+  std::size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace sfp

@@ -1,0 +1,37 @@
+// Units helpers shared across the library.
+//
+// Bandwidth is carried as double Gbps (the paper's unit throughout);
+// latency as double nanoseconds; memory as integer rule entries and
+// blocks. The strong-typedef-free choice keeps the arithmetic in the
+// optimizer simple; helpers here centralise the conversions so no module
+// hand-rolls 8.0 * 1e9 style constants.
+#pragma once
+
+#include <cstdint>
+
+namespace sfp {
+
+constexpr double kBitsPerByte = 8.0;
+
+/// Converts packets/second at a given frame size to Gbps on the wire.
+constexpr double PpsToGbps(double pps, int packet_bytes) {
+  return pps * packet_bytes * kBitsPerByte / 1e9;
+}
+
+/// Converts a Gbps rate at a given frame size to packets/second.
+constexpr double GbpsToPps(double gbps, int packet_bytes) {
+  return gbps * 1e9 / (packet_bytes * kBitsPerByte);
+}
+
+/// Converts CPU cycles at a given clock (GHz) to nanoseconds.
+constexpr double CyclesToNanos(double cycles, double clock_ghz) {
+  return cycles / clock_ghz;
+}
+
+/// Ceiling division for non-negative integers; used for block
+/// occupancy (the eq. 11 / eq. 24 ceilings).
+constexpr std::int64_t CeilDiv(std::int64_t numerator, std::int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+}  // namespace sfp

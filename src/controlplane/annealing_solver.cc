@@ -1,0 +1,66 @@
+#include "controlplane/annealing_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace sfp::controlplane {
+
+AnnealingReport SolveAnnealing(const PlacementInstance& instance,
+                               const AnnealingOptions& options) {
+  instance.CheckValid();
+  Stopwatch watch;
+  Rng rng(options.seed);
+
+  // Start from the greedy metric order (eq. 13) so the annealer's
+  // floor is the greedy solution.
+  std::vector<int> order(static_cast<std::size_t>(instance.NumSfcs()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&instance](int a, int b) {
+    return instance.sfcs[static_cast<std::size_t>(a)].GreedyMetric() >
+           instance.sfcs[static_cast<std::size_t>(b)].GreedyMetric();
+  });
+
+  AnnealingReport report;
+  PlacementSolution current = PlaceInOrder(instance, order, options.placement);
+  double current_objective = current.ObjectiveWeighted(instance);
+  report.solution = current;
+  report.objective = current_objective;
+
+  if (order.size() >= 2) {
+    double temperature = options.initial_temperature;
+    for (int it = 0; it < options.iterations; ++it) {
+      const auto a =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(order.size()) - 1));
+      auto b =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(order.size()) - 1));
+      if (a == b) b = (b + 1) % order.size();
+      std::swap(order[a], order[b]);
+
+      PlacementSolution candidate = PlaceInOrder(instance, order, options.placement);
+      const double objective = candidate.ObjectiveWeighted(instance);
+      const double delta = objective - current_objective;
+      const bool accept =
+          delta >= 0.0 || rng.UniformDouble() < std::exp(delta / std::max(temperature, 1e-9));
+      if (accept) {
+        ++report.accepted_moves;
+        if (delta > 0.0) ++report.improving_moves;
+        current_objective = objective;
+        if (objective > report.objective) {
+          report.objective = objective;
+          report.solution = std::move(candidate);
+        }
+      } else {
+        std::swap(order[a], order[b]);  // undo
+      }
+      temperature *= options.cooling;
+    }
+  }
+
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace sfp::controlplane

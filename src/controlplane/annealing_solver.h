@@ -1,0 +1,41 @@
+// Simulated-annealing placement (design-space extension).
+//
+// Neither the paper's IP (optimal but exponential) nor its greedy
+// (fast but myopic) explores intermediate cost/quality points; this
+// solver anneals over the *offer order* fed to the earliest-fit
+// placement kernel (PlaceInOrder): a state is a permutation of chain
+// indices, a move swaps two positions, and the energy is the negated
+// eq. 1 objective. It serves as an additional baseline in the ablation
+// benches and as a robustness check on the greedy metric (the annealer
+// should never end below metric-ordered greedy, since it starts there).
+#pragma once
+
+#include "common/rng.h"
+#include "controlplane/greedy_solver.h"
+
+namespace sfp::controlplane {
+
+struct AnnealingOptions {
+  GreedyOptions placement;
+  /// Total proposed moves.
+  int iterations = 3000;
+  /// Initial acceptance temperature (in objective units).
+  double initial_temperature = 30.0;
+  /// Geometric cooling factor per move.
+  double cooling = 0.999;
+  std::uint64_t seed = 1;
+};
+
+struct AnnealingReport {
+  PlacementSolution solution;
+  double objective = 0.0;  // eq. 1
+  double seconds = 0.0;
+  int accepted_moves = 0;
+  int improving_moves = 0;
+};
+
+/// Runs the annealer, starting from the eq. 13 metric order.
+AnnealingReport SolveAnnealing(const PlacementInstance& instance,
+                               const AnnealingOptions& options = {});
+
+}  // namespace sfp::controlplane

@@ -1,0 +1,93 @@
+#include "controlplane/approx_solver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "lp/simplex.h"
+
+namespace sfp::controlplane {
+namespace {
+
+/// The SFC to strip: lowest eq. 13 metric among still-candidate chains
+/// ("requires most resource but least bandwidth").
+int PickStripVictim(const PlacementInstance& instance, const std::set<int>& stripped,
+                    const std::map<int, std::vector<int>>& pinned) {
+  int victim = -1;
+  double worst = std::numeric_limits<double>::infinity();
+  for (int l = 0; l < instance.NumSfcs(); ++l) {
+    if (stripped.contains(l) || pinned.contains(l)) continue;
+    const double metric = instance.sfcs[static_cast<std::size_t>(l)].GreedyMetric();
+    if (metric < worst) {
+      worst = metric;
+      victim = l;
+    }
+  }
+  return victim;
+}
+
+}  // namespace
+
+ApproxReport SolveApprox(const PlacementInstance& instance, const ApproxOptions& options) {
+  ApproxReport report;
+  Stopwatch watch;
+  Rng rng(options.seed);
+
+  const int first_passes = options.only_max_passes ? options.model.max_passes : 1;
+  for (int passes = first_passes; passes <= options.model.max_passes; ++passes) {
+    ModelOptions model_options = options.model;
+    model_options.max_passes = passes;
+    PlacementModel pm = BuildPlacementModel(instance, model_options);
+
+    lp::Simplex simplex(pm.model);
+    const lp::Solution lp = simplex.Solve();
+    ++report.lp_solves;
+    if (lp.status != lp::SolveStatus::kOptimal) {
+      SFP_LOG_WARN << "LP relaxation at r=" << passes - 1
+                   << " ended with status " << lp::ToString(lp.status);
+      continue;
+    }
+    report.lp_bound = std::max(report.lp_bound, lp.objective);
+
+    VerifyOptions verify_options;
+    verify_options.memory_model = model_options.memory_model;
+    verify_options.max_passes = passes;
+
+    std::set<int> stripped = model_options.excluded;
+    int consecutive_failures = 0;
+    for (int attempt = 0; attempt < options.rounding_attempts; ++attempt) {
+      ++report.roundings;
+      auto candidate = StructuredRound(instance, pm, lp.values, rng, stripped);
+      bool accepted = false;
+      if (candidate) {
+        const auto verdict = Verify(instance, *candidate, verify_options);
+        if (verdict.ok) {
+          accepted = true;
+          const double objective = candidate->ObjectiveWeighted(instance);
+          if (!report.ok || objective > report.objective) {
+            report.ok = true;
+            report.objective = objective;
+            report.solution = std::move(*candidate);
+          }
+        }
+      }
+      if (accepted) {
+        consecutive_failures = 0;
+      } else if (++consecutive_failures >= options.strip_after_failures) {
+        const int victim = PickStripVictim(instance, stripped, model_options.pinned);
+        if (victim < 0) break;  // nothing left to strip
+        stripped.insert(victim);
+        ++report.stripped_sfcs;
+        consecutive_failures = 0;
+        SFP_LOG_DEBUG << "stripping SFC " << victim << " (eq. 13 metric "
+                      << instance.sfcs[static_cast<std::size_t>(victim)].GreedyMetric() << ")";
+      }
+    }
+  }
+
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace sfp::controlplane

@@ -1,0 +1,92 @@
+// Abstract placement-problem types of the SFP control plane (§V).
+//
+// The control plane reasons about *abstract* NF types (indices 0..I-1,
+// the paper's i in [1, I]) so the optimizer scales to the evaluation's
+// 10 synthetic types; mapping abstract types onto the concrete NF
+// library happens at materialization time (control_plane bridge).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sfp::controlplane {
+
+/// One function box of a chain: its type f_jl and rule count F_jl.
+/// `state_entries` implements the §VII "NF States" extension: register
+/// state lives in the same stage SRAM as the match-action entries and
+/// is charged to the same blocks (0 for stateless NFs).
+struct NfBox {
+  int type = 0;
+  std::int64_t rules = 0;
+  std::int64_t state_entries = 0;
+
+  /// Memory footprint in entry units: rules x rule width + state.
+  std::int64_t MemoryUnits(int rule_width) const {
+    return rules * rule_width + state_entries;
+  }
+};
+
+/// One candidate SFC: ordered boxes plus bandwidth demand T_l.
+struct SfcSpec {
+  std::vector<NfBox> boxes;
+  double bandwidth_gbps = 0.0;
+
+  int Length() const { return static_cast<int>(boxes.size()); }
+
+  /// The greedy ordering metric of eq. 13: T_l / sum_j (J_l * F_jl).
+  double GreedyMetric() const {
+    double denom = 0.0;
+    for (const auto& box : boxes) {
+      denom += static_cast<double>(Length()) * static_cast<double>(box.rules);
+    }
+    return denom > 0.0 ? bandwidth_gbps / denom : 0.0;
+  }
+
+  /// Objective contribution when offloaded: T_l * J_l (eq. 1).
+  double ObjectiveWeight() const { return bandwidth_gbps * Length(); }
+};
+
+/// Switch resource constants (Table I).
+struct SwitchResources {
+  int stages = 8;              // S
+  int blocks_per_stage = 20;   // B
+  int entries_per_block = 1000;  // E (in rule entries; b is folded in)
+  int rule_width = 1;          // b — multiplier on F_jl in memory terms
+  double capacity_gbps = 400;  // C
+};
+
+/// A placement problem: the switch, the NF type universe, and the
+/// candidate SFCs.
+struct PlacementInstance {
+  SwitchResources sw;
+  int num_types = 10;  // I
+  std::vector<SfcSpec> sfcs;
+
+  int NumSfcs() const { return static_cast<int>(sfcs.size()); }
+
+  /// Validates internal consistency (types in range, positive sizes).
+  void CheckValid() const {
+    SFP_CHECK_GT(num_types, 0);
+    SFP_CHECK_GT(sw.stages, 0);
+    SFP_CHECK_GT(sw.blocks_per_stage, 0);
+    SFP_CHECK_GT(sw.entries_per_block, 0);
+    for (const auto& sfc : sfcs) {
+      SFP_CHECK(!sfc.boxes.empty());
+      SFP_CHECK_GE(sfc.bandwidth_gbps, 0.0);
+      for (const auto& box : sfc.boxes) {
+        SFP_CHECK_GE(box.type, 0);
+        SFP_CHECK_LT(box.type, num_types);
+        SFP_CHECK_GE(box.rules, 0);
+      }
+    }
+  }
+};
+
+/// Memory-accounting mode: eq. 24 (consolidated: same-type logical NFs
+/// share blocks within a stage) vs eq. 25 (each logical NF rounds up to
+/// whole blocks on its own — the "SFP without consolidation" baseline).
+enum class MemoryModel { kConsolidated, kPerLogicalNf };
+
+}  // namespace sfp::controlplane

@@ -1,0 +1,88 @@
+#include "controlplane/runtime_update.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace sfp::controlplane {
+
+RuntimeUpdateManager::RuntimeUpdateManager(PlacementInstance instance,
+                                           RuntimeUpdateOptions options)
+    : instance_(std::move(instance)), options_(options) {
+  instance_.CheckValid();
+  current_.physical.assign(static_cast<std::size_t>(instance_.num_types),
+                           std::vector<bool>(static_cast<std::size_t>(instance_.sw.stages),
+                                             false));
+  current_.chains.resize(instance_.sfcs.size());
+}
+
+const PlacementSolution& RuntimeUpdateManager::PlaceInitial(int initial_candidates) {
+  ApproxOptions solver_options = options_.solver;
+  if (initial_candidates >= 0) {
+    for (int l = initial_candidates; l < instance_.NumSfcs(); ++l) {
+      solver_options.model.excluded.insert(l);
+    }
+  }
+  const ApproxReport report = SolveApprox(instance_, solver_options);
+  if (report.ok) current_ = report.solution;
+  return current_;
+}
+
+int RuntimeUpdateManager::DropRandom(double drop_rate, Rng& rng) {
+  int dropped = 0;
+  for (auto& chain : current_.chains) {
+    if (!chain.placed) continue;
+    if (rng.Bernoulli(drop_rate)) {
+      chain.placed = false;
+      chain.virtual_stages.clear();
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+bool RuntimeUpdateManager::Drop(int sfc_index) {
+  SFP_CHECK_GE(sfc_index, 0);
+  SFP_CHECK_LT(sfc_index, instance_.NumSfcs());
+  auto& chain = current_.chains[static_cast<std::size_t>(sfc_index)];
+  if (!chain.placed) return false;
+  chain.placed = false;
+  chain.virtual_stages.clear();
+  return true;
+}
+
+std::set<int> RuntimeUpdateManager::Residents() const {
+  std::set<int> residents;
+  for (int l = 0; l < instance_.NumSfcs(); ++l) {
+    if (current_.chains[static_cast<std::size_t>(l)].placed) residents.insert(l);
+  }
+  return residents;
+}
+
+const PlacementSolution& RuntimeUpdateManager::Refill() {
+  full_reconfig_ = false;
+  // Incremental solve: residents pinned where they are.
+  ApproxOptions incremental = options_.solver;
+  for (int l : Residents()) {
+    incremental.model.pinned[l] =
+        current_.chains[static_cast<std::size_t>(l)].virtual_stages;
+  }
+  const ApproxReport report = SolveApprox(instance_, incremental);
+  if (report.ok) current_ = report.solution;
+
+  if (options_.reoptimize_threshold > 0.0) {
+    // Compare with a from-scratch placement; reconfigure fully if the
+    // incremental one drifted below the threshold.
+    const ApproxReport scratch = SolveApprox(instance_, options_.solver);
+    if (scratch.ok &&
+        report.objective < options_.reoptimize_threshold * scratch.objective) {
+      SFP_LOG_INFO << "runtime update: full reconfiguration (incremental "
+                   << report.objective << " < " << options_.reoptimize_threshold
+                   << " x scratch " << scratch.objective << ")";
+      current_ = scratch.solution;
+      full_reconfig_ = true;
+    }
+  }
+  return current_;
+}
+
+}  // namespace sfp::controlplane

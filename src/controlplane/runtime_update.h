@@ -1,0 +1,66 @@
+// Runtime update manager (§V-E).
+//
+// Tracks the resident placement; on tenant departures it releases their
+// resources and re-runs the placement over the remaining residents
+// (pinned in place — their rules are not moved) plus the full candidate
+// pool, admitting new SFCs into the freed resources. A configurable
+// re-optimization threshold triggers a full re-placement when the
+// incremental configuration drifts too far from scratch-optimal.
+#pragma once
+
+#include <set>
+
+#include "common/rng.h"
+#include "controlplane/approx_solver.h"
+
+namespace sfp::controlplane {
+
+struct RuntimeUpdateOptions {
+  ApproxOptions solver;
+  /// If the incremental objective falls below `reoptimize_threshold` x
+  /// the from-scratch objective, the manager re-places everything
+  /// (§V-E: "once the distance between the current configuration and
+  /// the optimal one exceeds the threshold, the whole SFCs and pipeline
+  /// would be automatically re-configured"). 0 disables.
+  double reoptimize_threshold = 0.0;
+};
+
+/// Stateful manager over one candidate pool.
+class RuntimeUpdateManager {
+ public:
+  RuntimeUpdateManager(PlacementInstance instance, RuntimeUpdateOptions options = {});
+
+  /// Initial placement considering only the first `initial_candidates`
+  /// SFCs (the rest stay in the pool for later refills); -1 = all.
+  const PlacementSolution& PlaceInitial(int initial_candidates = -1);
+
+  /// Drops each resident SFC independently with probability
+  /// `drop_rate`; returns how many left. Their resources are released.
+  int DropRandom(double drop_rate, Rng& rng);
+
+  /// Drops a specific resident; returns false if it was not resident.
+  bool Drop(int sfc_index);
+
+  /// Re-places: residents are pinned, every non-resident candidate may
+  /// be admitted. Returns the updated placement. When the
+  /// re-optimization threshold fires, residents are re-placed from
+  /// scratch instead (counts as a full reconfiguration).
+  const PlacementSolution& Refill();
+
+  const PlacementSolution& current() const { return current_; }
+  const PlacementInstance& instance() const { return instance_; }
+
+  /// Indices of resident (currently placed) SFCs.
+  std::set<int> Residents() const;
+
+  /// True if the last Refill() performed a full reconfiguration.
+  bool last_refill_was_full_reconfig() const { return full_reconfig_; }
+
+ private:
+  PlacementInstance instance_;
+  RuntimeUpdateOptions options_;
+  PlacementSolution current_;
+  bool full_reconfig_ = false;
+};
+
+}  // namespace sfp::controlplane

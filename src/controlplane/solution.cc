@@ -1,0 +1,116 @@
+#include "controlplane/solution.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace sfp::controlplane {
+
+double PlacementSolution::OffloadedGbps(const PlacementInstance& instance) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    if (chains[l].placed) total += instance.sfcs[l].bandwidth_gbps;
+  }
+  return total;
+}
+
+double PlacementSolution::BackplaneGbps(const PlacementInstance& instance) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    if (!chains[l].placed) continue;
+    total += chains[l].Passes(instance.sw.stages) * instance.sfcs[l].bandwidth_gbps;
+  }
+  return total;
+}
+
+double PlacementSolution::ObjectiveWeighted(const PlacementInstance& instance) const {
+  double total = 0.0;
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    if (chains[l].placed) total += instance.sfcs[l].ObjectiveWeight();
+  }
+  return total;
+}
+
+std::vector<std::int64_t> PlacementSolution::EntriesPerStage(
+    const PlacementInstance& instance) const {
+  std::vector<std::int64_t> entries(static_cast<std::size_t>(instance.sw.stages), 0);
+  for (std::size_t l = 0; l < chains.size(); ++l) {
+    if (!chains[l].placed) continue;
+    const auto& sfc = instance.sfcs[l];
+    for (std::size_t j = 0; j < sfc.boxes.size(); ++j) {
+      const int s = (chains[l].virtual_stages[j] - 1) % instance.sw.stages;
+      entries[static_cast<std::size_t>(s)] +=
+          sfc.boxes[j].MemoryUnits(instance.sw.rule_width);
+    }
+  }
+  return entries;
+}
+
+std::vector<int> PlacementSolution::BlocksPerStage(const PlacementInstance& instance,
+                                                   MemoryModel model) const {
+  const int S = instance.sw.stages;
+  const std::size_t I = physical.size();
+  std::vector<int> blocks(static_cast<std::size_t>(S), 0);
+
+  if (model == MemoryModel::kConsolidated) {
+    // eq. 24: per (type, stage), all logical rules share blocks.
+    std::vector<std::vector<std::int64_t>> entries(
+        I, std::vector<std::int64_t>(static_cast<std::size_t>(S), 0));
+    for (std::size_t l = 0; l < chains.size(); ++l) {
+      if (!chains[l].placed) continue;
+      const auto& sfc = instance.sfcs[l];
+      for (std::size_t j = 0; j < sfc.boxes.size(); ++j) {
+        const int s = (chains[l].virtual_stages[j] - 1) % S;
+        entries[static_cast<std::size_t>(sfc.boxes[j].type)][static_cast<std::size_t>(s)] +=
+            sfc.boxes[j].MemoryUnits(instance.sw.rule_width);
+      }
+    }
+    for (std::size_t i = 0; i < I; ++i) {
+      for (int s = 0; s < S; ++s) {
+        const std::int64_t e = entries[i][static_cast<std::size_t>(s)];
+        if (e > 0) {
+          blocks[static_cast<std::size_t>(s)] += static_cast<int>(
+              CeilDiv(e, instance.sw.entries_per_block));
+        }
+      }
+    }
+  } else {
+    // eq. 25: every placed logical NF rounds up to whole blocks.
+    for (std::size_t l = 0; l < chains.size(); ++l) {
+      if (!chains[l].placed) continue;
+      const auto& sfc = instance.sfcs[l];
+      for (std::size_t j = 0; j < sfc.boxes.size(); ++j) {
+        const int s = (chains[l].virtual_stages[j] - 1) % S;
+        const std::int64_t e = sfc.boxes[j].MemoryUnits(instance.sw.rule_width);
+        blocks[static_cast<std::size_t>(s)] += static_cast<int>(
+            std::max<std::int64_t>(CeilDiv(e, instance.sw.entries_per_block), e > 0 ? 1 : 0));
+      }
+    }
+  }
+  return blocks;
+}
+
+double PlacementSolution::AvgBlockUtilization(const PlacementInstance& instance,
+                                              MemoryModel model) const {
+  const auto blocks = BlocksPerStage(instance, model);
+  double total = 0.0;
+  for (int b : blocks) total += b;
+  return blocks.empty() ? 0.0 : total / static_cast<double>(blocks.size());
+}
+
+double PlacementSolution::AvgEntryUtilization(const PlacementInstance& instance) const {
+  const auto entries = EntriesPerStage(instance);
+  double total = 0.0;
+  for (auto e : entries) {
+    total += static_cast<double>(e) / instance.sw.entries_per_block;
+  }
+  return entries.empty() ? 0.0 : total / static_cast<double>(entries.size());
+}
+
+int PlacementSolution::NumPlaced() const {
+  return static_cast<int>(
+      std::count_if(chains.begin(), chains.end(),
+                    [](const ChainPlacement& c) { return c.placed; }));
+}
+
+}  // namespace sfp::controlplane

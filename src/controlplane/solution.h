@@ -1,0 +1,63 @@
+// Placement solution and its derived metrics.
+#pragma once
+
+#include <vector>
+
+#include "controlplane/instance.h"
+
+namespace sfp::controlplane {
+
+/// Placement of one chain: either unplaced, or one 1-based *virtual*
+/// stage per box, strictly increasing (the paper's g_jl; virtual stage
+/// k maps to physical stage (k-1) mod S and pass (k-1) / S).
+struct ChainPlacement {
+  bool placed = false;
+  std::vector<int> virtual_stages;  // size J_l when placed
+
+  /// Passes used (R_l + 1); 0 when unplaced.
+  int Passes(int num_physical_stages) const {
+    if (!placed || virtual_stages.empty()) return 0;
+    return (virtual_stages.back() + num_physical_stages - 1) / num_physical_stages;
+  }
+};
+
+/// A full control-plane solution.
+struct PlacementSolution {
+  /// physical[i][s]: NF type i installed at physical stage s.
+  std::vector<std::vector<bool>> physical;
+  /// One entry per candidate SFC.
+  std::vector<ChainPlacement> chains;
+
+  /// Sum of T_l over placed chains (tenant traffic offloaded).
+  double OffloadedGbps(const PlacementInstance& instance) const;
+
+  /// Backplane usage: sum over placed chains of (R_l + 1) * T_l — the
+  /// quantity bounded by C and the "throughput" the evaluation figures
+  /// report (it saturates at the 400 Gbps backplane).
+  double BackplaneGbps(const PlacementInstance& instance) const;
+
+  /// The paper's objective (eq. 1): sum of T_l * J_l over placed chains.
+  double ObjectiveWeighted(const PlacementInstance& instance) const;
+
+  /// Blocks used per physical stage under the given memory model,
+  /// including one reserved block per installed physical NF with no
+  /// rules... (exact accounting: max(entries-derived blocks, installs)).
+  std::vector<int> BlocksPerStage(const PlacementInstance& instance,
+                                  MemoryModel model) const;
+
+  /// Total installed rule entries per physical stage.
+  std::vector<std::int64_t> EntriesPerStage(const PlacementInstance& instance) const;
+
+  /// Average blocks used per stage (Fig. 6/7 "block utilization",
+  /// upper bound B).
+  double AvgBlockUtilization(const PlacementInstance& instance, MemoryModel model) const;
+
+  /// Average entries used per stage in units of blocks-equivalent
+  /// (Fig. 6/7 "entry utilization": entries / E per stage).
+  double AvgEntryUtilization(const PlacementInstance& instance) const;
+
+  /// Number of placed chains.
+  int NumPlaced() const;
+};
+
+}  // namespace sfp::controlplane

@@ -1,0 +1,105 @@
+#include "controlplane/verifier.h"
+
+#include <sstream>
+
+namespace sfp::controlplane {
+namespace {
+
+VerifyResult Fail(const std::string& message) {
+  VerifyResult r;
+  r.ok = false;
+  r.violation = message;
+  return r;
+}
+
+}  // namespace
+
+VerifyResult Verify(const PlacementInstance& instance, const PlacementSolution& solution,
+                    const VerifyOptions& options) {
+  const int S = instance.sw.stages;
+  const int I = instance.num_types;
+  const int K = options.max_passes * S;
+
+  // ---- shapes ---------------------------------------------------------
+  if (static_cast<int>(solution.physical.size()) != I) {
+    return Fail("physical matrix has wrong type dimension");
+  }
+  for (const auto& row : solution.physical) {
+    if (static_cast<int>(row.size()) != S) {
+      return Fail("physical matrix has wrong stage dimension");
+    }
+  }
+  if (solution.chains.size() != instance.sfcs.size()) {
+    return Fail("chain placement count mismatch");
+  }
+
+  // ---- eq. 4: every type installed somewhere --------------------------
+  if (options.require_all_types_installed) {
+    for (int i = 0; i < I; ++i) {
+      bool any = false;
+      for (int s = 0; s < S; ++s) any |= solution.physical[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)];
+      if (!any) {
+        std::ostringstream os;
+        os << "NF type " << i << " not installed on any stage (eq. 4)";
+        return Fail(os.str());
+      }
+    }
+  }
+
+  // ---- per-chain order + consistency ----------------------------------
+  for (std::size_t l = 0; l < solution.chains.size(); ++l) {
+    const auto& chain = solution.chains[l];
+    const auto& sfc = instance.sfcs[l];
+    if (!chain.placed) continue;
+    if (chain.virtual_stages.size() != sfc.boxes.size()) {
+      return Fail("placed chain has wrong number of stage assignments");
+    }
+    int prev = 0;
+    for (std::size_t j = 0; j < sfc.boxes.size(); ++j) {
+      const int k = chain.virtual_stages[j];
+      if (k < 1 || k > K) {
+        std::ostringstream os;
+        os << "chain " << l << " box " << j << " at virtual stage " << k
+           << " outside [1, " << K << "]";
+        return Fail(os.str());
+      }
+      if (k <= prev) {
+        std::ostringstream os;
+        os << "chain " << l << " violates order (eq. 8) at box " << j;
+        return Fail(os.str());
+      }
+      prev = k;
+      const int s = (k - 1) % S;
+      const int type = sfc.boxes[j].type;
+      if (!solution.physical[static_cast<std::size_t>(type)][static_cast<std::size_t>(s)]) {
+        std::ostringstream os;
+        os << "chain " << l << " box " << j << " (type " << type << ") at stage " << s
+           << " has no physical NF (eq. 9)";
+        return Fail(os.str());
+      }
+    }
+  }
+
+  // ---- memory (eq. 24 / eq. 25) ---------------------------------------
+  const auto blocks = solution.BlocksPerStage(instance, options.memory_model);
+  for (int s = 0; s < S; ++s) {
+    if (blocks[static_cast<std::size_t>(s)] > instance.sw.blocks_per_stage) {
+      std::ostringstream os;
+      os << "stage " << s << " uses " << blocks[static_cast<std::size_t>(s)] << " blocks > B="
+         << instance.sw.blocks_per_stage;
+      return Fail(os.str());
+    }
+  }
+
+  // ---- capacity (eq. 26) ----------------------------------------------
+  const double backplane = solution.BackplaneGbps(instance);
+  if (backplane > instance.sw.capacity_gbps + 1e-6) {
+    std::ostringstream os;
+    os << "backplane " << backplane << " Gbps exceeds C=" << instance.sw.capacity_gbps;
+    return Fail(os.str());
+  }
+
+  return VerifyResult{};
+}
+
+}  // namespace sfp::controlplane

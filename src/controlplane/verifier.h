@@ -1,0 +1,43 @@
+// Exact feasibility check of a placement solution against the paper's
+// constraints — with true (un-linearized) ceilings. Shared by the
+// rounding loop of SFP-Appro, the greedy solver's self-checks, and the
+// test suite, so every algorithm is held to the same ground truth.
+#pragma once
+
+#include <string>
+
+#include "controlplane/instance.h"
+#include "controlplane/solution.h"
+
+namespace sfp::controlplane {
+
+/// Feasibility-check options.
+struct VerifyOptions {
+  MemoryModel memory_model = MemoryModel::kConsolidated;
+  /// Maximum passes allowed ((R+1); K = max_passes * S virtual stages).
+  int max_passes = 3;
+  /// Require every NF type to be installed somewhere (eq. 4/17). The
+  /// greedy baseline installs types on demand, so it checks with this
+  /// off.
+  bool require_all_types_installed = true;
+};
+
+/// Verification verdict; `ok` plus a human-readable reason on failure.
+struct VerifyResult {
+  bool ok = true;
+  std::string violation;
+};
+
+/// Checks every constraint of §V-A:
+///  * shapes: physical is I x S; chains has one entry per SFC,
+///  * order (eq. 8): placed chains use strictly increasing virtual
+///    stages in [1, max_passes * S],
+///  * consistency (eq. 9/10): every placed box sits on a physical NF of
+///    its type at the corresponding physical stage,
+///  * physical coverage (eq. 4) when enabled,
+///  * memory (eq. 24 or 25): per-stage blocks <= B,
+///  * capacity (eq. 12/26): sum over placed chains of passes * T <= C.
+VerifyResult Verify(const PlacementInstance& instance, const PlacementSolution& solution,
+                    const VerifyOptions& options = {});
+
+}  // namespace sfp::controlplane

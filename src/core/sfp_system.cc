@@ -1,0 +1,119 @@
+#include "core/sfp_system.h"
+
+#include "common/logging.h"
+
+namespace sfp::core {
+
+SfpSystem::SfpSystem(switchsim::SwitchConfig config) : data_plane_(config) {}
+
+controlplane::SfcSpec SfpSystem::ToSpec(const dataplane::Sfc& sfc) {
+  controlplane::SfcSpec spec;
+  spec.bandwidth_gbps = sfc.bandwidth_gbps;
+  for (const auto& nf : sfc.chain) {
+    spec.boxes.push_back({static_cast<int>(nf.type),
+                          static_cast<std::int64_t>(nf.rules.size()) + 1});  // +catch-all
+  }
+  return spec;
+}
+
+int SfpSystem::ProvisionPhysical(const std::vector<dataplane::Sfc>& expected,
+                                 const controlplane::ApproxOptions& options) {
+  controlplane::PlacementInstance instance;
+  const auto& config = data_plane_.pipeline().config();
+  instance.sw.stages = config.num_stages;
+  instance.sw.blocks_per_stage = config.blocks_per_stage;
+  instance.sw.entries_per_block = config.entries_per_block;
+  instance.sw.capacity_gbps = config.backplane_gbps;
+  instance.num_types = nf::kNumNfTypes;
+  for (const auto& sfc : expected) instance.sfcs.push_back(ToSpec(sfc));
+
+  const auto report = controlplane::SolveApprox(instance, options);
+  if (!report.ok) {
+    SFP_LOG_WARN << "physical provisioning found no verified placement; "
+                    "falling back to one NF of each type per stage round-robin";
+    int installed = 0;
+    for (int i = 0; i < nf::kNumNfTypes; ++i) {
+      if (data_plane_.InstallPhysicalNf(i % config.num_stages, static_cast<nf::NfType>(i))) {
+        ++installed;
+      }
+    }
+    return installed;
+  }
+
+  int installed = 0;
+  for (int i = 0; i < instance.num_types; ++i) {
+    for (int s = 0; s < instance.sw.stages; ++s) {
+      if (!report.solution.physical[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      if (data_plane_.InstallPhysicalNf(s, static_cast<nf::NfType>(i))) ++installed;
+    }
+  }
+  SFP_LOG_INFO << "provisioned " << installed << " physical NFs";
+  return installed;
+}
+
+int SfpSystem::ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& layout) {
+  int installed = 0;
+  for (std::size_t stage = 0; stage < layout.size(); ++stage) {
+    for (const nf::NfType type : layout[stage]) {
+      if (data_plane_.InstallPhysicalNf(static_cast<int>(stage), type)) ++installed;
+    }
+  }
+  return installed;
+}
+
+AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc) {
+  AdmitResult result;
+  if (admissions_.contains(sfc.tenant)) {
+    result.reason = "tenant already admitted";
+    return result;
+  }
+
+  // §IV allocation onto the shared pipeline.
+  const auto allocation = data_plane_.AllocateSfc(sfc);
+  if (!allocation.ok) {
+    result.reason = allocation.error;
+    return result;
+  }
+
+  // eq. 26 admission control: recirculated traffic competes with new
+  // inbound traffic on the backplane.
+  const double charge = allocation.passes * sfc.bandwidth_gbps;
+  double used = 0.0;
+  for (const auto& [tenant, admission] : admissions_) {
+    used += admission.passes * admission.bandwidth_gbps;
+  }
+  if (used + charge > data_plane_.pipeline().config().backplane_gbps + 1e-9) {
+    data_plane_.DeallocateSfc(sfc.tenant);
+    result.reason = "backplane capacity exceeded";
+    return result;
+  }
+
+  admissions_[sfc.tenant] = {sfc.bandwidth_gbps, allocation.passes};
+  result.admitted = true;
+  result.passes = allocation.passes;
+  result.backplane_gbps = charge;
+  return result;
+}
+
+bool SfpSystem::RemoveTenant(dataplane::TenantId tenant) {
+  if (!admissions_.contains(tenant)) return false;
+  data_plane_.DeallocateSfc(tenant);
+  admissions_.erase(tenant);
+  return true;
+}
+
+SfpStats SfpSystem::Stats() const {
+  SfpStats stats;
+  stats.tenants = static_cast<int>(admissions_.size());
+  for (const auto& [tenant, admission] : admissions_) {
+    stats.offered_gbps += admission.bandwidth_gbps;
+    stats.backplane_gbps += admission.passes * admission.bandwidth_gbps;
+  }
+  stats.blocks_used = data_plane_.pipeline().TotalBlocksUsed();
+  stats.entries_used = data_plane_.pipeline().TotalEntriesUsed();
+  return stats;
+}
+
+}  // namespace sfp::core

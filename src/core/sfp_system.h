@@ -1,0 +1,102 @@
+// SfpSystem — the top-level SFP facade (the paper's full system).
+//
+// Wires the control plane and the data plane together:
+//
+//   1. `ProvisionPhysical` runs the §V placement over an expected
+//      workload (or an explicit layout) and pre-installs the physical
+//      NFs on the switch pipeline — the boot-time step of §IV.
+//   2. `AdmitTenant` / `RemoveTenant` manage logical SFCs at runtime
+//      (§V-E): admission copies tenant rules onto the shared physical
+//      NFs with (tenant, pass) match prefixes and REC recirculation
+//      marks; departure releases rules, memory and backplane bandwidth.
+//   3. `Process` serves tenant packets through the virtualized
+//      pipeline.
+//
+// Admission enforces the backplane-capacity constraint (eq. 26):
+// a tenant whose folded chain would push sum(passes x T) past the chip
+// capacity is rejected even when switch memory would suffice.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "controlplane/approx_solver.h"
+#include "dataplane/data_plane.h"
+#include "dataplane/telemetry.h"
+
+namespace sfp::core {
+
+/// Result of an admission attempt.
+struct AdmitResult {
+  bool admitted = false;
+  std::string reason;           // set when rejected
+  int passes = 0;               // R_l + 1 when admitted
+  double backplane_gbps = 0.0;  // capacity charged (passes * T)
+};
+
+/// System-wide counters.
+struct SfpStats {
+  int tenants = 0;
+  double offered_gbps = 0.0;    // sum of admitted T_l
+  double backplane_gbps = 0.0;  // sum of admitted passes * T_l
+  int blocks_used = 0;
+  std::int64_t entries_used = 0;
+};
+
+/// The SFP system.
+class SfpSystem {
+ public:
+  explicit SfpSystem(switchsim::SwitchConfig config = {});
+
+  /// Boot-time physical provisioning from an expected workload: solves
+  /// the §V placement (LP + rounding) on the abstract instance derived
+  /// from `expected` and installs the chosen physical NFs. Returns the
+  /// number of physical NFs installed.
+  int ProvisionPhysical(const std::vector<dataplane::Sfc>& expected,
+                        const controlplane::ApproxOptions& options = {});
+
+  /// Installs an explicit physical layout: one NF of each listed type
+  /// per stage. Returns the number installed.
+  int ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& layout);
+
+  /// Admits a tenant SFC (§IV allocation + eq. 26 admission control).
+  AdmitResult AdmitTenant(const dataplane::Sfc& sfc);
+
+  /// Removes a tenant and releases its resources. Returns false if the
+  /// tenant is unknown.
+  bool RemoveTenant(dataplane::TenantId tenant);
+
+  /// Serves one packet through the shared pipeline and records
+  /// per-tenant telemetry.
+  switchsim::ProcessResult Process(const net::Packet& packet) {
+    const std::uint32_t wire = packet.WireBytes();
+    auto result = data_plane_.Process(packet);
+    telemetry_.Record(wire, result);
+    return result;
+  }
+
+  SfpStats Stats() const;
+
+  /// Per-tenant packet/byte/drop/latency counters.
+  const dataplane::TelemetryCollector& Telemetry() const { return telemetry_; }
+  dataplane::TelemetryCollector& Telemetry() { return telemetry_; }
+
+  dataplane::DataPlane& data_plane() { return data_plane_; }
+  const dataplane::DataPlane& data_plane() const { return data_plane_; }
+
+  /// Converts a concrete SFC into the abstract control-plane form
+  /// (type index = NfType, F_jl = rule count).
+  static controlplane::SfcSpec ToSpec(const dataplane::Sfc& sfc);
+
+ private:
+  dataplane::DataPlane data_plane_;
+  /// tenant -> (bandwidth, passes) of admitted SFCs.
+  struct Admission {
+    double bandwidth_gbps;
+    int passes;
+  };
+  std::map<dataplane::TenantId, Admission> admissions_;
+  dataplane::TelemetryCollector telemetry_;
+};
+
+}  // namespace sfp::core

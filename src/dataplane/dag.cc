@@ -1,0 +1,78 @@
+#include "dataplane/dag.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sfp::dataplane {
+
+bool IsValidDag(const SfcDag& dag) {
+  const int n = static_cast<int>(dag.nodes.size());
+  for (const auto& node : dag.nodes) {
+    for (const int successor : node.successors) {
+      if (successor < 0 || successor >= n) return false;
+    }
+  }
+  // Kahn's algorithm: all nodes must drain.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const auto& node : dag.nodes) {
+    for (const int successor : node.successors) ++indegree[static_cast<std::size_t>(successor)];
+  }
+  std::vector<int> frontier;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+  }
+  int drained = 0;
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    ++drained;
+    for (const int successor : dag.nodes[static_cast<std::size_t>(v)].successors) {
+      if (--indegree[static_cast<std::size_t>(successor)] == 0) frontier.push_back(successor);
+    }
+  }
+  return drained == n;
+}
+
+std::vector<int> TopologicalDepths(const SfcDag& dag) {
+  if (!IsValidDag(dag)) return {};
+  const int n = static_cast<int>(dag.nodes.size());
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const auto& node : dag.nodes) {
+    for (const int successor : node.successors) ++indegree[static_cast<std::size_t>(successor)];
+  }
+  std::vector<int> frontier;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    for (const int successor : dag.nodes[static_cast<std::size_t>(v)].successors) {
+      depth[static_cast<std::size_t>(successor)] =
+          std::max(depth[static_cast<std::size_t>(successor)],
+                   depth[static_cast<std::size_t>(v)] + 1);
+      if (--indegree[static_cast<std::size_t>(successor)] == 0) frontier.push_back(successor);
+    }
+  }
+  return depth;
+}
+
+std::optional<Sfc> FlattenDag(const SfcDag& dag) {
+  const auto depths = TopologicalDepths(dag);
+  if (depths.empty() && !dag.nodes.empty()) return std::nullopt;
+
+  std::vector<int> order(dag.nodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&depths](int a, int b) {
+    return depths[static_cast<std::size_t>(a)] < depths[static_cast<std::size_t>(b)];
+  });
+
+  Sfc sfc;
+  sfc.tenant = dag.tenant;
+  sfc.bandwidth_gbps = dag.bandwidth_gbps;
+  for (const int v : order) sfc.chain.push_back(dag.nodes[static_cast<std::size_t>(v)].nf);
+  return sfc;
+}
+
+}  // namespace sfp::dataplane

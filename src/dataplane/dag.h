@@ -1,0 +1,48 @@
+// Branching SFCs (§VII "Branches inside SFC").
+//
+// Tenants may express their chain as a DAG (if-else control flow
+// between NFs). The paper's simplification: dependent tables must land
+// in later stages, independent tables may share a stage — "we regard
+// NFs as sequential virtual tables". This module implements that
+// flattening: a topological linearization of the DAG, plus the depth
+// labelling that identifies which NFs are mutually independent (same
+// depth = could share a stage on a target that packs independent
+// tables into one MAU).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dataplane/sfc.h"
+
+namespace sfp::dataplane {
+
+/// One DAG node: an NF plus the indices of its successors.
+struct DagNode {
+  nf::NfConfig nf;
+  std::vector<int> successors;
+};
+
+/// A tenant SFC expressed as a DAG over NFs. Edges run from a node to
+/// each successor; entry nodes are those with no predecessors.
+struct SfcDag {
+  TenantId tenant = 0;
+  double bandwidth_gbps = 0.0;
+  std::vector<DagNode> nodes;
+};
+
+/// Validates the DAG (successor indices in range, acyclic). Returns
+/// false for malformed graphs.
+bool IsValidDag(const SfcDag& dag);
+
+/// Longest-path depth per node (entry nodes = 0); nodes with equal
+/// depth are independent and mergeable into one stage on targets that
+/// support it. Empty vector if the DAG is invalid.
+std::vector<int> TopologicalDepths(const SfcDag& dag);
+
+/// Flattens per §VII into a sequential Sfc: nodes ordered by depth,
+/// ties broken by node index (deterministic). Returns nullopt if the
+/// DAG is invalid.
+std::optional<Sfc> FlattenDag(const SfcDag& dag);
+
+}  // namespace sfp::dataplane

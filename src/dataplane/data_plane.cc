@@ -1,0 +1,235 @@
+#include "dataplane/data_plane.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace sfp::dataplane {
+
+using switchsim::ActionArgs;
+using switchsim::ActionId;
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+DataPlane::DataPlane(switchsim::SwitchConfig config) : pipeline_(config) {}
+
+DataPlane::PhysicalNfSlot* DataPlane::FindSlot(int stage, nf::NfType type) {
+  for (auto& slot : slots_) {
+    if (slot.stage == stage && slot.type == type) return &slot;
+  }
+  return nullptr;
+}
+
+const DataPlane::PhysicalNfSlot* DataPlane::FindSlot(int stage, nf::NfType type) const {
+  for (const auto& slot : slots_) {
+    if (slot.stage == stage && slot.type == type) return &slot;
+  }
+  return nullptr;
+}
+
+bool DataPlane::InstallPhysicalNf(int stage, nf::NfType type) {
+  SFP_CHECK_GE(stage, 0);
+  SFP_CHECK_LT(stage, pipeline_.num_stages());
+  if (FindSlot(stage, type) != nullptr) return false;
+
+  auto nf = nf::MakeNf(type);
+  // Physical key = [tenant, pass] prefix + the NF's own key (§IV).
+  std::vector<MatchFieldSpec> key = {{FieldId::kTenantId, MatchKind::kExact},
+                                     {FieldId::kPass, MatchKind::kExact}};
+  for (const auto& field : nf->KeySpec()) key.push_back(field);
+
+  const std::string table_name =
+      std::string(nf::NfShortName(type)) + "_s" + std::to_string(stage);
+  auto* table = pipeline_.stage(stage).AddTable(table_name, std::move(key));
+  if (table == nullptr) return false;  // stage out of blocks
+
+  nf->BindActions(*table);
+  PhysicalNfSlot slot;
+  slot.type = type;
+  slot.stage = stage;
+  slot.table = table;
+  // The "No-Ops" default rule of §IV, plus its REC twin for folding.
+  nf::RegisterWithRecVariant(*table, "noop",
+                             [](net::Packet&, switchsim::PacketMeta&, const ActionArgs&) {});
+  for (std::size_t i = 0; i < table->action_names().size(); ++i) {
+    slot.actions[table->action_names()[i]] = static_cast<ActionId>(i);
+  }
+  slot.noop = slot.actions.at("noop");
+  table->SetDefaultAction(slot.noop);
+  slot.nf = std::move(nf);
+  slots_.push_back(std::move(slot));
+  return true;
+}
+
+bool DataPlane::HasPhysicalNf(int stage, nf::NfType type) const {
+  return FindSlot(stage, type) != nullptr;
+}
+
+nf::NetworkFunction* DataPlane::PhysicalNf(int stage, nf::NfType type) {
+  auto* slot = FindSlot(stage, type);
+  return slot != nullptr ? slot->nf.get() : nullptr;
+}
+
+AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_passes) {
+  AllocationResult result;
+  const int pass_limit = max_passes.value_or(pipeline_.config().max_passes);
+
+  if (sfc.chain.empty()) {
+    result.error = "empty chain";
+    return result;
+  }
+  if (allocations_.contains(sfc.tenant)) {
+    result.error = "tenant already allocated";
+    return result;
+  }
+
+  // ---- plan (pure): match logical NFs to physical slots --------------
+  struct PlanStep {
+    PhysicalNfSlot* slot;
+    NfPlacement placement;
+  };
+  std::vector<PlanStep> plan;
+  // Prospective extra entries per table, so capacity checks account for
+  // earlier NFs of this same SFC landing in the same table.
+  std::map<const switchsim::MatchActionTable*, std::int64_t> pending;
+
+  int pass = 0;
+  int cursor = 0;  // next candidate stage within the current pass
+  for (std::size_t j = 0; j < sfc.chain.size(); ++j) {
+    const auto& logical = sfc.chain[j];
+    // Rules + one catch-all No-Op entry per logical NF.
+    const std::int64_t entries = static_cast<std::int64_t>(logical.rules.size()) + 1;
+    PhysicalNfSlot* chosen = nullptr;
+    while (chosen == nullptr) {
+      for (int k = cursor; k < pipeline_.num_stages(); ++k) {
+        auto* slot = FindSlot(k, logical.type);
+        if (slot == nullptr) continue;
+        const std::int64_t already = pending[slot->table];
+        if (!pipeline_.stage(k).CanAddEntries(*slot->table, already + entries)) continue;
+        chosen = slot;
+        cursor = k + 1;
+        break;
+      }
+      if (chosen != nullptr) break;
+      // Fold into the next pass (§IV: "the SFC is folded and gets into
+      // the pipeline in the next pass").
+      ++pass;
+      cursor = 0;
+      if (pass >= pass_limit) {
+        result.error = "cannot place NF '" + std::string(nf::NfFullName(logical.type)) +
+                       "' within the recirculation budget";
+        return result;
+      }
+    }
+    pending[chosen->table] += entries;
+    plan.push_back({chosen, NfPlacement{chosen->stage, pass}});
+  }
+
+  // ---- install: copy rules with the (tenant, pass) prefix ------------
+  const int total_passes = plan.back().placement.pass + 1;
+  for (std::size_t j = 0; j < plan.size(); ++j) {
+    const auto& step = plan[j];
+    const auto& logical = sfc.chain[j];
+    const bool last_in_pass =
+        j + 1 == plan.size() || plan[j + 1].placement.pass != step.placement.pass;
+    // Only non-final passes recirculate.
+    const bool rec = last_in_pass && step.placement.pass + 1 < total_passes;
+
+    for (const auto& rule : logical.rules) {
+      const std::string action_name = rec ? rule.action + "_rec" : rule.action;
+      const auto it = step.slot->actions.find(action_name);
+      SFP_CHECK_MSG(it != step.slot->actions.end(), "unknown NF action in rule");
+      std::vector<FieldMatch> matches = {FieldMatch::Exact(sfc.tenant),
+                                         FieldMatch::Exact(
+                                             static_cast<std::uint64_t>(step.placement.pass))};
+      for (const auto& m : rule.matches) matches.push_back(m);
+      step.slot->table->AddEntry(std::move(matches), it->second, rule.args, rule.priority,
+                                 sfc.tenant);
+    }
+    // Tenant catch-all: No-Op (or recirculating No-Op) at the lowest
+    // priority so configured rules always win.
+    const ActionId catch_all =
+        rec ? step.slot->actions.at("noop_rec") : step.slot->noop;
+    std::vector<FieldMatch> matches = {FieldMatch::Exact(sfc.tenant),
+                                       FieldMatch::Exact(
+                                           static_cast<std::uint64_t>(step.placement.pass))};
+    for (std::size_t f = 0; f < step.slot->nf->KeySpec().size(); ++f) {
+      matches.push_back(FieldMatch::Any());
+    }
+    step.slot->table->AddEntry(std::move(matches), catch_all, {}, /*priority=*/-1000,
+                               sfc.tenant);
+    result.placements.push_back(step.placement);
+  }
+
+  result.ok = true;
+  result.passes = total_passes;
+  allocations_[sfc.tenant] = result;
+  SFP_LOG_DEBUG << "allocated tenant " << sfc.tenant << " over " << total_passes
+                << " pass(es)";
+  return result;
+}
+
+std::size_t DataPlane::DeallocateSfc(TenantId tenant) {
+  std::size_t removed = 0;
+  for (auto& slot : slots_) removed += slot.table->RemoveTenantEntries(tenant);
+  allocations_.erase(tenant);
+  return removed;
+}
+
+DataPlane::BatchResult DataPlane::ApplyAtomic(const std::vector<UpdateOp>& ops) {
+  BatchResult result;
+  std::vector<int> completed;  // indices of ops applied so far
+
+  auto undo = [this, &ops, &completed]() {
+    for (auto it = completed.rbegin(); it != completed.rend(); ++it) {
+      const UpdateOp& op = ops[static_cast<std::size_t>(*it)];
+      if (op.kind == UpdateOp::Kind::kAdmit) {
+        DeallocateSfc(op.sfc.tenant);
+      } else {
+        // The SFC fit before the batch and all later ops are already
+        // undone, so re-allocation into the restored resources must
+        // succeed (possibly at a different feasible placement).
+        const auto restored = AllocateSfc(op.sfc);
+        SFP_CHECK_MSG(restored.ok, "atomic-update rollback failed to restore an SFC");
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const UpdateOp& op = ops[i];
+    if (op.kind == UpdateOp::Kind::kAdmit) {
+      const auto allocation = AllocateSfc(op.sfc);
+      if (!allocation.ok) {
+        undo();
+        result.failed_op = static_cast<int>(i);
+        result.error = allocation.error;
+        return result;
+      }
+    } else {
+      if (!allocations_.contains(op.sfc.tenant)) {
+        undo();
+        result.failed_op = static_cast<int>(i);
+        result.error = "tenant not allocated";
+        return result;
+      }
+      DeallocateSfc(op.sfc.tenant);
+    }
+    completed.push_back(static_cast<int>(i));
+  }
+  result.ok = true;
+  return result;
+}
+
+std::vector<std::vector<nf::NfType>> DataPlane::PhysicalLayout() const {
+  std::vector<std::vector<nf::NfType>> layout(
+      static_cast<std::size_t>(pipeline_.num_stages()));
+  for (const auto& slot : slots_) {
+    layout[static_cast<std::size_t>(slot.stage)].push_back(slot.type);
+  }
+  return layout;
+}
+
+}  // namespace sfp::dataplane

@@ -1,0 +1,132 @@
+// SFP data plane (§IV): physical NFs on a shared pipeline, virtualized
+// to host many tenants' logical SFCs.
+//
+// Physical NFs are pre-installed, one (type, stage) pair each. Every
+// physical NF's match key is the NF's own key *prefixed with two exact
+// fields*: the tenant ID and the recirculation pass. Its default rule
+// is "No-Op" — forward to the next stage untouched.
+//
+// Allocating a logical SFC walks the chain through the pipeline in
+// passes (the §IV algorithm): starting at stage 0 of pass 0, each
+// logical NF is matched to the nearest later physical NF of its type
+// with spare memory; when the pipeline end is reached the chain is
+// "folded" into the next pass. Rules are copied with the
+// (tenant, pass) prefix; the rules of the last NF of every non-final
+// pass use the REC action variant so the packet recirculates.
+// Additionally a lowest-priority per-(tenant, pass) catch-all No-Op
+// rule is installed on that last NF so tenant traffic that misses every
+// configured rule still recirculates and completes its chain.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/sfc.h"
+#include "switchsim/pipeline.h"
+
+namespace sfp::dataplane {
+
+/// Where one logical NF landed.
+struct NfPlacement {
+  int stage = 0;
+  int pass = 0;
+};
+
+/// Result of AllocateSfc.
+struct AllocationResult {
+  bool ok = false;
+  /// Reason when !ok.
+  std::string error;
+  /// Per-logical-NF placement, parallel to the chain.
+  std::vector<NfPlacement> placements;
+  /// Total passes the tenant's traffic makes (R_l + 1).
+  int passes = 0;
+};
+
+/// The SFP data plane: a switch pipeline plus the virtualization layer.
+class DataPlane {
+ public:
+  explicit DataPlane(switchsim::SwitchConfig config = {});
+
+  /// Pre-installs a physical NF of `type` at `stage`. At most one NF
+  /// of each type per stage; fails (false) when the stage has no spare
+  /// block or already hosts this type.
+  bool InstallPhysicalNf(int stage, nf::NfType type);
+
+  /// True if a physical NF of `type` exists at `stage`.
+  bool HasPhysicalNf(int stage, nf::NfType type) const;
+
+  /// The NF instance backing the physical NF at (stage, type), e.g. to
+  /// register load-balancer pools; nullptr if absent.
+  nf::NetworkFunction* PhysicalNf(int stage, nf::NfType type);
+
+  /// Allocates a tenant SFC onto the physical pipeline. On failure the
+  /// data plane is left unchanged. `max_passes` bounds folding
+  /// (defaults to the switch config's recirculation guard).
+  AllocationResult AllocateSfc(const Sfc& sfc, std::optional<int> max_passes = {});
+
+  /// Removes every rule of `tenant` and forgets its allocation.
+  /// Returns the number of rules removed.
+  std::size_t DeallocateSfc(TenantId tenant);
+
+  /// One operation of an atomic update batch. Removals carry the
+  /// tenant's SFC so a failed batch can restore it.
+  struct UpdateOp {
+    enum class Kind { kAdmit, kRemove };
+    Kind kind = Kind::kAdmit;
+    Sfc sfc;
+  };
+
+  /// Result of ApplyAtomic.
+  struct BatchResult {
+    bool ok = false;
+    /// Index of the op that failed (-1 when ok) and why.
+    int failed_op = -1;
+    std::string error;
+  };
+
+  /// Applies a batch of admissions/removals with all-or-nothing
+  /// semantics (§V-E: reconciling all SFCs on update): ops run in
+  /// order; if any fails, every completed op is rolled back in reverse
+  /// (re-allocating removed SFCs — their rules are reinstalled, though
+  /// possibly at a different feasible placement) and the data plane is
+  /// left functionally unchanged.
+  BatchResult ApplyAtomic(const std::vector<UpdateOp>& ops);
+
+  /// True if the tenant currently has an allocated SFC.
+  bool IsAllocated(TenantId tenant) const { return allocations_.contains(tenant); }
+
+  /// Runs one packet through the shared pipeline.
+  switchsim::ProcessResult Process(const net::Packet& packet) {
+    return pipeline_.Process(packet);
+  }
+
+  switchsim::Pipeline& pipeline() { return pipeline_; }
+  const switchsim::Pipeline& pipeline() const { return pipeline_; }
+
+  /// All physical NF types installed per stage (for inspection/P4 gen).
+  std::vector<std::vector<nf::NfType>> PhysicalLayout() const;
+
+ private:
+  struct PhysicalNfSlot {
+    nf::NfType type;
+    int stage;
+    std::unique_ptr<nf::NetworkFunction> nf;
+    switchsim::MatchActionTable* table;  // owned by the pipeline stage
+    std::map<std::string, switchsim::ActionId> actions;
+    switchsim::ActionId noop = -1;
+  };
+
+  PhysicalNfSlot* FindSlot(int stage, nf::NfType type);
+  const PhysicalNfSlot* FindSlot(int stage, nf::NfType type) const;
+
+  switchsim::Pipeline pipeline_;
+  std::vector<PhysicalNfSlot> slots_;
+  /// tenant -> placements of its chain (for bookkeeping / tests).
+  std::map<TenantId, AllocationResult> allocations_;
+};
+
+}  // namespace sfp::dataplane

@@ -1,0 +1,32 @@
+// Tenant-facing SFC description.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nf/nf.h"
+
+namespace sfp::dataplane {
+
+/// Tenant identifier (the VLAN VID / "tenant ID" of §III).
+using TenantId = std::uint16_t;
+
+/// A tenant's service function chain: an ordered list of configured
+/// NFs plus its bandwidth demand T_l (Gbps).
+struct Sfc {
+  TenantId tenant = 0;
+  double bandwidth_gbps = 0.0;
+  std::vector<nf::NfConfig> chain;
+
+  /// Chain length J_l.
+  int Length() const { return static_cast<int>(chain.size()); }
+
+  /// Total configured rules across the chain (sum of F_jl).
+  std::int64_t TotalRules() const {
+    std::int64_t total = 0;
+    for (const auto& nf : chain) total += static_cast<std::int64_t>(nf.rules.size());
+    return total;
+  }
+};
+
+}  // namespace sfp::dataplane

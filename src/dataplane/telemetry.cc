@@ -1,0 +1,45 @@
+#include "dataplane/telemetry.h"
+
+#include <algorithm>
+
+namespace sfp::dataplane {
+
+void TelemetryCollector::Record(std::uint32_t wire_bytes,
+                                const switchsim::ProcessResult& result) {
+  TenantCounters& counters = per_tenant_[result.meta.tenant_id];
+  ++counters.packets;
+  counters.bytes += wire_bytes;
+  if (result.meta.dropped) ++counters.drops;
+  if (result.passes > 1) ++counters.recirculated_packets;
+  counters.total_passes += static_cast<std::uint64_t>(result.passes);
+  counters.total_latency_ns += result.latency_ns;
+  counters.max_latency_ns = std::max(counters.max_latency_ns, result.latency_ns);
+}
+
+TenantCounters TelemetryCollector::Tenant(std::uint16_t tenant) const {
+  const auto it = per_tenant_.find(tenant);
+  return it != per_tenant_.end() ? it->second : TenantCounters{};
+}
+
+std::vector<std::uint16_t> TelemetryCollector::Tenants() const {
+  std::vector<std::uint16_t> tenants;
+  tenants.reserve(per_tenant_.size());
+  for (const auto& [tenant, counters] : per_tenant_) tenants.push_back(tenant);
+  return tenants;
+}
+
+TenantCounters TelemetryCollector::Total() const {
+  TenantCounters total;
+  for (const auto& [tenant, counters] : per_tenant_) {
+    total.packets += counters.packets;
+    total.bytes += counters.bytes;
+    total.drops += counters.drops;
+    total.recirculated_packets += counters.recirculated_packets;
+    total.total_passes += counters.total_passes;
+    total.total_latency_ns += counters.total_latency_ns;
+    total.max_latency_ns = std::max(total.max_latency_ns, counters.max_latency_ns);
+  }
+  return total;
+}
+
+}  // namespace sfp::dataplane

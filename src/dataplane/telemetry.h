@@ -1,0 +1,60 @@
+// Per-tenant telemetry for the SFP data plane.
+//
+// Cloud operators bill and debug per tenant; the data plane therefore
+// tracks, per tenant ID: packets/bytes in, drops, recirculations, and
+// latency aggregates. The collector is fed by the owner of the
+// pipeline (SfpSystem::Process records every result) and is cheap
+// enough for per-packet use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "switchsim/pipeline.h"
+
+namespace sfp::dataplane {
+
+/// Counters for one tenant.
+struct TenantCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t recirculated_packets = 0;  // packets that made >1 pass
+  std::uint64_t total_passes = 0;
+  double total_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+
+  double MeanLatencyNs() const { return packets ? total_latency_ns / packets : 0.0; }
+  double MeanPasses() const {
+    return packets ? static_cast<double>(total_passes) / packets : 0.0;
+  }
+  double DropRate() const {
+    return packets ? static_cast<double>(drops) / packets : 0.0;
+  }
+};
+
+/// Aggregating collector keyed by tenant ID.
+class TelemetryCollector {
+ public:
+  /// Records one processed packet (its original wire size plus the
+  /// pipeline's result).
+  void Record(std::uint32_t wire_bytes, const switchsim::ProcessResult& result);
+
+  /// Counters for `tenant` (zeros if never seen).
+  TenantCounters Tenant(std::uint16_t tenant) const;
+
+  /// All tenants seen, ascending by ID.
+  std::vector<std::uint16_t> Tenants() const;
+
+  /// Aggregate over every tenant.
+  TenantCounters Total() const;
+
+  /// Drops all state (e.g. per measurement interval).
+  void Reset() { per_tenant_.clear(); }
+
+ private:
+  std::map<std::uint16_t, TenantCounters> per_tenant_;
+};
+
+}  // namespace sfp::dataplane

@@ -1,0 +1,232 @@
+#include "lp/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace sfp::lp {
+
+MipSolver::MipSolver(const Model& model, MipOptions options)
+    : model_(model),
+      options_(options),
+      simplex_(model, options.simplex),
+      int_vars_(model.IntegerVars()),
+      sense_(model.maximize() ? 1.0 : -1.0) {}
+
+void MipSolver::ApplyNodeBounds(std::int32_t record) {
+  // Restore root bounds for all integer variables, then overlay the
+  // node's chain of branching decisions (walked root-ward; the last
+  // write per variable must win, so collect then apply in order).
+  for (VarId v : int_vars_) {
+    const Variable& var = model_.var(v);
+    simplex_.SetVarBounds(v, var.lower, var.upper);
+  }
+  std::vector<const BoundChange*> chain;
+  for (std::int32_t r = record; r >= 0; r = pool_[static_cast<std::size_t>(r)].parent) {
+    chain.push_back(&pool_[static_cast<std::size_t>(r)].change);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    simplex_.SetVarBounds((*it)->var, (*it)->lower, (*it)->upper);
+  }
+}
+
+VarId MipSolver::PickBranchVar(const std::vector<double>& values) const {
+  VarId best = -1;
+  int best_priority = std::numeric_limits<int>::min();
+  double best_frac_score = -1.0;
+  for (VarId v : int_vars_) {
+    const double value = values[static_cast<std::size_t>(v)];
+    const double frac = value - std::floor(value);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= options_.integer_tol) continue;
+    const int priority = model_.var(v).branch_priority;
+    // Most-fractional within the highest priority class.
+    if (priority > best_priority ||
+        (priority == best_priority && dist > best_frac_score)) {
+      best_priority = priority;
+      best_frac_score = dist;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool MipSolver::CandidateIsFeasible(const std::vector<double>& candidate) const {
+  if (candidate.size() != static_cast<std::size_t>(model_.num_vars())) return false;
+  const double tol = 1e-6;
+  for (VarId v = 0; v < model_.num_vars(); ++v) {
+    const Variable& var = model_.var(v);
+    const double value = candidate[static_cast<std::size_t>(v)];
+    if (value < var.lower - tol || value > var.upper + tol) return false;
+    if (var.is_integer && std::abs(value - std::round(value)) > options_.integer_tol) {
+      return false;
+    }
+  }
+  for (const Row& row : model_.rows()) {
+    double lhs = 0.0;
+    for (std::size_t t = 0; t < row.vars.size(); ++t) {
+      lhs += row.coeffs[t] * candidate[static_cast<std::size_t>(row.vars[t])];
+    }
+    const double slack_tol = 1e-6 * (1.0 + std::abs(row.rhs));
+    switch (row.sense) {
+      case Sense::kLe:
+        if (lhs > row.rhs + slack_tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < row.rhs - slack_tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - row.rhs) > slack_tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double MipSolver::Objective(const std::vector<double>& values) const {
+  double obj = 0.0;
+  for (VarId v = 0; v < model_.num_vars(); ++v) {
+    obj += model_.var(v).objective * values[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+void MipSolver::TryImproveIncumbent(const std::vector<double>& values, MipResult& result,
+                                    const Stopwatch& watch) {
+  const double obj = Objective(values);
+  const double internal = sense_ * obj;
+  if (has_incumbent_ && internal <= best_internal_ + options_.objective_tol) return;
+  best_internal_ = internal;
+  has_incumbent_ = true;
+  result.solution.values = values;
+  result.solution.objective = obj;
+  result.incumbent_trace.push_back({watch.ElapsedSeconds(), obj});
+  SFP_LOG_DEBUG << "new incumbent " << obj << " at " << watch.ElapsedSeconds() << "s";
+}
+
+double MipSolver::PruneCutoff() const {
+  // Internal maximization sense: prune nodes whose bound is at or below
+  // the incumbent plus tolerances.
+  return best_internal_ + options_.objective_tol +
+         options_.relative_gap * std::abs(best_internal_);
+}
+
+MipResult MipSolver::Solve() {
+  MipResult result;
+  Stopwatch watch;
+
+  pool_.clear();
+  if (!initial_incumbent_.empty() && CandidateIsFeasible(initial_incumbent_)) {
+    TryImproveIncumbent(initial_incumbent_, result, watch);
+  }
+  std::vector<OpenNode> stack;
+  stack.push_back(OpenNode{-1, std::numeric_limits<double>::infinity()});
+
+  bool stopped_early = false;
+  std::vector<double> candidate;
+
+  while (!stack.empty()) {
+    if (watch.ElapsedSeconds() > options_.time_limit_seconds ||
+        result.nodes_explored >= options_.max_nodes) {
+      stopped_early = true;
+      break;
+    }
+    const OpenNode node = stack.back();
+    stack.pop_back();
+
+    if (has_incumbent_ && node.parent_bound <= PruneCutoff()) {
+      continue;  // pruned by the parent's bound
+    }
+
+    ApplyNodeBounds(node.record);
+    const Solution lp = simplex_.Solve();
+    ++result.nodes_explored;
+
+    if (lp.status == SolveStatus::kInfeasible) continue;
+    if (lp.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation of a bounded MIP indicates a modelling
+      // error; surface it loudly rather than silently mis-solving.
+      SFP_CHECK_MSG(false, "unbounded LP relaxation in branch & bound");
+    }
+    if (lp.status == SolveStatus::kIterationLimit) {
+      SFP_LOG_WARN << "node LP hit the iteration limit; dropping node";
+      continue;
+    }
+
+    const double bound = sense_ * lp.objective;
+    if (has_incumbent_ && bound <= PruneCutoff()) continue;
+
+    const VarId branch_var = PickBranchVar(lp.values);
+    if (branch_var < 0) {
+      TryImproveIncumbent(lp.values, result, watch);
+      continue;
+    }
+
+    const bool heuristic_due =
+        heuristic_ &&
+        ((options_.heuristic_period > 0 &&
+          (result.nodes_explored - 1) % options_.heuristic_period == 0) ||
+         model_.var(branch_var).branch_priority < options_.heuristic_priority_threshold);
+    if (heuristic_due) {
+      candidate.clear();
+      if (heuristic_(lp.values, candidate) && CandidateIsFeasible(candidate)) {
+        TryImproveIncumbent(candidate, result, watch);
+        if (has_incumbent_ && bound <= PruneCutoff()) continue;
+      }
+    }
+
+    const double value = lp.values[static_cast<std::size_t>(branch_var)];
+    const double floor_value = std::floor(value);
+    const Variable& var = model_.var(branch_var);
+
+    // A child whose domain would be empty (possible when the variable's
+    // model bounds are themselves fractional) is simply not created.
+    const bool down_feasible = floor_value >= var.lower;
+    const bool up_feasible = floor_value + 1.0 <= var.upper;
+    OpenNode down{-1, bound}, up{-1, bound};
+    if (down_feasible) {
+      pool_.push_back({{branch_var, var.lower, floor_value}, node.record});
+      down.record = static_cast<std::int32_t>(pool_.size() - 1);
+    }
+    if (up_feasible) {
+      pool_.push_back({{branch_var, floor_value + 1.0, var.upper}, node.record});
+      up.record = static_cast<std::int32_t>(pool_.size() - 1);
+    }
+
+    // Explore the child nearest the fractional value first (plunge).
+    if (value - floor_value >= 0.5) {
+      if (down_feasible) stack.push_back(down);
+      if (up_feasible) stack.push_back(up);
+    } else {
+      if (up_feasible) stack.push_back(up);
+      if (down_feasible) stack.push_back(down);
+    }
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+
+  // Dual bound: the best bound among unexplored nodes, or the incumbent
+  // when the tree was exhausted.
+  double open_bound = -std::numeric_limits<double>::infinity();
+  for (const OpenNode& node : stack) open_bound = std::max(open_bound, node.parent_bound);
+  if (stack.empty()) {
+    result.best_bound = has_incumbent_ ? sense_ * best_internal_ : open_bound;
+  } else {
+    result.best_bound = sense_ * std::max(open_bound, has_incumbent_ ? best_internal_
+                                                                     : open_bound);
+  }
+
+  if (stopped_early) {
+    result.solution.status =
+        has_incumbent_ ? SolveStatus::kFeasible : SolveStatus::kTimeLimit;
+  } else {
+    result.solution.status =
+        has_incumbent_ ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace sfp::lp

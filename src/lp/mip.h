@@ -1,0 +1,128 @@
+// Branch & bound mixed-integer solver over the simplex LP relaxation.
+//
+// Depth-first search ("plunging") with most-fractional branching within
+// the highest branch-priority class, warm-started node LPs on a single
+// shared Simplex, a wall-clock time limit with an incumbent trace (used
+// by the Fig. 9 early-termination experiment), and an optional
+// problem-specific rounding heuristic for finding incumbents early.
+//
+// Memory: the open-node stack stores one bound change per node plus a
+// parent pointer into an append-only pool, so a path's bound set is
+// shared rather than copied — worst-case memory is O(nodes), not
+// O(nodes x depth).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace sfp::lp {
+
+/// Branch & bound options.
+struct MipOptions {
+  /// Wall-clock limit in seconds; infinity = run to completion.
+  double time_limit_seconds = kInfinity;
+  /// Absolute objective tolerance for pruning and optimality.
+  double objective_tol = 1e-6;
+  /// Relative optimality gap: a node is pruned when its bound is within
+  /// `relative_gap` x |incumbent| of the incumbent. 0 = exact.
+  double relative_gap = 0.0;
+  /// Integrality tolerance.
+  double integer_tol = 1e-6;
+  /// Node cap (safety net).
+  std::int64_t max_nodes = 5'000'000;
+  /// Invoke the rounding heuristic every this many nodes (0 = never).
+  int heuristic_period = 20;
+  /// Additionally invoke the heuristic whenever the branching variable's
+  /// priority is below this value — i.e. all structurally important
+  /// variables are already integral. INT_MIN disables.
+  int heuristic_priority_threshold = -2147483647;
+  SimplexOptions simplex;
+};
+
+/// A timestamped incumbent improvement.
+struct IncumbentEvent {
+  double seconds = 0.0;
+  double objective = 0.0;
+};
+
+/// Branch & bound result.
+struct MipResult {
+  Solution solution;
+  /// Best dual bound at termination (== objective when optimal).
+  double best_bound = 0.0;
+  std::int64_t nodes_explored = 0;
+  double seconds = 0.0;
+  /// Every incumbent improvement, in discovery order.
+  std::vector<IncumbentEvent> incumbent_trace;
+};
+
+/// Branch & bound solver. The heuristic, when set, receives the node
+/// LP's fractional values and may propose a full integral assignment;
+/// the solver re-checks it against every row before accepting.
+class MipSolver {
+ public:
+  /// Heuristic callback: receives node-LP values, fills `candidate`
+  /// with a complete assignment; returns false to decline.
+  using Heuristic =
+      std::function<bool(const std::vector<double>& lp_values, std::vector<double>& candidate)>;
+
+  MipSolver(const Model& model, MipOptions options = {});
+
+  /// Installs a rounding heuristic (optional).
+  void SetHeuristic(Heuristic heuristic) { heuristic_ = std::move(heuristic); }
+
+  /// Seeds branch & bound with a known-feasible assignment (e.g. from a
+  /// primal heuristic run on the root relaxation). Checked against
+  /// every row at Solve() start; an infeasible seed is ignored.
+  void SetInitialIncumbent(std::vector<double> values) {
+    initial_incumbent_ = std::move(values);
+  }
+
+  /// Runs branch & bound.
+  MipResult Solve();
+
+ private:
+  struct BoundChange {
+    VarId var;
+    double lower;
+    double upper;
+  };
+  /// Append-only pool entry: one change + parent link (-1 = root).
+  struct NodeRecord {
+    BoundChange change;
+    std::int32_t parent;
+  };
+  /// Open node: pool index of its last change (or -1 for the root) and
+  /// the LP bound inherited from its parent.
+  struct OpenNode {
+    std::int32_t record;
+    double parent_bound;
+  };
+
+  void ApplyNodeBounds(std::int32_t record);
+  /// Index of the branching variable, or -1 if the LP point is integral.
+  VarId PickBranchVar(const std::vector<double>& values) const;
+  bool CandidateIsFeasible(const std::vector<double>& candidate) const;
+  double Objective(const std::vector<double>& values) const;
+  void TryImproveIncumbent(const std::vector<double>& values, MipResult& result,
+                           const Stopwatch& watch);
+  /// Incumbent-relative pruning threshold in internal (max) sense.
+  double PruneCutoff() const;
+
+  const Model& model_;
+  MipOptions options_;
+  Simplex simplex_;
+  Heuristic heuristic_;
+  std::vector<double> initial_incumbent_;
+  std::vector<VarId> int_vars_;
+  std::vector<NodeRecord> pool_;
+  double sense_ = 1.0;  // +1 maximize, -1 minimize (internal max-sense)
+  double best_internal_ = 0.0;
+  bool has_incumbent_ = false;
+};
+
+}  // namespace sfp::lp

@@ -1,0 +1,192 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfp::lp {
+namespace {
+
+constexpr double kFeasTol = 1e-9;
+
+/// Minimum/maximum possible activity of a row given variable bounds.
+struct ActivityRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+ActivityRange RowActivity(const Model& model, const Row& row) {
+  ActivityRange range;
+  for (std::size_t t = 0; t < row.vars.size(); ++t) {
+    const Variable& var = model.var(row.vars[t]);
+    const double c = row.coeffs[t];
+    if (c == 0.0) continue;
+    const double lo_term = c > 0 ? c * var.lower : c * var.upper;
+    const double hi_term = c > 0 ? c * var.upper : c * var.lower;
+    range.min += lo_term;  // may be -inf
+    range.max += hi_term;  // may be +inf
+  }
+  return range;
+}
+
+/// Tightens one variable from a singleton row; returns false on
+/// infeasibility.
+bool ApplySingleton(Model& model, const Row& row, PresolveStats& stats) {
+  // Find the single nonzero term (duplicates summed).
+  VarId var = -1;
+  double coeff = 0.0;
+  for (std::size_t t = 0; t < row.vars.size(); ++t) {
+    if (row.coeffs[t] == 0.0) continue;
+    if (var == row.vars[t] || var < 0) {
+      var = row.vars[t];
+      coeff += row.coeffs[t];
+    } else {
+      return true;  // more than one distinct variable: not a singleton
+    }
+  }
+  if (var < 0 || coeff == 0.0) return true;  // handled as empty elsewhere
+
+  const Variable& v = model.var(var);
+  double lo = v.lower;
+  double hi = v.upper;
+  const double bound = row.rhs / coeff;
+  switch (row.sense) {
+    case Sense::kLe:
+      if (coeff > 0) {
+        hi = std::min(hi, bound);
+      } else {
+        lo = std::max(lo, bound);
+      }
+      break;
+    case Sense::kGe:
+      if (coeff > 0) {
+        lo = std::max(lo, bound);
+      } else {
+        hi = std::min(hi, bound);
+      }
+      break;
+    case Sense::kEq:
+      lo = std::max(lo, bound);
+      hi = std::min(hi, bound);
+      break;
+  }
+  if (v.is_integer) {
+    lo = std::ceil(lo - kFeasTol);
+    hi = std::floor(hi + kFeasTol);
+  }
+  if (lo > hi + kFeasTol) return false;
+  if (lo != v.lower || hi != v.upper) {
+    model.SetVarBounds(var, lo, std::max(lo, hi));
+    ++stats.bounds_tightened;
+  }
+  return true;
+}
+
+/// True if `row` references at most one distinct variable with a
+/// nonzero coefficient.
+bool IsSingleton(const Row& row) {
+  VarId seen = -1;
+  for (std::size_t t = 0; t < row.vars.size(); ++t) {
+    if (row.coeffs[t] == 0.0) continue;
+    if (seen >= 0 && row.vars[t] != seen) return false;
+    seen = row.vars[t];
+  }
+  return seen >= 0;
+}
+
+bool IsEmpty(const Row& row) {
+  return std::all_of(row.coeffs.begin(), row.coeffs.end(),
+                     [](double c) { return c == 0.0; });
+}
+
+bool EmptyRowFeasible(const Row& row) {
+  switch (row.sense) {
+    case Sense::kLe:
+      return 0.0 <= row.rhs + kFeasTol;
+    case Sense::kGe:
+      return 0.0 >= row.rhs - kFeasTol;
+    case Sense::kEq:
+      return std::abs(row.rhs) <= kFeasTol;
+  }
+  return false;
+}
+
+}  // namespace
+
+PresolveStats Presolve(Model& model) {
+  PresolveStats stats;
+
+  // Integer rounding of initial bounds.
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const Variable& var = model.var(v);
+    if (!var.is_integer) continue;
+    const double lo = std::isfinite(var.lower) ? std::ceil(var.lower - kFeasTol) : var.lower;
+    const double hi = std::isfinite(var.upper) ? std::floor(var.upper + kFeasTol) : var.upper;
+    if (lo > hi + kFeasTol) {
+      stats.infeasible = true;
+      return stats;
+    }
+    if (lo != var.lower || hi != var.upper) {
+      model.SetVarBounds(v, lo, std::max(lo, hi));
+      ++stats.bounds_tightened;
+    }
+  }
+
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    std::vector<Row> kept;
+    kept.reserve(static_cast<std::size_t>(model.num_rows()));
+    for (const Row& row : model.rows()) {
+      if (IsEmpty(row)) {
+        if (!EmptyRowFeasible(row)) {
+          stats.infeasible = true;
+          return stats;
+        }
+        ++stats.rows_removed;
+        changed = true;
+        continue;
+      }
+      if (IsSingleton(row)) {
+        if (!ApplySingleton(model, row, stats)) {
+          stats.infeasible = true;
+          return stats;
+        }
+        ++stats.rows_removed;
+        changed = true;
+        continue;
+      }
+      const ActivityRange activity = RowActivity(model, row);
+      bool redundant = false;
+      switch (row.sense) {
+        case Sense::kLe:
+          if (activity.max <= row.rhs + kFeasTol) redundant = true;
+          if (activity.min > row.rhs + kFeasTol) stats.infeasible = true;
+          break;
+        case Sense::kGe:
+          if (activity.min >= row.rhs - kFeasTol) redundant = true;
+          if (activity.max < row.rhs - kFeasTol) stats.infeasible = true;
+          break;
+        case Sense::kEq:
+          if (activity.min > row.rhs + kFeasTol || activity.max < row.rhs - kFeasTol) {
+            stats.infeasible = true;
+          }
+          break;
+      }
+      if (stats.infeasible) return stats;
+      if (redundant) {
+        ++stats.rows_removed;
+        changed = true;
+        continue;
+      }
+      kept.push_back(row);
+    }
+    if (changed) {
+      model.ReplaceRows(std::move(kept));
+    } else {
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sfp::lp

@@ -1,0 +1,34 @@
+// LP/MIP presolve: cheap in-place reductions applied before the
+// simplex / branch & bound.
+//
+//  * empty rows       — dropped (or trivial infeasibility detected),
+//  * singleton rows   — converted into variable bounds and dropped,
+//  * redundant rows   — a row whose worst-case activity already
+//                       satisfies it (from the variable bounds alone)
+//                       is dropped; one whose best case violates it
+//                       flags infeasibility,
+//  * integer rounding — integer variables' fractional bounds tighten to
+//                       the enclosed integers.
+//
+// The variable set is untouched, so solutions of the presolved model
+// are solutions of the original. Runs to a fixpoint (bounded rounds).
+#pragma once
+
+#include "lp/model.h"
+
+namespace sfp::lp {
+
+/// Summary of the reductions applied.
+struct PresolveStats {
+  int rows_removed = 0;
+  int bounds_tightened = 0;
+  /// Trivial infeasibility detected (empty/violated row or crossed
+  /// bounds); the model is left in its partially-reduced state and
+  /// must be treated as infeasible by the caller.
+  bool infeasible = false;
+};
+
+/// Presolves `model` in place.
+PresolveStats Presolve(Model& model);
+
+}  // namespace sfp::lp

@@ -1,0 +1,45 @@
+#include "lp/rounding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sfp::lp {
+namespace {
+
+double Clamp(const Variable& var, double value) {
+  return std::clamp(value, var.lower, var.upper);
+}
+
+}  // namespace
+
+std::vector<double> RandomizedRound(const Model& model, const std::vector<double>& values,
+                                    Rng& rng) {
+  SFP_CHECK_EQ(values.size(), static_cast<std::size_t>(model.num_vars()));
+  std::vector<double> rounded(values);
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const Variable& var = model.var(v);
+    if (!var.is_integer) continue;
+    const double value = values[static_cast<std::size_t>(v)];
+    const double floor_value = std::floor(value);
+    const double frac = value - floor_value;
+    const double up = rng.Bernoulli(frac) ? 1.0 : 0.0;
+    rounded[static_cast<std::size_t>(v)] = Clamp(var, floor_value + up);
+  }
+  return rounded;
+}
+
+std::vector<double> NearestRound(const Model& model, const std::vector<double>& values) {
+  SFP_CHECK_EQ(values.size(), static_cast<std::size_t>(model.num_vars()));
+  std::vector<double> rounded(values);
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    const Variable& var = model.var(v);
+    if (!var.is_integer) continue;
+    rounded[static_cast<std::size_t>(v)] =
+        Clamp(var, std::round(values[static_cast<std::size_t>(v)]));
+  }
+  return rounded;
+}
+
+}  // namespace sfp::lp

@@ -1,0 +1,29 @@
+// Randomized rounding of LP-relaxation solutions (§V-B).
+//
+// A fractional value X.Y is rounded up to X+1 with probability Y and
+// down to X with probability 1-Y, independently per variable. The
+// expectation of each rounded variable therefore equals its LP value,
+// which is the property the paper cites: E[objective after rounding] =
+// LP objective. Structured, problem-aware rounding for SFC placement
+// lives in controlplane/approx.cc; this module provides the generic
+// per-variable primitive plus clamping to variable bounds.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/model.h"
+
+namespace sfp::lp {
+
+/// Rounds every integer variable of `model` in `values` independently
+/// at random (continuous variables pass through), then clamps to the
+/// variable bounds. `values` must have one entry per model variable.
+std::vector<double> RandomizedRound(const Model& model, const std::vector<double>& values,
+                                    Rng& rng);
+
+/// Deterministic nearest-integer rounding with bound clamping; used as
+/// the final fallback when repeated randomized draws keep failing.
+std::vector<double> NearestRound(const Model& model, const std::vector<double>& values);
+
+}  // namespace sfp::lp

@@ -1,0 +1,571 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace sfp::lp {
+namespace {
+
+constexpr double kInf = kInfinity;
+
+bool IsFinite(double v) { return std::isfinite(v); }
+
+}  // namespace
+
+Simplex::Simplex(const Model& model, SimplexOptions options)
+    : options_(options),
+      num_rows_(model.num_rows()),
+      num_struct_(model.num_vars()),
+      num_total_(model.num_rows() + model.num_vars()),
+      maximize_(model.maximize()) {
+  BuildColumns(model);
+
+  lower_.resize(num_total_);
+  upper_.resize(num_total_);
+  cost_.assign(num_total_, 0.0);
+  rhs_.resize(num_rows_);
+
+  for (VarId v = 0; v < num_struct_; ++v) {
+    const Variable& var = model.var(v);
+    lower_[v] = var.lower;
+    upper_[v] = var.upper;
+    cost_[v] = maximize_ ? -var.objective : var.objective;
+  }
+  for (RowId r = 0; r < num_rows_; ++r) {
+    const Row& row = model.row(r);
+    rhs_[r] = row.rhs;
+    const std::int32_t slack = num_struct_ + r;
+    switch (row.sense) {
+      case Sense::kLe:
+        lower_[slack] = 0.0;
+        upper_[slack] = kInf;
+        break;
+      case Sense::kGe:
+        lower_[slack] = -kInf;
+        upper_[slack] = 0.0;
+        break;
+      case Sense::kEq:
+        lower_[slack] = 0.0;
+        upper_[slack] = 0.0;
+        break;
+    }
+  }
+
+  status_.assign(num_total_, VStatus::kAtLower);
+  basis_.assign(num_rows_, 0);
+  x_.assign(num_total_, 0.0);
+}
+
+void Simplex::BuildColumns(const Model& model) {
+  columns_.resize(static_cast<std::size_t>(num_struct_));
+  // Gather per-column entries; duplicate (row, var) pairs are summed.
+  for (RowId r = 0; r < num_rows_; ++r) {
+    const Row& row = model.row(r);
+    for (std::size_t t = 0; t < row.vars.size(); ++t) {
+      if (row.coeffs[t] == 0.0) continue;
+      Column& col = columns_[static_cast<std::size_t>(row.vars[t])];
+      if (!col.rows.empty() && col.rows.back() == r) {
+        col.vals.back() += row.coeffs[t];
+      } else {
+        col.rows.push_back(r);
+        col.vals.push_back(row.coeffs[t]);
+      }
+    }
+  }
+}
+
+void Simplex::SetVarBounds(VarId var, double lower, double upper) {
+  SFP_CHECK_GE(var, 0);
+  SFP_CHECK_LT(var, num_struct_);
+  SFP_CHECK_LE(lower, upper);
+  lower_[var] = lower;
+  upper_[var] = upper;
+}
+
+void Simplex::ResetBasis() { basis_valid_ = false; }
+
+void Simplex::ResetBasisToSlacks() {
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    basis_[r] = num_struct_ + r;
+    status_[num_struct_ + r] = VStatus::kBasic;
+  }
+  for (std::int32_t v = 0; v < num_struct_; ++v) {
+    if (IsFinite(lower_[v])) {
+      status_[v] = VStatus::kAtLower;
+    } else if (IsFinite(upper_[v])) {
+      status_[v] = VStatus::kAtUpper;
+    } else {
+      status_[v] = VStatus::kFreeNb;
+    }
+  }
+  binv_.assign(static_cast<std::size_t>(num_rows_) * num_rows_, 0.0);
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    binv_[static_cast<std::size_t>(r) * num_rows_ + r] = 1.0;
+  }
+  pivots_since_refactor_ = 0;
+  basis_valid_ = true;
+}
+
+void Simplex::SnapNonbasicToBounds() {
+  for (std::int32_t v = 0; v < num_total_; ++v) {
+    switch (status_[v]) {
+      case VStatus::kBasic:
+        break;
+      case VStatus::kAtLower:
+        if (IsFinite(lower_[v])) {
+          x_[v] = lower_[v];
+        } else if (IsFinite(upper_[v])) {
+          status_[v] = VStatus::kAtUpper;
+          x_[v] = upper_[v];
+        } else {
+          status_[v] = VStatus::kFreeNb;
+          x_[v] = 0.0;
+        }
+        break;
+      case VStatus::kAtUpper:
+        if (IsFinite(upper_[v])) {
+          x_[v] = upper_[v];
+        } else if (IsFinite(lower_[v])) {
+          status_[v] = VStatus::kAtLower;
+          x_[v] = lower_[v];
+        } else {
+          status_[v] = VStatus::kFreeNb;
+          x_[v] = 0.0;
+        }
+        break;
+      case VStatus::kFreeNb:
+        if (IsFinite(lower_[v]) || IsFinite(upper_[v])) {
+          // Bounds were tightened since the variable went free.
+          if (IsFinite(lower_[v])) {
+            status_[v] = VStatus::kAtLower;
+            x_[v] = lower_[v];
+          } else {
+            status_[v] = VStatus::kAtUpper;
+            x_[v] = upper_[v];
+          }
+        } else {
+          x_[v] = 0.0;
+        }
+        break;
+    }
+  }
+}
+
+void Simplex::ComputeBasicValues() {
+  // residual = b - sum over nonbasic columns of A_j * x_j.
+  std::vector<double> residual = rhs_;
+  for (std::int32_t v = 0; v < num_struct_; ++v) {
+    if (status_[v] == VStatus::kBasic || x_[v] == 0.0) continue;
+    const Column& col = columns_[static_cast<std::size_t>(v)];
+    for (std::size_t t = 0; t < col.rows.size(); ++t) {
+      residual[static_cast<std::size_t>(col.rows[t])] -= col.vals[t] * x_[v];
+    }
+  }
+  for (std::int32_t r = 0; r < num_rows_; ++r) {
+    const std::int32_t slack = num_struct_ + r;
+    if (status_[slack] != VStatus::kBasic && x_[slack] != 0.0) {
+      residual[static_cast<std::size_t>(r)] -= x_[slack];
+    }
+  }
+  // x_B = Binv * residual.
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const double* row = &binv_[static_cast<std::size_t>(p) * num_rows_];
+    double acc = 0.0;
+    for (std::int32_t r = 0; r < num_rows_; ++r) acc += row[r] * residual[static_cast<std::size_t>(r)];
+    x_[static_cast<std::size_t>(basis_[p])] = acc;
+  }
+}
+
+bool Simplex::Refactorize() {
+  ++stats_.refactorizations;
+  const std::size_t m = static_cast<std::size_t>(num_rows_);
+  std::vector<double> bmat(m * m, 0.0);
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::int32_t var = basis_[p];
+    if (var < num_struct_) {
+      const Column& col = columns_[static_cast<std::size_t>(var)];
+      for (std::size_t t = 0; t < col.rows.size(); ++t) {
+        bmat[static_cast<std::size_t>(col.rows[t]) * m + p] = col.vals[t];
+      }
+    } else {
+      bmat[static_cast<std::size_t>(var - num_struct_) * m + p] = 1.0;
+    }
+  }
+  std::vector<double> inv(m * m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) inv[r * m + r] = 1.0;
+
+  // Gauss-Jordan with partial pivoting, applied to [bmat | inv].
+  for (std::size_t k = 0; k < m; ++k) {
+    std::size_t pivot_row = k;
+    double best = std::abs(bmat[k * m + k]);
+    for (std::size_t r = k + 1; r < m; ++r) {
+      const double cand = std::abs(bmat[r * m + k]);
+      if (cand > best) {
+        best = cand;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-11) return false;  // singular basis
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < m; ++c) {
+        std::swap(bmat[pivot_row * m + c], bmat[k * m + c]);
+        std::swap(inv[pivot_row * m + c], inv[k * m + c]);
+      }
+    }
+    const double scale = 1.0 / bmat[k * m + k];
+    for (std::size_t c = 0; c < m; ++c) {
+      bmat[k * m + c] *= scale;
+      inv[k * m + c] *= scale;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == k) continue;
+      const double factor = bmat[r * m + k];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < m; ++c) {
+        bmat[r * m + c] -= factor * bmat[k * m + c];
+        inv[r * m + c] -= factor * inv[k * m + c];
+      }
+    }
+  }
+  binv_ = std::move(inv);
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void Simplex::Ftran(std::int32_t j, std::vector<double>& w) const {
+  const std::size_t m = static_cast<std::size_t>(num_rows_);
+  w.assign(m, 0.0);
+  if (j < num_struct_) {
+    const Column& col = columns_[static_cast<std::size_t>(j)];
+    for (std::size_t p = 0; p < m; ++p) {
+      const double* row = &binv_[p * m];
+      double acc = 0.0;
+      for (std::size_t t = 0; t < col.rows.size(); ++t) {
+        acc += row[static_cast<std::size_t>(col.rows[t])] * col.vals[t];
+      }
+      w[p] = acc;
+    }
+  } else {
+    const std::size_t r = static_cast<std::size_t>(j - num_struct_);
+    for (std::size_t p = 0; p < m; ++p) w[p] = binv_[p * m + r];
+  }
+}
+
+void Simplex::ComputeDuals(const std::vector<double>& cost, std::vector<double>& y) const {
+  const std::size_t m = static_cast<std::size_t>(num_rows_);
+  y.assign(m, 0.0);
+  for (std::size_t p = 0; p < m; ++p) {
+    const double cb = cost[static_cast<std::size_t>(basis_[p])];
+    if (cb == 0.0) continue;
+    const double* row = &binv_[p * m];
+    for (std::size_t r = 0; r < m; ++r) y[r] += cb * row[r];
+  }
+}
+
+double Simplex::ReducedCost(std::int32_t j, const std::vector<double>& cost,
+                            const std::vector<double>& y) const {
+  double d = cost[static_cast<std::size_t>(j)];
+  if (j < num_struct_) {
+    const Column& col = columns_[static_cast<std::size_t>(j)];
+    for (std::size_t t = 0; t < col.rows.size(); ++t) {
+      d -= y[static_cast<std::size_t>(col.rows[t])] * col.vals[t];
+    }
+  } else {
+    d -= y[static_cast<std::size_t>(j - num_struct_)];
+  }
+  return d;
+}
+
+Simplex::Entering Simplex::PriceEntering(const std::vector<double>& cost,
+                                         const std::vector<double>& y,
+                                         bool bland) const {
+  Entering best;
+  double best_score = options_.opt_tol;
+  for (std::int32_t j = 0; j < num_total_; ++j) {
+    const VStatus st = status_[j];
+    if (st == VStatus::kBasic) continue;
+    if (upper_[j] - lower_[j] <= 0.0) continue;  // fixed variable
+    const double d = ReducedCost(j, cost, y);
+    int direction = 0;
+    if (st == VStatus::kAtLower && d < -options_.opt_tol) {
+      direction = +1;
+    } else if (st == VStatus::kAtUpper && d > options_.opt_tol) {
+      direction = -1;
+    } else if (st == VStatus::kFreeNb && std::abs(d) > options_.opt_tol) {
+      direction = d < 0.0 ? +1 : -1;
+    } else {
+      continue;
+    }
+    if (bland) {  // first eligible index
+      best.var = j;
+      best.direction = direction;
+      best.reduced_cost = d;
+      return best;
+    }
+    const double score = std::abs(d);
+    if (score > best_score) {
+      best_score = score;
+      best.var = j;
+      best.direction = direction;
+      best.reduced_cost = d;
+    }
+  }
+  return best;
+}
+
+Simplex::RatioResult Simplex::RatioTest(const Entering& e, const std::vector<double>& w,
+                                        bool phase1, bool bland) const {
+  const double tol = options_.feas_tol;
+  RatioResult result;
+  double best_step = kInf;
+  std::int32_t best_pos = -1;
+  bool best_at_upper = false;
+  double best_pivot_mag = 0.0;
+
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const double wp = w[static_cast<std::size_t>(p)];
+    if (std::abs(wp) < 1e-9) continue;
+    const std::int32_t var = basis_[p];
+    const double v = x_[static_cast<std::size_t>(var)];
+    const double lo = lower_[static_cast<std::size_t>(var)];
+    const double up = upper_[static_cast<std::size_t>(var)];
+    const double rate = -e.direction * wp;  // change of this basic per unit step
+
+    double step = kInf;
+    bool at_upper = false;
+    if (phase1 && v < lo - tol) {
+      // Infeasible below: blocks only when climbing back to its lower bound.
+      if (rate > 0.0) {
+        step = (lo - v) / rate;
+        at_upper = false;
+      }
+    } else if (phase1 && v > up + tol) {
+      // Infeasible above: blocks only when descending to its upper bound.
+      if (rate < 0.0) {
+        step = (v - up) / (-rate);
+        at_upper = true;
+      }
+    } else {
+      if (rate > 0.0 && IsFinite(up)) {
+        step = (up - v) / rate;
+        at_upper = true;
+      } else if (rate < 0.0 && IsFinite(lo)) {
+        step = (v - lo) / (-rate);
+        at_upper = false;
+      }
+    }
+    if (step == kInf) continue;
+    if (step < 0.0) step = 0.0;  // numerical noise on degenerate bases
+
+    bool take = false;
+    if (step < best_step - 1e-10) {
+      take = true;
+    } else if (step < best_step + 1e-10) {
+      if (bland) {
+        take = best_pos < 0 || var < basis_[best_pos];
+      } else {
+        take = std::abs(wp) > best_pivot_mag;  // stability tie-break
+      }
+    }
+    if (take) {
+      best_step = step;
+      best_pos = p;
+      best_at_upper = at_upper;
+      best_pivot_mag = std::abs(wp);
+    }
+  }
+
+  // The entering variable itself can flip to its opposite bound.
+  const double span = upper_[static_cast<std::size_t>(e.var)] -
+                      lower_[static_cast<std::size_t>(e.var)];
+  const bool flip_possible = status_[static_cast<std::size_t>(e.var)] != VStatus::kFreeNb &&
+                             IsFinite(span);
+  if (flip_possible && span < best_step) {
+    result.step = span;
+    result.leaving_pos = -1;
+    return result;
+  }
+  if (best_pos < 0) {
+    result.unbounded = true;
+    return result;
+  }
+  result.step = best_step;
+  result.leaving_pos = best_pos;
+  result.leaving_at_upper = best_at_upper;
+  return result;
+}
+
+void Simplex::ApplyStep(const Entering& e, const std::vector<double>& w,
+                        const RatioResult& r) {
+  const std::size_t m = static_cast<std::size_t>(num_rows_);
+  const double step = r.step;
+  // Move all basic variables.
+  if (step != 0.0) {
+    for (std::size_t p = 0; p < m; ++p) {
+      if (w[p] == 0.0) continue;
+      x_[static_cast<std::size_t>(basis_[p])] -= e.direction * w[p] * step;
+    }
+  }
+  const std::size_t j = static_cast<std::size_t>(e.var);
+  x_[j] += e.direction * step;
+
+  if (r.leaving_pos < 0) {
+    // Bound flip.
+    status_[j] = e.direction > 0 ? VStatus::kAtUpper : VStatus::kAtLower;
+    x_[j] = e.direction > 0 ? upper_[j] : lower_[j];
+    return;
+  }
+
+  const std::size_t p = static_cast<std::size_t>(r.leaving_pos);
+  const std::int32_t leaving = basis_[p];
+  status_[static_cast<std::size_t>(leaving)] =
+      r.leaving_at_upper ? VStatus::kAtUpper : VStatus::kAtLower;
+  x_[static_cast<std::size_t>(leaving)] = r.leaving_at_upper
+                                              ? upper_[static_cast<std::size_t>(leaving)]
+                                              : lower_[static_cast<std::size_t>(leaving)];
+  basis_[p] = e.var;
+  status_[j] = VStatus::kBasic;
+
+  // Product-form update of the dense inverse: row p is scaled by 1/w_p
+  // and eliminated from every other row.
+  const double pivot = w[p];
+  double* prow = &binv_[p * m];
+  const double inv_pivot = 1.0 / pivot;
+  for (std::size_t c = 0; c < m; ++c) prow[c] *= inv_pivot;
+  for (std::size_t q = 0; q < m; ++q) {
+    if (q == p) continue;
+    const double factor = w[q];
+    if (factor == 0.0) continue;
+    double* qrow = &binv_[q * m];
+    for (std::size_t c = 0; c < m; ++c) qrow[c] -= factor * prow[c];
+  }
+
+  if (++pivots_since_refactor_ >= options_.refactor_interval) {
+    if (!Refactorize()) {
+      SFP_LOG_WARN << "singular basis during refactorization; resetting";
+      ResetBasisToSlacks();
+      SnapNonbasicToBounds();
+    }
+    ComputeBasicValues();
+  }
+}
+
+double Simplex::TotalInfeasibility() const {
+  double total = 0.0;
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const std::size_t var = static_cast<std::size_t>(basis_[p]);
+    const double v = x_[var];
+    if (v < lower_[var]) total += lower_[var] - v;
+    if (v > upper_[var]) total += v - upper_[var];
+  }
+  return total;
+}
+
+void Simplex::BuildPhase1Cost(std::vector<double>& cost) const {
+  cost.assign(static_cast<std::size_t>(num_total_), 0.0);
+  const double tol = options_.feas_tol;
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const std::size_t var = static_cast<std::size_t>(basis_[p]);
+    const double v = x_[var];
+    if (v < lower_[var] - tol) {
+      cost[var] = -1.0;  // wants to increase
+    } else if (v > upper_[var] + tol) {
+      cost[var] = +1.0;  // wants to decrease
+    }
+  }
+}
+
+SolveStatus Simplex::Iterate(const std::vector<double>& cost, bool phase1) {
+  std::vector<double> working_cost;
+  std::vector<double> y;
+  std::vector<double> w;
+  int stall = 0;
+  bool bland = false;
+  double last_progress_metric = phase1 ? TotalInfeasibility() : kInf;
+
+  for (;;) {
+    if (stats_.iterations - iterations_at_solve_start_ >= options_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+
+    const std::vector<double>* active_cost = &cost;
+    if (phase1) {
+      if (TotalInfeasibility() <= options_.feas_tol * (num_rows_ + 1)) {
+        return SolveStatus::kOptimal;
+      }
+      BuildPhase1Cost(working_cost);
+      active_cost = &working_cost;
+    }
+
+    ComputeDuals(*active_cost, y);
+    const Entering e = PriceEntering(*active_cost, y, bland);
+    if (e.var < 0) {
+      if (phase1) {
+        return TotalInfeasibility() <= options_.feas_tol * (num_rows_ + 1)
+                   ? SolveStatus::kOptimal
+                   : SolveStatus::kInfeasible;
+      }
+      return SolveStatus::kOptimal;
+    }
+
+    Ftran(e.var, w);
+    const RatioResult r = RatioTest(e, w, phase1, bland);
+    if (r.unbounded) {
+      // Phase 1's objective is bounded below by zero, so an unbounded
+      // ray here means numerical trouble; report infeasible.
+      return phase1 ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+    }
+    ApplyStep(e, w, r);
+    ++stats_.iterations;
+    if (phase1) ++stats_.phase1_iterations;
+
+    // Anti-cycling: switch to Bland's rule during long degenerate runs.
+    double metric;
+    if (phase1) {
+      metric = TotalInfeasibility();
+    } else {
+      metric = 0.0;
+      for (std::int32_t v = 0; v < num_total_; ++v) metric += cost[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+    }
+    if (metric < last_progress_metric - 1e-10) {
+      last_progress_metric = metric;
+      stall = 0;
+      bland = false;
+    } else if (++stall > options_.bland_trigger) {
+      bland = true;
+    }
+  }
+}
+
+Solution Simplex::Solve() {
+  Solution solution;
+  iterations_at_solve_start_ = stats_.iterations;
+  if (num_rows_ == 0 && num_struct_ == 0) {
+    solution.status = SolveStatus::kOptimal;
+    return solution;
+  }
+  if (!basis_valid_) ResetBasisToSlacks();
+  SnapNonbasicToBounds();
+  ComputeBasicValues();
+
+  SolveStatus status = Iterate(cost_, /*phase1=*/true);
+  if (status == SolveStatus::kOptimal) {
+    status = Iterate(cost_, /*phase1=*/false);
+  }
+
+  solution.status = status;
+  if (status == SolveStatus::kOptimal || status == SolveStatus::kIterationLimit) {
+    solution.values.assign(x_.begin(), x_.begin() + num_struct_);
+    double obj = 0.0;
+    for (std::int32_t v = 0; v < num_struct_; ++v) {
+      obj += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+    }
+    solution.objective = maximize_ ? -obj : obj;
+  }
+  return solution;
+}
+
+}  // namespace sfp::lp

@@ -1,0 +1,144 @@
+// Bounded-variable two-phase revised simplex.
+//
+// Solves  min/max c'x  s.t.  rows (<=, >=, ==),  l <= x <= u.
+//
+// Implementation notes (see DESIGN.md "LP/MIP solver"):
+//  * every row gets a slack variable whose bounds encode the row sense,
+//    so the working problem is Ax = b with box-constrained x,
+//  * the basis inverse is kept densely and updated with product-form
+//    row operations; it is refactorized (Gauss-Jordan with partial
+//    pivoting) every `refactor_interval` pivots or on numerical drift,
+//  * phase 1 is the composite method: basic variables outside their
+//    bounds get a +/-1 cost pushing them back inside; an infeasible
+//    variable blocks the ratio test when it reaches the bound it
+//    violated, which guarantees monotone progress,
+//  * degeneracy is handled by falling back to Bland's rule after a
+//    stretch of non-improving pivots.
+//
+// The solver supports warm restarts for branch & bound: callers may
+// tighten/relax variable bounds between Solve() calls and the previous
+// basis is reused (phase 1 repairs any resulting infeasibility).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace sfp::lp {
+
+/// Tuning knobs for the simplex.
+struct SimplexOptions {
+  /// Bound/feasibility tolerance.
+  double feas_tol = 1e-7;
+  /// Reduced-cost optimality tolerance.
+  double opt_tol = 1e-7;
+  /// Hard cap on total simplex iterations (phases 1+2 combined).
+  std::int64_t max_iterations = 200000;
+  /// Basis-inverse refactorization period in pivots.
+  int refactor_interval = 120;
+  /// Pivots without objective progress before switching to Bland's rule.
+  int bland_trigger = 400;
+};
+
+/// Revised simplex engine bound to one Model. The Model's rows and
+/// variables must not be added/removed after construction; variable
+/// bounds may change via SetVarBounds between solves.
+class Simplex {
+ public:
+  struct Stats {
+    std::int64_t iterations = 0;
+    std::int64_t phase1_iterations = 0;
+    int refactorizations = 0;
+  };
+
+  explicit Simplex(const Model& model, SimplexOptions options = {});
+
+  /// Updates a structural variable's bounds (warm-start friendly).
+  void SetVarBounds(VarId var, double lower, double upper);
+
+  /// Solves from the current basis (slack basis on first call).
+  Solution Solve();
+
+  /// Discards the warm basis; the next Solve() starts from slacks.
+  void ResetBasis();
+
+  const Stats& stats() const { return stats_; }
+
+  /// Primal value of a structural variable after a feasible Solve().
+  double Value(VarId var) const { return x_[static_cast<std::size_t>(var)]; }
+
+ private:
+  enum class VStatus : std::uint8_t { kBasic, kAtLower, kAtUpper, kFreeNb };
+
+  struct Column {
+    std::vector<std::int32_t> rows;
+    std::vector<double> vals;
+  };
+
+  // --- setup ---------------------------------------------------------
+  void BuildColumns(const Model& model);
+  void ResetBasisToSlacks();
+  void SnapNonbasicToBounds();
+  void ComputeBasicValues();
+  bool Refactorize();  // false if basis singular
+
+  // --- iteration pieces ---------------------------------------------
+  // Multiplies w = Binv * A_j for column j.
+  void Ftran(std::int32_t j, std::vector<double>& w) const;
+  // y = cost_B' * Binv for the given per-variable cost vector.
+  void ComputeDuals(const std::vector<double>& cost, std::vector<double>& y) const;
+  double ReducedCost(std::int32_t j, const std::vector<double>& cost,
+                     const std::vector<double>& y) const;
+
+  struct Entering {
+    std::int32_t var = -1;
+    int direction = 0;  // +1 increase, -1 decrease
+    double reduced_cost = 0.0;
+  };
+  Entering PriceEntering(const std::vector<double>& cost, const std::vector<double>& y,
+                         bool bland) const;
+
+  struct RatioResult {
+    double step = 0.0;
+    std::int32_t leaving_pos = -1;  // basis position; -1 = bound flip
+    bool leaving_at_upper = false;
+    bool unbounded = false;
+  };
+  RatioResult RatioTest(const Entering& e, const std::vector<double>& w,
+                        bool phase1, bool bland) const;
+
+  void ApplyStep(const Entering& e, const std::vector<double>& w, const RatioResult& r);
+
+  // Runs pricing/ratio/pivot until optimal for `cost`. `phase1` enables
+  // the composite-infeasibility rules. Returns the terminal status.
+  SolveStatus Iterate(const std::vector<double>& cost, bool phase1);
+
+  double TotalInfeasibility() const;
+  void BuildPhase1Cost(std::vector<double>& cost) const;
+
+  // --- data ----------------------------------------------------------
+  SimplexOptions options_;
+  std::int32_t num_rows_ = 0;
+  std::int32_t num_struct_ = 0;
+  std::int32_t num_total_ = 0;  // structural + slack
+
+  std::vector<Column> columns_;   // structural columns only
+  std::vector<double> lower_, upper_, cost_;  // size num_total_
+  std::vector<double> rhs_;                   // size num_rows_
+  bool maximize_ = true;
+
+  std::vector<VStatus> status_;       // size num_total_
+  std::vector<std::int32_t> basis_;   // size num_rows_ (var per basis pos)
+  std::vector<double> x_;             // size num_total_
+  std::vector<double> binv_;          // dense num_rows_^2, row-major
+  bool basis_valid_ = false;
+  int pivots_since_refactor_ = 0;
+  /// Snapshot of stats_.iterations at Solve() entry, so the iteration
+  /// limit applies per solve rather than across warm restarts.
+  std::int64_t iterations_at_solve_start_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace sfp::lp

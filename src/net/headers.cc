@@ -1,0 +1,195 @@
+#include "net/headers.h"
+
+#include <cstdio>
+
+namespace sfp::net {
+namespace {
+
+void Put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void Put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  Put16(out, static_cast<std::uint16_t>(v >> 16));
+  Put16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::uint16_t Get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t Get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(Get16(in, at)) << 16) | Get16(in, at + 2);
+}
+
+std::uint16_t OnesComplementSum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+    sum += Get16(bytes, i);
+  }
+  if (bytes.size() % 2 == 1) sum += static_cast<std::uint32_t>(bytes.back()) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::optional<MacAddress> MacAddress::FromString(const std::string& text) {
+  MacAddress mac;
+  unsigned int parts[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &parts[0], &parts[1], &parts[2],
+                  &parts[3], &parts[4], &parts[5]) != 6) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (parts[i] > 0xFF) return std::nullopt;
+    mac.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(parts[i]);
+  }
+  return mac;
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF, (value >> 16) & 0xFF,
+                (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::FromString(const std::string& text) {
+  unsigned int a, b, c, d;
+  char tail;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return std::nullopt;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Of(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+            static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+void EthernetHeader::Serialize(std::vector<std::uint8_t>& out) const {
+  out.insert(out.end(), dst.bytes.begin(), dst.bytes.end());
+  out.insert(out.end(), src.bytes.begin(), src.bytes.end());
+  Put16(out, ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::Parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  EthernetHeader h;
+  std::copy(in.begin(), in.begin() + 6, h.dst.bytes.begin());
+  std::copy(in.begin() + 6, in.begin() + 12, h.src.bytes.begin());
+  h.ether_type = Get16(in, 12);
+  return h;
+}
+
+void VlanTag::Serialize(std::vector<std::uint8_t>& out) const {
+  const std::uint16_t tci = static_cast<std::uint16_t>((pcp & 0x7) << 13) |
+                            static_cast<std::uint16_t>(dei ? 1 << 12 : 0) |
+                            static_cast<std::uint16_t>(vid & 0x0FFF);
+  Put16(out, tci);
+  Put16(out, inner_ether_type);
+}
+
+std::optional<VlanTag> VlanTag::Parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  VlanTag tag;
+  const std::uint16_t tci = Get16(in, 0);
+  tag.pcp = static_cast<std::uint8_t>(tci >> 13);
+  tag.dei = (tci >> 12) & 1;
+  tag.vid = tci & 0x0FFF;
+  tag.inner_ether_type = Get16(in, 2);
+  return tag;
+}
+
+std::uint16_t Ipv4Header::ComputeChecksum() const {
+  std::vector<std::uint8_t> bytes;
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  copy.SerializeRaw(bytes);
+  return OnesComplementSum(bytes);
+}
+
+void Ipv4Header::SerializeRaw(std::vector<std::uint8_t>& out) const {
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(dscp);
+  Put16(out, total_length);
+  Put16(out, identification);
+  Put16(out, 0);  // flags + fragment offset (unused)
+  out.push_back(ttl);
+  out.push_back(protocol);
+  Put16(out, checksum);
+  Put32(out, src.value);
+  Put32(out, dst.value);
+}
+
+void Ipv4Header::Serialize(std::vector<std::uint8_t>& out) const {
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  copy.checksum = copy.ComputeChecksum();
+  copy.SerializeRaw(out);
+}
+
+std::optional<Ipv4Header> Ipv4Header::Parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  if ((in[0] >> 4) != 4 || (in[0] & 0x0F) != 5) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = in[1];
+  h.total_length = Get16(in, 2);
+  h.identification = Get16(in, 4);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = Get16(in, 10);
+  h.src.value = Get32(in, 12);
+  h.dst.value = Get32(in, 16);
+  if (h.ComputeChecksum() != h.checksum) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::Serialize(std::vector<std::uint8_t>& out) const {
+  Put16(out, src_port);
+  Put16(out, dst_port);
+  Put32(out, seq);
+  Put32(out, ack);
+  out.push_back(0x50);  // data offset 5, reserved 0
+  out.push_back(flags);
+  Put16(out, window);
+  Put16(out, 0);  // checksum (not modelled)
+  Put16(out, 0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::Parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = Get16(in, 0);
+  h.dst_port = Get16(in, 2);
+  h.seq = Get32(in, 4);
+  h.ack = Get32(in, 8);
+  h.flags = in[13];
+  h.window = Get16(in, 14);
+  return h;
+}
+
+void UdpHeader::Serialize(std::vector<std::uint8_t>& out) const {
+  Put16(out, src_port);
+  Put16(out, dst_port);
+  Put16(out, length);
+  Put16(out, 0);  // checksum (not modelled)
+}
+
+std::optional<UdpHeader> UdpHeader::Parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = Get16(in, 0);
+  h.dst_port = Get16(in, 2);
+  h.length = Get16(in, 4);
+  return h;
+}
+
+}  // namespace sfp::net

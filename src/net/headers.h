@@ -1,0 +1,126 @@
+// Protocol header definitions with wire-format serialization.
+//
+// The switch simulator parses packets from bytes before the ingress
+// pipeline and deparses them after egress, mirroring the shared
+// parser/deparser of a real P4 target (§VII "Shared Parser/Deparser").
+// Header fields are kept in host byte order in the structs; Serialize/
+// Parse convert to/from network byte order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sfp::net {
+
+/// 48-bit MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  bool operator==(const MacAddress&) const = default;
+  /// "aa:bb:cc:dd:ee:ff"
+  std::string ToString() const;
+  /// Parses "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  static std::optional<MacAddress> FromString(const std::string& text);
+};
+
+/// IPv4 address as a host-order 32-bit value.
+struct Ipv4Address {
+  std::uint32_t value = 0;
+
+  bool operator==(const Ipv4Address&) const = default;
+  auto operator<=>(const Ipv4Address&) const = default;
+  std::string ToString() const;
+  static std::optional<Ipv4Address> FromString(const std::string& text);
+  /// Convenience constructor from dotted quad.
+  static Ipv4Address Of(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | d};
+  }
+};
+
+/// EtherType values used by the simulator.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kVlan = 0x8100,
+  kArp = 0x0806,
+};
+
+/// IP protocol numbers used by the simulator.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  void Serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<EthernetHeader> Parse(std::span<const std::uint8_t> in);
+};
+
+/// 802.1Q tag. SFP uses the VID as (part of) the tenant ID (§III
+/// Assumptions: tenant traffic is isolated by VLAN/VxLAN/GRE headers).
+struct VlanTag {
+  static constexpr std::size_t kSize = 4;
+  std::uint8_t pcp = 0;
+  bool dei = false;
+  std::uint16_t vid = 0;  // 12 bits
+  std::uint16_t inner_ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+
+  void Serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<VlanTag> Parse(std::span<const std::uint8_t> in);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kTcp);
+  std::uint16_t checksum = 0;  // filled by Serialize
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes with a freshly computed header checksum.
+  void Serialize(std::vector<std::uint8_t>& out) const;
+  /// Serializes with the checksum field as-is (no recomputation).
+  void SerializeRaw(std::vector<std::uint8_t>& out) const;
+  /// Parses and validates the checksum; returns nullopt on corruption.
+  static std::optional<Ipv4Header> Parse(std::span<const std::uint8_t> in);
+  /// RFC 791 header checksum over the 20-byte header.
+  std::uint16_t ComputeChecksum() const;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no options
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  // CWR..FIN bitfield
+  std::uint16_t window = 0xFFFF;
+
+  void Serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<TcpHeader> Parse(std::span<const std::uint8_t> in);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+
+  void Serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<UdpHeader> Parse(std::span<const std::uint8_t> in);
+};
+
+}  // namespace sfp::net

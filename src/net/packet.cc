@@ -1,0 +1,171 @@
+#include "net/packet.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sfp::net {
+
+std::uint64_t FiveTuple::Hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(src_ip.value, 4);
+  mix(dst_ip.value, 4);
+  mix(src_port, 2);
+  mix(dst_port, 2);
+  mix(protocol, 1);
+  return h;
+}
+
+std::uint32_t Packet::WireBytes() const {
+  std::uint32_t bytes = EthernetHeader::kSize;
+  if (vlan) bytes += VlanTag::kSize;
+  if (ipv4) bytes += Ipv4Header::kSize;
+  if (tcp) bytes += TcpHeader::kSize;
+  if (udp) bytes += UdpHeader::kSize;
+  return bytes + payload_bytes;
+}
+
+FiveTuple Packet::Tuple() const {
+  FiveTuple t;
+  if (ipv4) {
+    t.src_ip = ipv4->src;
+    t.dst_ip = ipv4->dst;
+    t.protocol = ipv4->protocol;
+  }
+  if (tcp) {
+    t.src_port = tcp->src_port;
+    t.dst_port = tcp->dst_port;
+  } else if (udp) {
+    t.src_port = udp->src_port;
+    t.dst_port = udp->dst_port;
+  }
+  return t;
+}
+
+std::vector<std::uint8_t> Packet::Serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(WireBytes());
+  EthernetHeader eth_copy = eth;
+  eth_copy.ether_type = static_cast<std::uint16_t>(vlan ? EtherType::kVlan : EtherType::kIpv4);
+  eth_copy.Serialize(out);
+  if (vlan) {
+    VlanTag tag = *vlan;
+    tag.inner_ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+    tag.Serialize(out);
+  }
+  if (ipv4) {
+    Ipv4Header ip = *ipv4;
+    std::uint16_t l4 = 0;
+    if (tcp) l4 = TcpHeader::kSize;
+    if (udp) l4 = UdpHeader::kSize;
+    ip.total_length =
+        static_cast<std::uint16_t>(Ipv4Header::kSize + l4 + payload_bytes);
+    ip.Serialize(out);
+  }
+  if (tcp) tcp->Serialize(out);
+  if (udp) {
+    UdpHeader u = *udp;
+    u.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload_bytes);
+    u.Serialize(out);
+  }
+  out.resize(out.size() + payload_bytes, 0);
+  return out;
+}
+
+std::optional<Packet> Packet::Parse(std::span<const std::uint8_t> bytes) {
+  Packet p;
+  auto eth = EthernetHeader::Parse(bytes);
+  if (!eth) return std::nullopt;
+  p.eth = *eth;
+  std::size_t offset = EthernetHeader::kSize;
+  std::uint16_t next_type = p.eth.ether_type;
+
+  if (next_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    auto vlan = VlanTag::Parse(bytes.subspan(offset));
+    if (!vlan) return std::nullopt;
+    p.vlan = *vlan;
+    offset += VlanTag::kSize;
+    next_type = vlan->inner_ether_type;
+  }
+  if (next_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    // Non-IP frame: keep only L2 view.
+    p.payload_bytes = static_cast<std::uint32_t>(bytes.size() - offset);
+    return p;
+  }
+  auto ip = Ipv4Header::Parse(bytes.subspan(offset));
+  if (!ip) return std::nullopt;
+  p.ipv4 = *ip;
+  offset += Ipv4Header::kSize;
+
+  if (ip->protocol == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    auto tcp = TcpHeader::Parse(bytes.subspan(offset));
+    if (!tcp) return std::nullopt;
+    p.tcp = *tcp;
+    offset += TcpHeader::kSize;
+  } else if (ip->protocol == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    auto udp = UdpHeader::Parse(bytes.subspan(offset));
+    if (!udp) return std::nullopt;
+    p.udp = *udp;
+    offset += UdpHeader::kSize;
+  }
+  p.payload_bytes = static_cast<std::uint32_t>(bytes.size() - offset);
+  return p;
+}
+
+namespace {
+
+Packet MakeL4Packet(std::uint16_t tenant, Ipv4Address src, Ipv4Address dst,
+                    std::uint16_t sport, std::uint16_t dport, std::uint32_t frame_bytes,
+                    bool is_tcp) {
+  Packet p;
+  p.eth.src = MacAddress{{0x02, 0, 0, 0, 0, 1}};
+  p.eth.dst = MacAddress{{0x02, 0, 0, 0, 0, 2}};
+  if (tenant != 0) {
+    VlanTag tag;
+    tag.vid = tenant & 0x0FFF;
+    p.vlan = tag;
+  }
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.protocol = static_cast<std::uint8_t>(is_tcp ? IpProto::kTcp : IpProto::kUdp);
+  p.ipv4 = ip;
+  std::uint32_t header_bytes;
+  if (is_tcp) {
+    TcpHeader tcp;
+    tcp.src_port = sport;
+    tcp.dst_port = dport;
+    p.tcp = tcp;
+    header_bytes = EthernetHeader::kSize + (tenant ? VlanTag::kSize : 0) +
+                   Ipv4Header::kSize + TcpHeader::kSize;
+  } else {
+    UdpHeader udp;
+    udp.src_port = sport;
+    udp.dst_port = dport;
+    p.udp = udp;
+    header_bytes = EthernetHeader::kSize + (tenant ? VlanTag::kSize : 0) +
+                   Ipv4Header::kSize + UdpHeader::kSize;
+  }
+  p.payload_bytes = frame_bytes > header_bytes ? frame_bytes - header_bytes : 0;
+  return p;
+}
+
+}  // namespace
+
+Packet MakeTcpPacket(std::uint16_t tenant, Ipv4Address src, Ipv4Address dst,
+                     std::uint16_t sport, std::uint16_t dport, std::uint32_t frame_bytes) {
+  return MakeL4Packet(tenant, src, dst, sport, dport, frame_bytes, /*is_tcp=*/true);
+}
+
+Packet MakeUdpPacket(std::uint16_t tenant, Ipv4Address src, Ipv4Address dst,
+                     std::uint16_t sport, std::uint16_t dport, std::uint32_t frame_bytes) {
+  return MakeL4Packet(tenant, src, dst, sport, dport, frame_bytes, /*is_tcp=*/false);
+}
+
+}  // namespace sfp::net

@@ -1,0 +1,73 @@
+// Structured packet representation used throughout the simulators.
+//
+// A Packet is the parsed view (Ethernet, optional VLAN tenant tag, IPv4,
+// TCP or UDP) plus the payload length; Serialize/Parse convert to and
+// from the wire format so the switch simulator's parser/deparser path is
+// exercised with real bytes. Frame sizes in the evaluation are the full
+// on-wire length (headers + payload), matching the 64..1500 B packet
+// sizes of Fig. 4/5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace sfp::net {
+
+/// Canonical 5-tuple used by NF match keys and flow hashing.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+
+  /// Stable hash (FNV-1a over the packed tuple) for flow-affine choices
+  /// such as the load balancer's 'tab_lbhash'.
+  std::uint64_t Hash() const;
+};
+
+/// Parsed packet.
+struct Packet {
+  EthernetHeader eth;
+  std::optional<VlanTag> vlan;  // carries the tenant ID (VID)
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  /// L4 payload length in bytes.
+  std::uint32_t payload_bytes = 0;
+
+  /// Total frame length on the wire.
+  std::uint32_t WireBytes() const;
+
+  /// 5-tuple (zeroes for non-IP or port-less packets).
+  FiveTuple Tuple() const;
+
+  /// Tenant ID = VLAN VID, or 0 when untagged.
+  std::uint16_t TenantId() const { return vlan ? vlan->vid : 0; }
+
+  bool IsTcp() const { return tcp.has_value(); }
+  bool IsUdp() const { return udp.has_value(); }
+
+  /// Wire-format serialization (payload emitted as zero bytes).
+  std::vector<std::uint8_t> Serialize() const;
+
+  /// Parses a frame; returns nullopt on truncation/corruption.
+  static std::optional<Packet> Parse(std::span<const std::uint8_t> bytes);
+};
+
+/// Builds a TCP packet for `tenant` with the given 5-tuple; the payload
+/// is sized so the full frame is `frame_bytes` (minimum = header sizes).
+Packet MakeTcpPacket(std::uint16_t tenant, Ipv4Address src, Ipv4Address dst,
+                     std::uint16_t sport, std::uint16_t dport, std::uint32_t frame_bytes);
+
+/// UDP variant of MakeTcpPacket.
+Packet MakeUdpPacket(std::uint16_t tenant, Ipv4Address src, Ipv4Address dst,
+                     std::uint16_t sport, std::uint16_t dport, std::uint32_t frame_bytes);
+
+}  // namespace sfp::net

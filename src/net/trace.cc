@@ -1,0 +1,106 @@
+#include "net/trace.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace sfp::net {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'F', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void PutRaw(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void Trace::Append(double timestamp_ns, std::vector<std::uint8_t> frame) {
+  SFP_CHECK_MSG(records_.empty() || timestamp_ns >= records_.back().timestamp_ns,
+                "trace timestamps must be non-decreasing");
+  records_.push_back(TraceRecord{timestamp_ns, std::move(frame)});
+}
+
+void Trace::Append(double timestamp_ns, const Packet& packet) {
+  Append(timestamp_ns, packet.Serialize());
+}
+
+std::uint64_t Trace::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& record : records_) total += record.frame.size();
+  return total;
+}
+
+double Trace::DurationNs() const {
+  if (records_.size() < 2) return 0.0;
+  return records_.back().timestamp_ns - records_.front().timestamp_ns;
+}
+
+double Trace::OfferedGbps() const {
+  const double duration = DurationNs();
+  if (duration <= 0.0) return 0.0;
+  return static_cast<double>(TotalBytes()) * 8.0 / duration;  // bytes*8 / ns == Gbps
+}
+
+bool Trace::WriteTo(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  PutRaw(os, kVersion);
+  PutRaw(os, static_cast<std::uint64_t>(records_.size()));
+  for (const auto& record : records_) {
+    PutRaw(os, record.timestamp_ns);
+    PutRaw(os, static_cast<std::uint32_t>(record.frame.size()));
+    os.write(reinterpret_cast<const char*>(record.frame.data()),
+             static_cast<std::streamsize>(record.frame.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<Trace> Trace::ReadFrom(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!GetRaw(is, version) || version != kVersion) return std::nullopt;
+  if (!GetRaw(is, count)) return std::nullopt;
+
+  Trace trace;
+  double last_ts = -1.0;
+  for (std::uint64_t r = 0; r < count; ++r) {
+    double timestamp = 0.0;
+    std::uint32_t length = 0;
+    if (!GetRaw(is, timestamp) || !GetRaw(is, length)) return std::nullopt;
+    if (timestamp < last_ts) return std::nullopt;  // corrupt ordering
+    if (length > (1u << 16)) return std::nullopt;  // sanity: jumbo++ limit
+    std::vector<std::uint8_t> frame(length);
+    is.read(reinterpret_cast<char*>(frame.data()), static_cast<std::streamsize>(length));
+    if (!is) return std::nullopt;
+    last_ts = timestamp;
+    trace.records_.push_back(TraceRecord{timestamp, std::move(frame)});
+  }
+  return trace;
+}
+
+bool Trace::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  return os && WriteTo(os);
+}
+
+std::optional<Trace> Trace::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  return ReadFrom(is);
+}
+
+}  // namespace sfp::net

@@ -1,0 +1,66 @@
+// Packet-trace capture and replay.
+//
+// The evaluation drives the data plane with "synthetic traffic workload
+// and trace [27]". This module provides a compact binary trace format
+// (a pcap-like container specialized to this simulator) so workloads
+// can be captured once and replayed deterministically:
+//
+//   header : "SFPT" magic, u32 version, u64 record count
+//   record : f64 timestamp_ns, u32 frame length, frame bytes
+//
+// All integers little-endian.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace sfp::net {
+
+/// One timestamped frame.
+struct TraceRecord {
+  double timestamp_ns = 0.0;
+  std::vector<std::uint8_t> frame;
+};
+
+/// An in-memory packet trace.
+class Trace {
+ public:
+  /// Appends a record; timestamps must be non-decreasing.
+  void Append(double timestamp_ns, std::vector<std::uint8_t> frame);
+
+  /// Convenience: serialize a parsed packet and append.
+  void Append(double timestamp_ns, const Packet& packet);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Total bytes across all frames.
+  std::uint64_t TotalBytes() const;
+
+  /// Duration between first and last record (0 for <2 records).
+  double DurationNs() const;
+
+  /// Average offered load over the trace duration, in Gbps.
+  double OfferedGbps() const;
+
+  /// Writes the binary format; returns false on I/O failure.
+  bool WriteTo(std::ostream& os) const;
+
+  /// Reads the binary format; returns nullopt on malformed input.
+  static std::optional<Trace> ReadFrom(std::istream& is);
+
+  /// File-based convenience wrappers.
+  bool Save(const std::string& path) const;
+  static std::optional<Trace> Load(const std::string& path);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sfp::net

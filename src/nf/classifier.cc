@@ -1,0 +1,62 @@
+#include "nf/classifier.h"
+
+#include "common/check.h"
+
+namespace sfp::nf {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+std::vector<MatchFieldSpec> Classifier::KeySpec() const {
+  return {
+      {FieldId::kSrcIp, MatchKind::kTernary},
+      {FieldId::kDstIp, MatchKind::kTernary},
+      {FieldId::kDstPort, MatchKind::kRange},
+      {FieldId::kIpProto, MatchKind::kTernary},
+  };
+}
+
+void Classifier::BindActions(switchsim::MatchActionTable& table) {
+  RegisterWithRecVariant(
+      table, "set_class",
+      [](net::Packet&, switchsim::PacketMeta& meta, const switchsim::ActionArgs& args) {
+        SFP_CHECK_EQ(args.size(), 1u);
+        meta.flow_class = static_cast<std::uint8_t>(args[0]);
+      });
+}
+
+NfRule Classifier::ClassifyByPort(std::uint16_t dst_port_lo, std::uint16_t dst_port_hi,
+                                  std::uint8_t flow_class) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Any(), FieldMatch::Any(),
+                  FieldMatch::Range(dst_port_lo, dst_port_hi), FieldMatch::Any()};
+  rule.action = "set_class";
+  rule.args = {flow_class};
+  return rule;
+}
+
+NfRule Classifier::ClassifyBySrc(std::uint32_t src_ip, std::uint32_t mask,
+                                 std::uint8_t flow_class) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Ternary(src_ip, mask), FieldMatch::Any(), FieldMatch::Any(),
+                  FieldMatch::Any()};
+  rule.action = "set_class";
+  rule.args = {flow_class};
+  rule.priority = 5;
+  return rule;
+}
+
+std::vector<NfRule> Classifier::GenerateRules(Rng& rng, int count) const {
+  std::vector<NfRule> rules;
+  rules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto lo = static_cast<std::uint16_t>(rng.UniformInt(1, 60000));
+    const auto hi = static_cast<std::uint16_t>(lo + rng.UniformInt(0, 2000));
+    rules.push_back(ClassifyByPort(lo, hi, static_cast<std::uint8_t>(rng.UniformInt(1, 7))));
+  }
+  return rules;
+}
+
+}  // namespace sfp::nf

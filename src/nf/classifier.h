@@ -1,0 +1,29 @@
+// Traffic classifier (the paper's 'tc').
+//
+// Tags packets with a flow class in metadata; downstream NFs (and the
+// egress queueing discipline of a real switch) key on the class.
+// Key: ternary src/dst IP, range dst port, ternary protocol.
+// Action: set_class(class_id).
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class Classifier : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kClassifier; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Classifies traffic to `dst_port_lo..hi` as `flow_class`.
+  static NfRule ClassifyByPort(std::uint16_t dst_port_lo, std::uint16_t dst_port_hi,
+                               std::uint8_t flow_class);
+
+  /// Classifies traffic from a source prefix as `flow_class`.
+  static NfRule ClassifyBySrc(std::uint32_t src_ip, std::uint32_t mask,
+                              std::uint8_t flow_class);
+};
+
+}  // namespace sfp::nf

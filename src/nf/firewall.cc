@@ -1,0 +1,68 @@
+#include "nf/firewall.h"
+
+namespace sfp::nf {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+std::vector<MatchFieldSpec> Firewall::KeySpec() const {
+  return {
+      {FieldId::kSrcIp, MatchKind::kTernary},   {FieldId::kDstIp, MatchKind::kTernary},
+      {FieldId::kSrcPort, MatchKind::kRange},   {FieldId::kDstPort, MatchKind::kRange},
+      {FieldId::kIpProto, MatchKind::kTernary},
+  };
+}
+
+void Firewall::BindActions(switchsim::MatchActionTable& table) {
+  RegisterWithRecVariant(table, "allow",
+                         [](net::Packet&, switchsim::PacketMeta&,
+                            const switchsim::ActionArgs&) {});
+  RegisterWithRecVariant(table, "deny",
+                         [](net::Packet&, switchsim::PacketMeta& meta,
+                            const switchsim::ActionArgs&) { meta.dropped = true; });
+}
+
+NfRule Firewall::Deny(FieldMatch src_ip, FieldMatch dst_ip, FieldMatch src_port,
+                      FieldMatch dst_port, FieldMatch proto, int priority) {
+  NfRule rule;
+  rule.matches = {src_ip, dst_ip, src_port, dst_port, proto};
+  rule.action = "deny";
+  rule.priority = priority;
+  return rule;
+}
+
+NfRule Firewall::Allow(FieldMatch src_ip, FieldMatch dst_ip, FieldMatch src_port,
+                       FieldMatch dst_port, FieldMatch proto, int priority) {
+  NfRule rule;
+  rule.matches = {src_ip, dst_ip, src_port, dst_port, proto};
+  rule.action = "allow";
+  rule.priority = priority;
+  return rule;
+}
+
+std::vector<NfRule> Firewall::GenerateRules(Rng& rng, int count) const {
+  std::vector<NfRule> rules;
+  rules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Mostly deny rules over random /24-masked sources and port ranges,
+    // mixed with a few allows, mimicking ACL-style configs.
+    const std::uint32_t src =
+        static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFFFF)) << 8;
+    const std::uint16_t port_lo = static_cast<std::uint16_t>(rng.UniformInt(1, 60000));
+    const std::uint16_t port_hi =
+        static_cast<std::uint16_t>(port_lo + rng.UniformInt(0, 5000));
+    const bool deny = rng.Bernoulli(0.8);
+    auto rule = deny ? Deny(FieldMatch::Ternary(src, 0xFFFFFF00), FieldMatch::Any(),
+                            FieldMatch::Any(), FieldMatch::Range(port_lo, port_hi),
+                            FieldMatch::Any())
+                     : Allow(FieldMatch::Ternary(src, 0xFFFFFF00), FieldMatch::Any(),
+                             FieldMatch::Any(), FieldMatch::Range(port_lo, port_hi),
+                             FieldMatch::Any());
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace sfp::nf

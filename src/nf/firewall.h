@@ -1,0 +1,30 @@
+// Stateless 5-tuple firewall (the paper's 'fw', cf. P4Guard [12]).
+//
+// Key: ternary src/dst IP, port ranges, ternary protocol.
+// Actions: allow (pass), deny (drop). Default: allow.
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class Firewall : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kFirewall; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Builds a deny rule for an exact 5-tuple-ish pattern: any field can
+  /// be wildcarded by passing FieldMatch::Any().
+  static NfRule Deny(switchsim::FieldMatch src_ip, switchsim::FieldMatch dst_ip,
+                     switchsim::FieldMatch src_port, switchsim::FieldMatch dst_port,
+                     switchsim::FieldMatch proto, int priority = 10);
+
+  /// Allow rule (useful to punch holes above a broad deny).
+  static NfRule Allow(switchsim::FieldMatch src_ip, switchsim::FieldMatch dst_ip,
+                      switchsim::FieldMatch src_port, switchsim::FieldMatch dst_port,
+                      switchsim::FieldMatch proto, int priority = 20);
+};
+
+}  // namespace sfp::nf

@@ -1,0 +1,84 @@
+#include "nf/load_balancer.h"
+
+#include "common/check.h"
+
+namespace sfp::nf {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+std::vector<MatchFieldSpec> LoadBalancer::KeySpec() const {
+  return {
+      {FieldId::kDstIp, MatchKind::kExact},
+      {FieldId::kDstPort, MatchKind::kExact},
+  };
+}
+
+void LoadBalancer::BindActions(switchsim::MatchActionTable& table) {
+  RegisterWithRecVariant(
+      table, "set_backend",
+      [](net::Packet& packet, switchsim::PacketMeta& meta, const switchsim::ActionArgs& args) {
+        SFP_CHECK_EQ(args.size(), 1u);
+        if (packet.ipv4) packet.ipv4->dst.value = static_cast<std::uint32_t>(args[0]);
+        meta.scratch = args[0];
+      });
+  RegisterWithRecVariant(
+      table, "pool_select",
+      [this](net::Packet& packet, switchsim::PacketMeta& meta,
+             const switchsim::ActionArgs& args) {
+        SFP_CHECK_EQ(args.size(), 1u);
+        const auto& pool = pools_[static_cast<std::size_t>(args[0])];
+        SFP_CHECK(!pool.empty());
+        const std::uint64_t hash = packet.Tuple().Hash();
+        const net::Ipv4Address dip = pool[hash % pool.size()];
+        if (packet.ipv4) packet.ipv4->dst = dip;
+        meta.scratch = dip.value;
+      });
+}
+
+std::uint64_t LoadBalancer::AddPool(std::vector<net::Ipv4Address> backends) {
+  SFP_CHECK(!backends.empty());
+  pools_.push_back(std::move(backends));
+  return pools_.size() - 1;
+}
+
+NfRule LoadBalancer::SetBackend(net::Ipv4Address vip, std::uint16_t vport,
+                                net::Ipv4Address dip) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Exact(vip.value), FieldMatch::Exact(vport)};
+  rule.action = "set_backend";
+  rule.args = {dip.value};
+  // Explicit rules outrank hash fallback ('tab_lb' is consulted first).
+  rule.priority = 10;
+  return rule;
+}
+
+NfRule LoadBalancer::PoolSelect(net::Ipv4Address vip, std::uint16_t vport,
+                                std::uint64_t pool_id) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Exact(vip.value), FieldMatch::Exact(vport)};
+  rule.action = "pool_select";
+  rule.args = {pool_id};
+  rule.priority = 5;
+  return rule;
+}
+
+std::vector<NfRule> LoadBalancer::GenerateRules(Rng& rng, int count) const {
+  std::vector<NfRule> rules;
+  rules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto vip = net::Ipv4Address::Of(
+        10, 0, static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.UniformInt(1, 254)));
+    const auto vport = static_cast<std::uint16_t>(rng.UniformInt(80, 9000));
+    const auto dip = net::Ipv4Address::Of(
+        192, 168, static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.UniformInt(1, 254)));
+    rules.push_back(SetBackend(vip, vport, dip));
+  }
+  return rules;
+}
+
+}  // namespace sfp::nf

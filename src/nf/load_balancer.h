@@ -1,0 +1,49 @@
+// L4 load balancer (the paper's 'lb', cf. SilkRoad [10]).
+//
+// The P4 example of Fig. 2 uses three tables: 'tab_lb' (explicit
+// VIP->DIP rules users install), and a hash fallback through
+// 'tab_lbhash' + 'tab_lbselect'. The physical-NF form collapses the
+// fallback into the 'pool_select' action: it hashes the 5-tuple and
+// picks a DIP from a registered backend pool — the same observable
+// behaviour with one big table, per the §VII "Multiple-table NFs"
+// simplification. The standalone 3-table composition is demonstrated
+// in examples/p4_codegen.cc.
+//
+// Key: exact dst IP (VIP) + exact dst port.
+// Actions: set_backend(dip) — explicit rule; pool_select(pool_id) —
+// flow-affine hash selection.
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class LoadBalancer : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kLoadBalancer; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Registers a backend pool; returns its id for pool_select rules.
+  /// Pools are append-only for the NF instance's lifetime.
+  std::uint64_t AddPool(std::vector<net::Ipv4Address> backends);
+
+  const std::vector<net::Ipv4Address>& pool(std::uint64_t id) const {
+    return pools_[static_cast<std::size_t>(id)];
+  }
+  std::size_t num_pools() const { return pools_.size(); }
+
+  /// Explicit VIP:port -> DIP rule ('tab_lb' semantics).
+  static NfRule SetBackend(net::Ipv4Address vip, std::uint16_t vport,
+                           net::Ipv4Address dip);
+
+  /// Hash-select rule over a pool ('tab_lbhash' + 'tab_lbselect').
+  static NfRule PoolSelect(net::Ipv4Address vip, std::uint16_t vport,
+                           std::uint64_t pool_id);
+
+ private:
+  std::vector<std::vector<net::Ipv4Address>> pools_;
+};
+
+}  // namespace sfp::nf

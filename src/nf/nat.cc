@@ -1,0 +1,48 @@
+#include "nf/nat.h"
+
+#include "common/check.h"
+
+namespace sfp::nf {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+std::vector<MatchFieldSpec> Nat::KeySpec() const {
+  return {{FieldId::kSrcIp, MatchKind::kExact}};
+}
+
+void Nat::BindActions(switchsim::MatchActionTable& table) {
+  RegisterWithRecVariant(
+      table, "rewrite_src",
+      [](net::Packet& packet, switchsim::PacketMeta&, const switchsim::ActionArgs& args) {
+        SFP_CHECK_EQ(args.size(), 1u);
+        if (packet.ipv4) packet.ipv4->src.value = static_cast<std::uint32_t>(args[0]);
+      });
+}
+
+NfRule Nat::Translate(net::Ipv4Address internal, net::Ipv4Address external) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Exact(internal.value)};
+  rule.action = "rewrite_src";
+  rule.args = {external.value};
+  return rule;
+}
+
+std::vector<NfRule> Nat::GenerateRules(Rng& rng, int count) const {
+  std::vector<NfRule> rules;
+  rules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto internal = net::Ipv4Address::Of(
+        10, static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.UniformInt(1, 254)));
+    const auto external = net::Ipv4Address::Of(
+        203, 0, 113, static_cast<std::uint8_t>(rng.UniformInt(1, 254)));
+    rules.push_back(Translate(internal, external));
+  }
+  return rules;
+}
+
+}  // namespace sfp::nf

@@ -1,0 +1,23 @@
+// Static NAT (source-address translation, cf. gateway NFs [14, 31]).
+//
+// Key: exact src IP. Action: rewrite_src(new_ip). The reverse
+// direction is a second NAT instance keyed on dst IP in a real
+// deployment; this module models the outbound half.
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class Nat : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kNat; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Static binding internal -> external.
+  static NfRule Translate(net::Ipv4Address internal, net::Ipv4Address external);
+};
+
+}  // namespace sfp::nf

@@ -1,0 +1,79 @@
+#include "nf/nf.h"
+
+#include "common/check.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "nf/rate_limiter.h"
+#include "nf/router.h"
+
+namespace sfp::nf {
+
+const char* NfShortName(NfType type) {
+  switch (type) {
+    case NfType::kFirewall:
+      return "fw";
+    case NfType::kLoadBalancer:
+      return "lb";
+    case NfType::kClassifier:
+      return "tc";
+    case NfType::kRouter:
+      return "rt";
+    case NfType::kRateLimiter:
+      return "rl";
+    case NfType::kNat:
+      return "nat";
+  }
+  return "??";
+}
+
+const char* NfFullName(NfType type) {
+  switch (type) {
+    case NfType::kFirewall:
+      return "Firewall";
+    case NfType::kLoadBalancer:
+      return "LoadBalancer";
+    case NfType::kClassifier:
+      return "TrafficClassifier";
+    case NfType::kRouter:
+      return "Router";
+    case NfType::kRateLimiter:
+      return "RateLimiter";
+    case NfType::kNat:
+      return "NAT";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<NetworkFunction> MakeNf(NfType type) {
+  switch (type) {
+    case NfType::kFirewall:
+      return std::make_unique<Firewall>();
+    case NfType::kLoadBalancer:
+      return std::make_unique<LoadBalancer>();
+    case NfType::kClassifier:
+      return std::make_unique<Classifier>();
+    case NfType::kRouter:
+      return std::make_unique<Router>();
+    case NfType::kRateLimiter:
+      return std::make_unique<RateLimiter>();
+    case NfType::kNat:
+      return std::make_unique<Nat>();
+  }
+  SFP_CHECK_MSG(false, "unknown NF type");
+  return nullptr;
+}
+
+void RegisterWithRecVariant(switchsim::MatchActionTable& table, const std::string& name,
+                            switchsim::ActionFn fn) {
+  table.RegisterAction(name, fn);
+  table.RegisterAction(name + "_rec",
+                       [fn](net::Packet& packet, switchsim::PacketMeta& meta,
+                            const switchsim::ActionArgs& args) {
+                         fn(packet, meta, args);
+                         if (!meta.dropped) meta.recirculate = true;
+                       });
+}
+
+}  // namespace sfp::nf

@@ -1,0 +1,87 @@
+// Network function library.
+//
+// Each NF follows the P4 behavioural style of §II-B: a match key over
+// header/metadata fields plus a small set of actions. An NF object
+// knows how to (a) declare its key, (b) bind its action implementations
+// onto a MatchActionTable (each action also gets a "_rec" variant that
+// additionally requests recirculation — the REC argument of §IV), and
+// (c) synthesize plausible rules for workload generation.
+//
+// NF instances may hold state (load-balancer pools, rate-limiter token
+// buckets, NAT bindings); the data plane owns one instance per physical
+// NF and the bound actions capture it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "switchsim/table.h"
+
+namespace sfp::nf {
+
+/// The NF types shipped with SFP. The first four are the paper's
+/// prototype NFs (§VI-A); rate limiter and NAT are the extensions the
+/// background section cites as switch-implementable [11, 13].
+enum class NfType : std::uint8_t {
+  kFirewall = 0,
+  kLoadBalancer = 1,
+  kClassifier = 2,
+  kRouter = 3,
+  kRateLimiter = 4,
+  kNat = 5,
+};
+
+inline constexpr int kNumNfTypes = 6;
+
+/// Short name used in table names and P4 emission ("fw", "lb", ...).
+const char* NfShortName(NfType type);
+
+/// Human-readable name ("Firewall", ...).
+const char* NfFullName(NfType type);
+
+/// One logical rule of a tenant's NF configuration, expressed against
+/// the NF's own key (without the tenant/pass prefix the data plane
+/// prepends when offloading, §IV).
+struct NfRule {
+  std::vector<switchsim::FieldMatch> matches;
+  std::string action;
+  switchsim::ActionArgs args;
+  int priority = 0;
+};
+
+/// A tenant-facing NF configuration: a type plus its rules.
+struct NfConfig {
+  NfType type = NfType::kFirewall;
+  std::vector<NfRule> rules;
+};
+
+/// Abstract network function.
+class NetworkFunction {
+ public:
+  virtual ~NetworkFunction() = default;
+
+  virtual NfType type() const = 0;
+
+  /// The NF's match key (header/metadata fields only).
+  virtual std::vector<switchsim::MatchFieldSpec> KeySpec() const = 0;
+
+  /// Registers this NF's actions on `table`. For every action "x" a
+  /// variant "x_rec" is also registered that performs the same work and
+  /// then sets meta.recirculate (the REC argument of §IV).
+  virtual void BindActions(switchsim::MatchActionTable& table) = 0;
+
+  /// Generates `count` synthetic rules for workload/testing purposes.
+  virtual std::vector<NfRule> GenerateRules(Rng& rng, int count) const = 0;
+};
+
+/// Factory for the built-in NF types.
+std::unique_ptr<NetworkFunction> MakeNf(NfType type);
+
+/// Helper used by NF implementations: registers `fn` under `name` and
+/// a recirculating twin under `name` + "_rec".
+void RegisterWithRecVariant(switchsim::MatchActionTable& table, const std::string& name,
+                            switchsim::ActionFn fn);
+
+}  // namespace sfp::nf

@@ -1,0 +1,40 @@
+// Token-bucket rate limiter (cf. on-switch rate limiters [11]).
+//
+// Key: ternary src IP + ternary flow class. Action:
+// police(limiter_id, rate_mbps, burst_kb) — charges the packet against
+// the identified token bucket and drops when the bucket is empty.
+// Bucket state is per-NF-instance (switch register memory); time comes
+// from PacketMeta::time_ns set by the traffic source.
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class RateLimiter : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kRateLimiter; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Allocates a token bucket; returns its limiter id.
+  std::uint64_t AddBucket(double rate_mbps, double burst_kb);
+
+  /// Police rule for a source prefix against the given bucket.
+  static NfRule Police(std::uint32_t src_ip, std::uint32_t mask, std::uint64_t limiter_id);
+
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  struct Bucket {
+    double rate_bits_per_ns = 0.0;
+    double capacity_bits = 0.0;
+    double tokens_bits = 0.0;
+    double last_ns = 0.0;
+  };
+  std::vector<Bucket> buckets_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace sfp::nf

@@ -1,0 +1,49 @@
+#include "nf/router.h"
+
+#include "common/check.h"
+
+namespace sfp::nf {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchFieldSpec;
+using switchsim::MatchKind;
+
+std::vector<MatchFieldSpec> Router::KeySpec() const {
+  return {{FieldId::kDstIp, MatchKind::kLpm}};
+}
+
+void Router::BindActions(switchsim::MatchActionTable& table) {
+  RegisterWithRecVariant(
+      table, "route",
+      [](net::Packet& packet, switchsim::PacketMeta& meta, const switchsim::ActionArgs& args) {
+        SFP_CHECK_EQ(args.size(), 1u);
+        meta.egress_port = static_cast<std::int32_t>(args[0]);
+        if (packet.ipv4) {
+          if (packet.ipv4->ttl == 0 || --packet.ipv4->ttl == 0) {
+            meta.dropped = true;
+          }
+        }
+      });
+}
+
+NfRule Router::Route(std::uint32_t prefix, int prefix_len, std::int32_t egress_port) {
+  NfRule rule;
+  rule.matches = {FieldMatch::Lpm(prefix, prefix_len)};
+  rule.action = "route";
+  rule.args = {static_cast<std::uint64_t>(egress_port)};
+  return rule;
+}
+
+std::vector<NfRule> Router::GenerateRules(Rng& rng, int count) const {
+  std::vector<NfRule> rules;
+  rules.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto prefix = static_cast<std::uint32_t>(rng.UniformInt(0, 0xFFFF)) << 16;
+    const int len = static_cast<int>(rng.UniformInt(8, 24));
+    rules.push_back(Route(prefix, len, static_cast<std::int32_t>(rng.UniformInt(0, 31))));
+  }
+  return rules;
+}
+
+}  // namespace sfp::nf

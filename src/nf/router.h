@@ -1,0 +1,22 @@
+// LPM router (the paper's 'rt').
+//
+// Key: dst IP (LPM). Action: route(egress_port) — selects the output
+// port and decrements TTL; packets whose TTL hits zero are dropped.
+#pragma once
+
+#include "nf/nf.h"
+
+namespace sfp::nf {
+
+class Router : public NetworkFunction {
+ public:
+  NfType type() const override { return NfType::kRouter; }
+  std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
+  void BindActions(switchsim::MatchActionTable& table) override;
+  std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+
+  /// Route rule: prefix/len -> egress port.
+  static NfRule Route(std::uint32_t prefix, int prefix_len, std::int32_t egress_port);
+};
+
+}  // namespace sfp::nf

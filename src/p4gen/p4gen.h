@@ -1,0 +1,31 @@
+// P4-16-style source emission for a composed SFP pipeline.
+//
+// The paper prototypes its NFs in P4 and chains them in one program
+// (§II-B, Fig. 2). This module renders the simulator's current
+// physical layout as a human-readable P4-16-like program: header/
+// metadata declarations, a parser, one table per physical NF (with the
+// tenant/pass key prefix), and an apply block that walks the stages and
+// ends with the recirculation primitive. The output is documentation-
+// grade P4 (it is not fed to a real compiler in this repo), and it is
+// exercised by examples/p4_codegen.
+#pragma once
+
+#include <string>
+
+#include "dataplane/data_plane.h"
+
+namespace sfp::p4gen {
+
+/// Renders the full program for the data plane's current layout.
+std::string EmitProgram(const dataplane::DataPlane& dp, const std::string& program_name);
+
+/// Renders only the table declaration for one NF type (unit-testable
+/// building block).
+std::string EmitTableDecl(nf::NfType type, int stage);
+
+/// Renders the standalone 3-table load balancer of Fig. 2 ('tab_lb' +
+/// 'tab_lbhash' + 'tab_lbselect'), demonstrating the multi-table NF
+/// the §VII simplification collapses.
+std::string EmitFig2LoadBalancer();
+
+}  // namespace sfp::p4gen

@@ -1,0 +1,88 @@
+// Software-SFC server model (the DPDK baseline of §VI-B).
+//
+// Substitutes the paper's testbed servers (Xeon Gold 5120T @ 2.2 GHz,
+// 100G ConnectX-5). A chain of NFs runs on `worker_cores` DPDK lcores;
+// each packet costs a per-NF cycle budget plus fixed NIC/PCIe overhead.
+// Throughput is packet-rate bound: the cores sustain
+//   pps_capacity = worker_cores * clock / cycles_per_packet,
+// and the achieved rate for frame size B is
+//   min(offered, line_rate, pps_capacity * B * 8).
+//
+// Calibration against the paper's measured points (documented in
+// EXPERIMENTS.md): (a) average processing latency ~= 1151 ns for the
+// 4-NF chain; (b) 100 Gbps reached only at ~1500 B frames; (c) >= 10x
+// packet-rate deficit vs the switch at 64 B; (d) ~722 MB memory and
+// 17/56 cores in use.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+
+namespace sfp::serversim {
+
+/// Static server parameters (defaults = the paper's testbed).
+struct ServerConfig {
+  double clock_ghz = 2.2;
+  int total_cores = 56;  // 4 sockets x 14... reported pool size
+  /// Cores running SFC workers. The paper uses 16 cores for
+  /// client+SFC+receiver plus 1 DPDK master (17/56 = 30.35% CPU);
+  /// 10 of those drive the chain in this calibration, which puts the
+  /// 100 Gbps saturation point at ~1450 B frames as Fig. 4 shows.
+  int worker_cores = 10;
+  int master_cores = 1;
+  /// Fixed per-packet I/O cost: NIC DMA + PCIe + mempool handling.
+  double io_overhead_cycles = 600;
+  /// Resident memory per NF instance (MB); DPDK hugepages + tables
+  /// (4 NFs x 180.5 MB = the paper's 722 MB).
+  double memory_per_nf_mb = 180.5;
+  double line_rate_gbps = 100.0;
+};
+
+/// One software NF in the chain: cycles charged per packet.
+struct SoftwareNf {
+  const char* name = "nf";
+  double cycles_per_packet = 700;
+};
+
+/// The standard 4-NF chain of §VI-B (firewall, LB, classifier, router)
+/// with per-NF costs calibrated so the whole chain processes one packet
+/// in ~1151 ns on one core (including I/O overhead).
+std::vector<SoftwareNf> DefaultChain();
+
+/// Analytic + per-packet software SFC model.
+class ServerSfc {
+ public:
+  ServerSfc(ServerConfig config, std::vector<SoftwareNf> chain);
+
+  /// Per-packet processing latency (ns): I/O + sum of NF costs. The
+  /// latency is load-independent in this model (no queueing), matching
+  /// the paper's unloaded latency microbenchmark.
+  double PacketLatencyNs() const;
+
+  /// Sustainable packet rate (packets/second) across worker cores.
+  double PpsCapacity() const;
+
+  /// Achieved throughput in Gbps for `frame_bytes` frames at
+  /// `offered_gbps` offered load.
+  double ThroughputGbps(int frame_bytes, double offered_gbps) const;
+
+  /// Smallest frame size at which the chain sustains `target_gbps`.
+  int SaturatingFrameBytes(double target_gbps) const;
+
+  /// Total resident memory (MB) of the SFC processes.
+  double MemoryMb() const;
+
+  /// Fraction of the server's cores consumed (workers + master).
+  double CpuUtilization() const;
+
+  const ServerConfig& config() const { return config_; }
+  const std::vector<SoftwareNf>& chain() const { return chain_; }
+
+ private:
+  ServerConfig config_;
+  std::vector<SoftwareNf> chain_;
+  double chain_cycles_ = 0.0;
+};
+
+}  // namespace sfp::serversim

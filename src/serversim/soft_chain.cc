@@ -1,0 +1,46 @@
+#include "serversim/soft_chain.h"
+
+#include "common/check.h"
+
+namespace sfp::serversim {
+
+SoftChain::SoftChain(const dataplane::Sfc& sfc) {
+  for (const auto& config : sfc.chain) {
+    auto nf = nf::MakeNf(config.type);
+    auto table = std::make_unique<switchsim::MatchActionTable>(
+        nf::NfShortName(config.type), nf->KeySpec());
+    nf->BindActions(*table);
+    // Software chains forward on miss like the switch's No-Op default.
+    const auto noop = table->RegisterAction(
+        "noop", [](net::Packet&, switchsim::PacketMeta&, const switchsim::ActionArgs&) {});
+    table->SetDefaultAction(noop);
+
+    for (const auto& rule : config.rules) {
+      // Resolve the action by name (no REC variants in software).
+      switchsim::ActionId action = -1;
+      for (std::size_t a = 0; a < table->action_names().size(); ++a) {
+        if (table->action_names()[a] == rule.action) {
+          action = static_cast<switchsim::ActionId>(a);
+          break;
+        }
+      }
+      SFP_CHECK_MSG(action >= 0, "unknown NF action in software chain");
+      table->AddEntry(rule.matches, action, rule.args, rule.priority);
+    }
+    nfs_.push_back(std::move(nf));
+    tables_.push_back(std::move(table));
+  }
+}
+
+SoftChain::Result SoftChain::Process(const net::Packet& packet) const {
+  Result result;
+  result.packet = packet;
+  result.meta.tenant_id = packet.TenantId();
+  for (const auto& table : tables_) {
+    table->Apply(result.packet, result.meta);
+    if (result.meta.dropped) break;
+  }
+  return result;
+}
+
+}  // namespace sfp::serversim

@@ -1,0 +1,48 @@
+// Functional software SFC executor.
+//
+// Runs a tenant's NF chain the way a server-based NFV platform would:
+// one match-action table per NF, applied strictly in chain order, with
+// none of the switch's stage/memory/recirculation machinery. This is
+// the behavioural ground truth for the data plane: SFP's claim is that
+// offloading an SFC to the switch is *transparent*, so for any chain
+// and any packet the switch pipeline must produce the same packet
+// transformations and drop decisions as this executor (differential
+// test: `tests/differential_test.cc`).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataplane/sfc.h"
+#include "switchsim/table.h"
+
+namespace sfp::serversim {
+
+/// A software instance of one tenant's chain.
+class SoftChain {
+ public:
+  /// Builds per-NF tables from the chain's configs. NFs needing
+  /// instance state (LB pools, rate-limiter buckets) own it internally;
+  /// use `nf_instance` to reach them before sending traffic.
+  explicit SoftChain(const dataplane::Sfc& sfc);
+
+  /// Applies the whole chain to one packet; returns the resulting
+  /// metadata (dropped, flow class, egress, rewrites applied in place
+  /// on the returned packet).
+  struct Result {
+    net::Packet packet;
+    switchsim::PacketMeta meta;
+  };
+  Result Process(const net::Packet& packet) const;
+
+  /// The NF instance backing chain position `j` (for pools/buckets).
+  nf::NetworkFunction* nf_instance(int j) { return nfs_[static_cast<std::size_t>(j)].get(); }
+
+  int Length() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<nf::NetworkFunction>> nfs_;
+  std::vector<std::unique_ptr<switchsim::MatchActionTable>> tables_;
+};
+
+}  // namespace sfp::serversim

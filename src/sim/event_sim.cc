@@ -1,0 +1,55 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfp::sim {
+
+void Simulator::ScheduleAt(TimeNs at, EventFn fn) {
+  SFP_CHECK_GE(at, now_);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::Run(TimeNs until) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    if (until >= 0.0 && queue_.top().at > until) {
+      now_ = until;  // future events stay queued for the next Run()
+      return executed;
+    }
+    // priority_queue::top is const; we need to move the callback out.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+void LatencyStats::Add(double value_ns) {
+  samples_.push_back(value_ns);
+  sum_ += value_ns;
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+}
+
+double LatencyStats::Percentile(double p) const {
+  SFP_CHECK_GE(p, 0.0);
+  SFP_CHECK_LE(p, 100.0);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * (static_cast<double>(sorted.size()) - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace sfp::sim

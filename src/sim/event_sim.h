@@ -1,0 +1,79 @@
+// Minimal discrete-event simulation engine.
+//
+// Used by the latency-distribution experiments and examples: packet
+// sources schedule arrivals; switch/server components process them and
+// schedule completions. Events fire in timestamp order; ties break in
+// schedule order (FIFO), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sfp::sim {
+
+/// Simulated time in nanoseconds.
+using TimeNs = double;
+
+/// Event callback.
+using EventFn = std::function<void()>;
+
+/// The event loop.
+class Simulator {
+ public:
+  /// Schedules `fn` at absolute time `at` (>= now).
+  void ScheduleAt(TimeNs at, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now.
+  void ScheduleAfter(TimeNs delay, EventFn fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Runs until the queue drains or `until` (simulated) is reached.
+  /// Returns the number of events executed.
+  std::size_t Run(TimeNs until = -1.0);
+
+  /// Current simulated time.
+  TimeNs Now() const { return now_; }
+
+  /// Pending event count.
+  std::size_t Pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among ties
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Online mean/min/max/percentile-ish accumulator for latencies.
+class LatencyStats {
+ public:
+  void Add(double value_ns);
+  double Mean() const { return count_ ? sum_ / count_ : 0.0; }
+  double Min() const { return count_ ? min_ : 0.0; }
+  double Max() const { return count_ ? max_ : 0.0; }
+  std::size_t Count() const { return count_; }
+  /// Exact percentile over the retained samples (all samples retained).
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sfp::sim

@@ -1,0 +1,94 @@
+#include "switchsim/egress.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sfp::switchsim {
+
+EgressPort::EgressPort(int num_classes, double line_rate_gbps,
+                       std::uint64_t queue_capacity_bytes)
+    : line_rate_gbps_(line_rate_gbps),
+      queue_capacity_bytes_(queue_capacity_bytes),
+      queues_(static_cast<std::size_t>(num_classes)),
+      stats_(static_cast<std::size_t>(num_classes)),
+      backlog_bytes_(static_cast<std::size_t>(num_classes), 0) {
+  SFP_CHECK_GT(num_classes, 0);
+  SFP_CHECK_GT(line_rate_gbps, 0.0);
+}
+
+void EgressPort::Serve(double horizon_ns) {
+  for (;;) {
+    if (server_free_ns_ > horizon_ns) return;
+    // Highest non-empty priority.
+    int chosen = -1;
+    for (int c = static_cast<int>(queues_.size()) - 1; c >= 0; --c) {
+      if (!queues_[static_cast<std::size_t>(c)].empty()) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen < 0) return;
+    auto& queue = queues_[static_cast<std::size_t>(chosen)];
+    const Waiting packet = queue.front();
+    // Non-preemptive: service starts when the server frees up (but not
+    // before the packet arrived). Service must begin strictly before
+    // the horizon, so a packet arriving at time t still occupies its
+    // queue's buffer when the clock is exactly t.
+    const double start = std::max(server_free_ns_, packet.arrival_ns);
+    if (start >= horizon_ns) return;
+    queue.pop_front();
+    backlog_bytes_[static_cast<std::size_t>(chosen)] -= packet.bytes;
+    const double finish = start + TransmitNs(packet.bytes);
+    server_free_ns_ = finish;
+
+    QueueStats& s = stats_[static_cast<std::size_t>(chosen)];
+    ++s.served;
+    const double wait = start - packet.arrival_ns;
+    s.total_wait_ns += wait;
+    s.max_wait_ns = std::max(s.max_wait_ns, wait);
+    departures_.push_back(Departure{packet.id, static_cast<std::uint8_t>(chosen),
+                                    packet.arrival_ns, finish});
+  }
+}
+
+std::optional<std::uint64_t> EgressPort::Enqueue(double arrival_ns, std::uint32_t bytes,
+                                                 std::uint8_t flow_class) {
+  SFP_CHECK_LT(flow_class, queues_.size());
+  SFP_CHECK_GE(arrival_ns, clock_ns_);
+  clock_ns_ = arrival_ns;
+  // Serve everything the port finished before this arrival.
+  Serve(arrival_ns);
+
+  QueueStats& s = stats_[flow_class];
+  if (backlog_bytes_[flow_class] + bytes > queue_capacity_bytes_) {
+    ++s.dropped;
+    return std::nullopt;
+  }
+  ++s.enqueued;
+  backlog_bytes_[flow_class] += bytes;
+  const std::uint64_t id = next_id_++;
+  queues_[flow_class].push_back(Waiting{id, bytes, arrival_ns});
+  return id;
+}
+
+void EgressPort::DrainUntil(double time_ns) {
+  SFP_CHECK_GE(time_ns, clock_ns_);
+  clock_ns_ = time_ns;
+  Serve(time_ns);
+}
+
+void EgressPort::DrainAll() { Serve(std::numeric_limits<double>::infinity()); }
+
+std::vector<Departure> EgressPort::TakeDepartures() {
+  std::vector<Departure> out;
+  out.swap(departures_);
+  return out;
+}
+
+std::uint64_t EgressPort::BacklogBytes() const {
+  std::uint64_t total = 0;
+  for (const auto b : backlog_bytes_) total += b;
+  return total;
+}
+
+}  // namespace sfp::switchsim

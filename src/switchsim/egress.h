@@ -1,0 +1,96 @@
+// Egress port with strict-priority queueing.
+//
+// The ingress pipeline classifies packets (meta.flow_class); the egress
+// port schedules them: higher class = higher priority, non-preemptive,
+// work-conserving, with per-queue tail-drop at a byte occupancy cap.
+// This extends the simulator beyond the paper's ingress-only
+// measurements and backs the latency-under-load example.
+//
+// The model is an inline discrete-event loop: callers enqueue packets
+// in non-decreasing arrival time; the port serves at line rate between
+// arrivals and records departures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sfp::switchsim {
+
+/// Per-class queue statistics.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t served = 0;
+  double total_wait_ns = 0.0;  // time from arrival to departure start
+  double max_wait_ns = 0.0;
+
+  double MeanWaitNs() const { return served ? total_wait_ns / served : 0.0; }
+};
+
+/// A completed departure.
+struct Departure {
+  std::uint64_t packet_id = 0;
+  std::uint8_t flow_class = 0;
+  double arrival_ns = 0.0;
+  double departure_ns = 0.0;  // transmission finished
+};
+
+/// Strict-priority egress port.
+class EgressPort {
+ public:
+  /// `num_classes` priority levels (class c in [0, num_classes); higher
+  /// c preferred), serving at `line_rate_gbps`, each queue bounded by
+  /// `queue_capacity_bytes` of backlog.
+  EgressPort(int num_classes, double line_rate_gbps, std::uint64_t queue_capacity_bytes);
+
+  /// Offers a packet at `arrival_ns` (must be non-decreasing across
+  /// calls). Returns the packet id, or nullopt if tail-dropped.
+  std::optional<std::uint64_t> Enqueue(double arrival_ns, std::uint32_t bytes,
+                                       std::uint8_t flow_class);
+
+  /// Advances the port clock, serving queued packets up to `time_ns`.
+  void DrainUntil(double time_ns);
+
+  /// Serves everything left in the queues.
+  void DrainAll();
+
+  /// Departures completed so far, in service order (cleared on call).
+  std::vector<Departure> TakeDepartures();
+
+  const QueueStats& stats(std::uint8_t flow_class) const {
+    SFP_CHECK_LT(flow_class, queues_.size());
+    return stats_[flow_class];
+  }
+
+  /// Current backlog in bytes across all queues.
+  std::uint64_t BacklogBytes() const;
+
+ private:
+  struct Waiting {
+    std::uint64_t id;
+    std::uint32_t bytes;
+    double arrival_ns;
+  };
+
+  double TransmitNs(std::uint32_t bytes) const {
+    return bytes * 8.0 / line_rate_gbps_;  // bits / (Gbit/s) = ns
+  }
+  /// Serves while the server is free before `horizon` and work exists.
+  void Serve(double horizon_ns);
+
+  double line_rate_gbps_;
+  std::uint64_t queue_capacity_bytes_;
+  std::vector<std::deque<Waiting>> queues_;  // index = class
+  std::vector<QueueStats> stats_;
+  std::vector<std::uint64_t> backlog_bytes_;
+  double server_free_ns_ = 0.0;
+  double clock_ns_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::vector<Departure> departures_;
+};
+
+}  // namespace sfp::switchsim

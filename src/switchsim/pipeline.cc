@@ -1,0 +1,151 @@
+#include "switchsim/pipeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace sfp::switchsim {
+
+Stage::Stage(int index, const SwitchConfig& config)
+    : index_(index),
+      blocks_per_stage_(config.blocks_per_stage),
+      entries_per_block_(config.entries_per_block) {}
+
+MatchActionTable* Stage::AddTable(std::string name, std::vector<MatchFieldSpec> key) {
+  // Every table reserves at least one block (§V-A: "each physical NF
+  // would reserve a piece of memory").
+  if (BlocksUsed() + 1 > blocks_per_stage_) return nullptr;
+  tables_.push_back(std::make_unique<MatchActionTable>(std::move(name), std::move(key)));
+  return tables_.back().get();
+}
+
+bool Stage::RemoveTable(const std::string& name) {
+  const std::size_t before = tables_.size();
+  std::erase_if(tables_, [&name](const auto& t) { return t->name() == name; });
+  return tables_.size() != before;
+}
+
+MatchActionTable* Stage::FindTable(const std::string& name) {
+  for (auto& table : tables_) {
+    if (table->name() == name) return table.get();
+  }
+  return nullptr;
+}
+
+const MatchActionTable* Stage::FindTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) return table.get();
+  }
+  return nullptr;
+}
+
+int Stage::BlocksUsed() const {
+  int blocks = 0;
+  for (const auto& table : tables_) {
+    blocks += static_cast<int>(std::max<std::int64_t>(
+        1, CeilDiv(static_cast<std::int64_t>(table->num_entries()), entries_per_block_)));
+  }
+  return blocks;
+}
+
+std::int64_t Stage::EntriesUsed() const {
+  std::int64_t entries = 0;
+  for (const auto& table : tables_) {
+    entries += static_cast<std::int64_t>(table->num_entries());
+  }
+  return entries;
+}
+
+bool Stage::CanAddEntry(const MatchActionTable& table) const {
+  return CanAddEntries(table, 1);
+}
+
+bool Stage::CanAddEntries(const MatchActionTable& table, std::int64_t count) const {
+  const std::int64_t entries = static_cast<std::int64_t>(table.num_entries()) + count;
+  const int new_blocks =
+      static_cast<int>(std::max<std::int64_t>(1, CeilDiv(entries, entries_per_block_)));
+  const int current_blocks = static_cast<int>(std::max<std::int64_t>(
+      1, CeilDiv(static_cast<std::int64_t>(table.num_entries()), entries_per_block_)));
+  return BlocksUsed() - current_blocks + new_blocks <= blocks_per_stage_;
+}
+
+Pipeline::Pipeline(SwitchConfig config) : config_(config) {
+  SFP_CHECK_GT(config_.num_stages, 0);
+  SFP_CHECK_GT(config_.blocks_per_stage, 0);
+  SFP_CHECK_GT(config_.entries_per_block, 0);
+  stages_.reserve(static_cast<std::size_t>(config_.num_stages));
+  for (int k = 0; k < config_.num_stages; ++k) stages_.emplace_back(k, config_);
+}
+
+Stage& Pipeline::stage(int k) {
+  SFP_CHECK_GE(k, 0);
+  SFP_CHECK_LT(k, num_stages());
+  return stages_[static_cast<std::size_t>(k)];
+}
+
+const Stage& Pipeline::stage(int k) const {
+  SFP_CHECK_GE(k, 0);
+  SFP_CHECK_LT(k, num_stages());
+  return stages_[static_cast<std::size_t>(k)];
+}
+
+ProcessResult Pipeline::Process(const net::Packet& packet) {
+  ProcessResult result;
+  result.packet = packet;
+  result.meta.tenant_id = packet.TenantId();
+  ++packets_;
+
+  for (;;) {
+    result.meta.recirculate = false;
+    for (auto& stage : stages_) {
+      bool active = false;
+      for (auto& table : stage.tables()) {
+        active |= table->Apply(result.packet, result.meta);
+        if (result.meta.dropped) break;
+      }
+      if (active) {
+        ++result.active_stages;
+      } else {
+        ++result.idle_stages;
+      }
+      if (result.meta.dropped) break;
+    }
+    if (result.meta.dropped) {
+      ++drops_;
+      break;
+    }
+    if (!result.meta.recirculate || result.passes >= config_.max_passes) break;
+    ++recirculations_;
+    ++result.passes;
+    ++result.meta.pass;
+  }
+
+  result.latency_ns = config_.timing.LatencyNs(result.active_stages, result.idle_stages,
+                                               result.passes);
+  return result;
+}
+
+ProcessResult Pipeline::ProcessBytes(std::span<const std::uint8_t> bytes) {
+  auto parsed = net::Packet::Parse(bytes);
+  if (!parsed) {
+    ProcessResult result;
+    result.parse_error = true;
+    return result;
+  }
+  return Process(*parsed);
+}
+
+int Pipeline::TotalBlocksUsed() const {
+  int blocks = 0;
+  for (const auto& stage : stages_) blocks += stage.BlocksUsed();
+  return blocks;
+}
+
+std::int64_t Pipeline::TotalEntriesUsed() const {
+  std::int64_t entries = 0;
+  for (const auto& stage : stages_) entries += stage.EntriesUsed();
+  return entries;
+}
+
+}  // namespace sfp::switchsim

@@ -1,0 +1,115 @@
+// The programmable switch pipeline: parser -> S MAU stages -> deparser,
+// with a recirculation path and Tofino-like per-stage memory accounting
+// (B blocks of E rule entries per stage; a table occupies
+// max(1, ceil(entries / E)) blocks — the consolidated memory model of
+// eq. 24).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "switchsim/table.h"
+#include "switchsim/timing.h"
+#include "switchsim/types.h"
+
+namespace sfp::switchsim {
+
+/// Static switch parameters (defaults follow §VI-C's simulated switch:
+/// 8 stages x 20 blocks x 1000 entries, 400 Gbps backplane; the
+/// testbed Tofino of §VI-B instead has 12 stages and 3.2 Tbps).
+struct SwitchConfig {
+  int num_stages = 8;
+  int blocks_per_stage = 20;
+  int entries_per_block = 1000;
+  double backplane_gbps = 400.0;
+  /// Safety bound on recirculation loops.
+  int max_passes = 8;
+  TimingModel timing;
+};
+
+/// One MAU stage: hosts tables and tracks block occupancy.
+class Stage {
+ public:
+  Stage(int index, const SwitchConfig& config);
+
+  /// Creates a table in this stage; returns nullptr if adding its
+  /// initial block reservation would exceed the stage's B blocks.
+  MatchActionTable* AddTable(std::string name, std::vector<MatchFieldSpec> key);
+
+  /// Removes a table by name; returns false if unknown.
+  bool RemoveTable(const std::string& name);
+
+  /// Finds a table by name (nullptr if absent).
+  MatchActionTable* FindTable(const std::string& name);
+  const MatchActionTable* FindTable(const std::string& name) const;
+
+  /// Blocks occupied by all tables (each table >= 1 block).
+  int BlocksUsed() const;
+  /// Installed entries across all tables.
+  std::int64_t EntriesUsed() const;
+  /// True if one more entry in `table` still fits the stage memory.
+  bool CanAddEntry(const MatchActionTable& table) const;
+  /// True if `count` more entries in `table` still fit the stage memory.
+  bool CanAddEntries(const MatchActionTable& table, std::int64_t count) const;
+
+  int index() const { return index_; }
+  const std::vector<std::unique_ptr<MatchActionTable>>& tables() const { return tables_; }
+
+ private:
+  int index_;
+  int blocks_per_stage_;
+  int entries_per_block_;
+  std::vector<std::unique_ptr<MatchActionTable>> tables_;
+};
+
+/// Result of pushing one packet through the pipeline.
+struct ProcessResult {
+  net::Packet packet;
+  PacketMeta meta;
+  int passes = 1;
+  int active_stages = 0;
+  int idle_stages = 0;
+  double latency_ns = 0.0;
+  /// Parse failed (ProcessBytes only); packet/meta are default.
+  bool parse_error = false;
+};
+
+/// The switch pipeline.
+class Pipeline {
+ public:
+  explicit Pipeline(SwitchConfig config = {});
+
+  /// Runs a parsed packet through the pipeline, following drops and
+  /// recirculation. The metadata's tenant id is seeded from the VLAN
+  /// tag; pass starts at 0.
+  ProcessResult Process(const net::Packet& packet);
+
+  /// Parses raw bytes first (exercising the wire path), then Process().
+  ProcessResult ProcessBytes(std::span<const std::uint8_t> bytes);
+
+  Stage& stage(int k);
+  const Stage& stage(int k) const;
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const SwitchConfig& config() const { return config_; }
+
+  /// Aggregate counters.
+  std::uint64_t packets_processed() const { return packets_; }
+  std::uint64_t packets_dropped() const { return drops_; }
+  std::uint64_t recirculations() const { return recirculations_; }
+
+  /// Total blocks used across stages (utilization numerator of Fig. 6).
+  int TotalBlocksUsed() const;
+  /// Total entries installed across stages.
+  std::int64_t TotalEntriesUsed() const;
+
+ private:
+  SwitchConfig config_;
+  std::vector<Stage> stages_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t recirculations_ = 0;
+};
+
+}  // namespace sfp::switchsim

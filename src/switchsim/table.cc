@@ -1,0 +1,106 @@
+#include "switchsim/table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sfp::switchsim {
+
+MatchActionTable::MatchActionTable(std::string name, std::vector<MatchFieldSpec> key)
+    : name_(std::move(name)), key_(std::move(key)) {}
+
+ActionId MatchActionTable::RegisterAction(std::string name, ActionFn fn) {
+  action_names_.push_back(std::move(name));
+  actions_.push_back(std::move(fn));
+  return static_cast<ActionId>(actions_.size() - 1);
+}
+
+void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
+  SFP_CHECK_GE(action, 0);
+  SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
+  default_action_ = {action, std::move(args)};
+}
+
+EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId action,
+                                       ActionArgs args, int priority,
+                                       std::uint16_t owner_tenant) {
+  SFP_CHECK_MSG(matches.size() == key_.size(), "entry key arity mismatch");
+  SFP_CHECK_GE(action, 0);
+  SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
+  TableEntry entry;
+  entry.matches = std::move(matches);
+  entry.action = action;
+  entry.args = std::move(args);
+  entry.priority = priority;
+  entry.owner_tenant = owner_tenant;
+  entry.handle = next_handle_++;
+  entries_.push_back(std::move(entry));
+  return entries_.back().handle;
+}
+
+bool MatchActionTable::RemoveEntry(EntryHandle handle) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [handle](const TableEntry& e) { return e.handle == handle; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t MatchActionTable::RemoveTenantEntries(std::uint16_t tenant) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [tenant](const TableEntry& e) { return e.owner_tenant == tenant; });
+  return before - entries_.size();
+}
+
+const TableEntry* MatchActionTable::Lookup(const net::Packet& packet,
+                                           const PacketMeta& meta) const {
+  // Extract key field values once.
+  std::uint64_t values[16];
+  SFP_CHECK_LE(key_.size(), 16u);
+  for (std::size_t f = 0; f < key_.size(); ++f) {
+    values[f] = GetField(packet, meta, key_[f].field);
+  }
+
+  const TableEntry* best = nullptr;
+  int best_priority = 0;
+  int best_prefix = -1;
+  for (const TableEntry& entry : entries_) {
+    bool match = true;
+    int prefix_score = 0;
+    for (std::size_t f = 0; f < key_.size() && match; ++f) {
+      match = FieldMatches(entry.matches[f], key_[f].kind, values[f]);
+      if (key_[f].kind == MatchKind::kLpm) prefix_score += entry.matches[f].prefix_len;
+    }
+    if (!match) continue;
+    if (best == nullptr || entry.priority > best_priority ||
+        (entry.priority == best_priority && prefix_score > best_prefix)) {
+      best = &entry;
+      best_priority = entry.priority;
+      best_prefix = prefix_score;
+    }
+  }
+  return best;
+}
+
+bool MatchActionTable::Apply(net::Packet& packet, PacketMeta& meta) {
+  const TableEntry* entry = Lookup(packet, meta);
+  if (entry != nullptr) {
+    ++hits_;
+    actions_[static_cast<std::size_t>(entry->action)](packet, meta, entry->args);
+    return true;
+  }
+  ++misses_;
+  if (default_action_) {
+    actions_[static_cast<std::size_t>(default_action_->first)](packet, meta,
+                                                               default_action_->second);
+  }
+  return false;
+}
+
+bool MatchActionTable::NeedsTcam() const {
+  return std::any_of(key_.begin(), key_.end(), [](const MatchFieldSpec& spec) {
+    return spec.kind == MatchKind::kTernary || spec.kind == MatchKind::kRange;
+  });
+}
+
+}  // namespace sfp::switchsim

@@ -1,0 +1,102 @@
+// Match-action table (MAT) of the switch simulator.
+//
+// A table declares a match key (a list of fields with match kinds),
+// registers its actions as callbacks, and holds prioritized entries.
+// Lookup semantics follow P4 targets: the highest-priority matching
+// entry wins; among LPM fields the longest prefix wins; ties resolve to
+// the earliest-installed entry. A miss applies the default action
+// (SFP's physical NFs default to "No-Op": forward to the next stage,
+// §IV).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "switchsim/types.h"
+
+namespace sfp::switchsim {
+
+/// Action arguments are plain 64-bit words (P4 action data).
+using ActionArgs = std::vector<std::uint64_t>;
+
+/// Action implementation: mutates the packet and/or metadata.
+using ActionFn = std::function<void(net::Packet&, PacketMeta&, const ActionArgs&)>;
+
+/// Identifier of a registered action within one table.
+using ActionId = std::int32_t;
+
+/// Entry handle, unique within one table for its lifetime.
+using EntryHandle = std::uint64_t;
+
+/// One installed rule.
+struct TableEntry {
+  std::vector<FieldMatch> matches;  // parallel to the table's key spec
+  ActionId action = 0;
+  ActionArgs args;
+  /// Higher priority wins on overlap (TCAM semantics).
+  int priority = 0;
+  /// Owning tenant (0 = infrastructure rule); enables bulk removal when
+  /// a tenant's SFC is deallocated.
+  std::uint16_t owner_tenant = 0;
+  EntryHandle handle = 0;
+};
+
+/// A match-action table.
+class MatchActionTable {
+ public:
+  MatchActionTable(std::string name, std::vector<MatchFieldSpec> key);
+
+  /// Registers an action; the returned id is used in entries.
+  ActionId RegisterAction(std::string name, ActionFn fn);
+
+  /// Sets the miss behaviour. Without a default action a miss is a
+  /// true no-op.
+  void SetDefaultAction(ActionId action, ActionArgs args = {});
+
+  /// Installs an entry; returns its handle. `matches` must have one
+  /// pattern per key field and `action` must be registered.
+  EntryHandle AddEntry(std::vector<FieldMatch> matches, ActionId action,
+                       ActionArgs args = {}, int priority = 0,
+                       std::uint16_t owner_tenant = 0);
+
+  /// Removes an entry by handle; returns false if unknown.
+  bool RemoveEntry(EntryHandle handle);
+
+  /// Removes all entries owned by `tenant`; returns the removal count.
+  std::size_t RemoveTenantEntries(std::uint16_t tenant);
+
+  /// Returns the winning entry for the packet, or nullptr on miss.
+  const TableEntry* Lookup(const net::Packet& packet, const PacketMeta& meta) const;
+
+  /// Lookup + action execution (default action on miss). Returns true
+  /// if an installed entry was hit.
+  bool Apply(net::Packet& packet, PacketMeta& meta);
+
+  const std::string& name() const { return name_; }
+  const std::vector<MatchFieldSpec>& key() const { return key_; }
+  std::size_t num_entries() const { return entries_.size(); }
+  const std::vector<TableEntry>& entries() const { return entries_; }
+  const std::vector<std::string>& action_names() const { return action_names_; }
+
+  /// True if any key field needs TCAM (ternary/range).
+  bool NeedsTcam() const;
+
+  std::uint64_t hit_count() const { return hits_; }
+  std::uint64_t miss_count() const { return misses_; }
+
+ private:
+  std::string name_;
+  std::vector<MatchFieldSpec> key_;
+  std::vector<std::string> action_names_;
+  std::vector<ActionFn> actions_;
+  std::optional<std::pair<ActionId, ActionArgs>> default_action_;
+  std::vector<TableEntry> entries_;
+  EntryHandle next_handle_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sfp::switchsim

@@ -1,0 +1,97 @@
+#include "workload/instance_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace sfp::workload {
+
+bool WriteInstance(const controlplane::PlacementInstance& instance, std::ostream& os) {
+  // Full round-trip precision for the bandwidth doubles.
+  os << std::setprecision(17);
+  os << "# SFP placement instance\n";
+  os << "switch " << instance.sw.stages << " " << instance.sw.blocks_per_stage << " "
+     << instance.sw.entries_per_block << " " << instance.sw.rule_width << " "
+     << instance.sw.capacity_gbps << "\n";
+  os << "types " << instance.num_types << "\n";
+  for (const auto& sfc : instance.sfcs) {
+    os << "sfc " << sfc.bandwidth_gbps;
+    for (const auto& box : sfc.boxes) {
+      os << " " << box.type << ":" << box.rules;
+      if (box.state_entries > 0) os << ":" << box.state_entries;
+    }
+    os << "\n";
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<controlplane::PlacementInstance> ReadInstance(std::istream& is) {
+  controlplane::PlacementInstance instance;
+  bool saw_switch = false;
+  bool saw_types = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;  // blank line
+
+    if (keyword == "switch") {
+      if (!(tokens >> instance.sw.stages >> instance.sw.blocks_per_stage >>
+            instance.sw.entries_per_block >> instance.sw.rule_width >>
+            instance.sw.capacity_gbps)) {
+        return std::nullopt;
+      }
+      if (instance.sw.stages <= 0 || instance.sw.blocks_per_stage <= 0 ||
+          instance.sw.entries_per_block <= 0 || instance.sw.rule_width <= 0) {
+        return std::nullopt;
+      }
+      saw_switch = true;
+    } else if (keyword == "types") {
+      if (!(tokens >> instance.num_types) || instance.num_types <= 0) return std::nullopt;
+      saw_types = true;
+    } else if (keyword == "sfc") {
+      controlplane::SfcSpec sfc;
+      if (!(tokens >> sfc.bandwidth_gbps) || sfc.bandwidth_gbps < 0) return std::nullopt;
+      std::string box_text;
+      while (tokens >> box_text) {
+        controlplane::NfBox box;
+        char colon1 = 0, colon2 = 0;
+        std::istringstream box_tokens(box_text);
+        if (!(box_tokens >> box.type >> colon1 >> box.rules) || colon1 != ':') {
+          return std::nullopt;
+        }
+        if (box_tokens >> colon2 >> box.state_entries) {
+          if (colon2 != ':') return std::nullopt;
+        }
+        if (box.type < 0 || box.rules < 0 || box.state_entries < 0) return std::nullopt;
+        sfc.boxes.push_back(box);
+      }
+      if (sfc.boxes.empty()) return std::nullopt;
+      instance.sfcs.push_back(std::move(sfc));
+    } else {
+      return std::nullopt;  // unknown keyword
+    }
+  }
+  if (!saw_switch || !saw_types) return std::nullopt;
+  for (const auto& sfc : instance.sfcs) {
+    for (const auto& box : sfc.boxes) {
+      if (box.type >= instance.num_types) return std::nullopt;
+    }
+  }
+  return instance;
+}
+
+bool SaveInstance(const controlplane::PlacementInstance& instance, const std::string& path) {
+  std::ofstream os(path);
+  return os && WriteInstance(instance, os);
+}
+
+std::optional<controlplane::PlacementInstance> LoadInstance(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return ReadInstance(is);
+}
+
+}  // namespace sfp::workload

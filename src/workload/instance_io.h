@@ -1,0 +1,32 @@
+// Text serialization for placement instances.
+//
+// Line-oriented format, '#' comments allowed:
+//
+//   switch <stages> <blocks_per_stage> <entries_per_block> <rule_width> <capacity_gbps>
+//   types <I>
+//   sfc <bandwidth_gbps> <type:rules[:state]> <type:rules[:state]> ...
+//
+// Used by the sfpctl tool so datasets can be generated once, shared,
+// and re-solved with different algorithms.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "controlplane/instance.h"
+
+namespace sfp::workload {
+
+/// Writes the instance; returns false on I/O failure.
+bool WriteInstance(const controlplane::PlacementInstance& instance, std::ostream& os);
+
+/// Parses an instance; returns nullopt with no partial state on any
+/// syntax or range error.
+std::optional<controlplane::PlacementInstance> ReadInstance(std::istream& is);
+
+/// File-based convenience wrappers.
+bool SaveInstance(const controlplane::PlacementInstance& instance, const std::string& path);
+std::optional<controlplane::PlacementInstance> LoadInstance(const std::string& path);
+
+}  // namespace sfp::workload

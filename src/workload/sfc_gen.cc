@@ -1,0 +1,77 @@
+#include "workload/sfc_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sfp::workload {
+
+controlplane::PlacementInstance GenerateInstance(const DatasetParams& params,
+                                                 const controlplane::SwitchResources& sw,
+                                                 Rng& rng) {
+  SFP_CHECK_GT(params.num_sfcs, 0);
+  SFP_CHECK_GT(params.num_types, 0);
+  controlplane::PlacementInstance instance;
+  instance.sw = sw;
+  instance.num_types = params.num_types;
+
+  std::vector<int> type_pool(static_cast<std::size_t>(params.num_types));
+  std::iota(type_pool.begin(), type_pool.end(), 0);
+
+  for (int l = 0; l < params.num_sfcs; ++l) {
+    controlplane::SfcSpec sfc;
+    const int length =
+        params.fixed_chain_len > 0
+            ? params.fixed_chain_len
+            : static_cast<int>(rng.UniformInt(params.min_chain_len, params.max_chain_len));
+
+    if (params.distinct_types_in_chain && length <= params.num_types) {
+      rng.Shuffle(type_pool);
+      for (int j = 0; j < length; ++j) {
+        sfc.boxes.push_back({type_pool[static_cast<std::size_t>(j)],
+                             rng.UniformInt(params.min_rules, params.max_rules)});
+      }
+    } else {
+      for (int j = 0; j < length; ++j) {
+        sfc.boxes.push_back({static_cast<int>(rng.UniformInt(0, params.num_types - 1)),
+                             rng.UniformInt(params.min_rules, params.max_rules)});
+      }
+    }
+
+    sfc.bandwidth_gbps = std::min(
+        params.bw_cap_gbps, rng.Pareto(params.bw_pareto_shape, params.bw_pareto_scale_gbps));
+    instance.sfcs.push_back(std::move(sfc));
+  }
+  instance.CheckValid();
+  return instance;
+}
+
+dataplane::Sfc GenerateConcreteSfc(dataplane::TenantId tenant, int chain_len,
+                                   double bandwidth_gbps, Rng& rng, int rules_per_nf) {
+  SFP_CHECK_GT(chain_len, 0);
+  dataplane::Sfc sfc;
+  sfc.tenant = tenant;
+  sfc.bandwidth_gbps = bandwidth_gbps;
+
+  std::vector<int> types(static_cast<std::size_t>(nf::kNumNfTypes));
+  std::iota(types.begin(), types.end(), 0);
+  rng.Shuffle(types);
+
+  for (int j = 0; j < chain_len; ++j) {
+    const auto type = static_cast<nf::NfType>(
+        j < nf::kNumNfTypes ? types[static_cast<std::size_t>(j)]
+                            : static_cast<int>(rng.UniformInt(0, nf::kNumNfTypes - 1)));
+    auto nf_impl = nf::MakeNf(type);
+    nf::NfConfig config;
+    config.type = type;
+    const int count = rules_per_nf > 0
+                          ? rules_per_nf
+                          : static_cast<int>(rng.UniformInt(100, 2100)) / 20;  // scaled
+    config.rules = nf_impl->GenerateRules(rng, count);
+    sfc.chain.push_back(std::move(config));
+  }
+  return sfc;
+}
+
+}  // namespace sfp::workload

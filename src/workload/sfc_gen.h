@@ -1,0 +1,52 @@
+// Synthetic SFC dataset generation (§VI-A).
+//
+// "Each SFC randomly chooses different NFs to compose the chain, and
+//  the number of rules for each NF uniformly ranges from 100 to 2100;
+//  the bandwidth requirement of each NF follows the long-tail
+//  distribution."
+//
+// Two flavours are produced: abstract PlacementInstances for the
+// control-plane experiments (types are indices 0..I-1) and concrete
+// dataplane::Sfc objects (real NF rules) for end-to-end runs.
+#pragma once
+
+#include "common/rng.h"
+#include "controlplane/instance.h"
+#include "dataplane/sfc.h"
+
+namespace sfp::workload {
+
+/// Knobs matching the paper's dataset description.
+struct DatasetParams {
+  int num_sfcs = 20;        // L
+  int num_types = 10;       // I
+  /// Chain length is uniform in [min, max] (avg 5 with 3..7); a
+  /// positive fixed_chain_len overrides both (Fig. 7 uses length 8).
+  int min_chain_len = 3;
+  int max_chain_len = 7;
+  int fixed_chain_len = 0;
+  /// Rules per NF ~ U[min_rules, max_rules].
+  std::int64_t min_rules = 100;
+  std::int64_t max_rules = 2100;
+  /// Per-SFC bandwidth ~ Pareto(shape, scale), capped at one port.
+  double bw_pareto_shape = 1.6;
+  double bw_pareto_scale_gbps = 3.0;
+  double bw_cap_gbps = 100.0;
+  /// Chains avoid repeating an NF type when the universe allows it.
+  bool distinct_types_in_chain = true;
+};
+
+/// Generates an abstract control-plane instance.
+controlplane::PlacementInstance GenerateInstance(const DatasetParams& params,
+                                                 const controlplane::SwitchResources& sw,
+                                                 Rng& rng);
+
+/// Generates one concrete tenant SFC over the real NF library. The
+/// chain types are drawn from the library's kNumNfTypes; `rules_per_nf`
+/// rules are synthesized per NF (<=0 draws U[100, 2100] like the
+/// abstract dataset, scaled down by `rule_scale` to keep end-to-end
+/// tests fast).
+dataplane::Sfc GenerateConcreteSfc(dataplane::TenantId tenant, int chain_len,
+                                   double bandwidth_gbps, Rng& rng, int rules_per_nf = -1);
+
+}  // namespace sfp::workload

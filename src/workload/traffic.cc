@@ -1,0 +1,45 @@
+#include "workload/traffic.h"
+
+#include "common/check.h"
+
+namespace sfp::workload {
+
+PacketSizeProfile::PacketSizeProfile(double small_fraction, double medium_fraction)
+    : small_fraction_(small_fraction), medium_fraction_(medium_fraction) {
+  SFP_CHECK_GE(small_fraction, 0.0);
+  SFP_CHECK_GE(medium_fraction, 0.0);
+  SFP_CHECK_LE(small_fraction + medium_fraction, 1.0);
+}
+
+int PacketSizeProfile::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  if (u < small_fraction_) return static_cast<int>(rng.UniformInt(64, 200));
+  if (u < small_fraction_ + medium_fraction_) return static_cast<int>(rng.UniformInt(201, 1399));
+  return static_cast<int>(rng.UniformInt(1400, 1500));
+}
+
+double PacketSizeProfile::MeanBytes() const {
+  const double large_fraction = 1.0 - small_fraction_ - medium_fraction_;
+  return small_fraction_ * (64 + 200) / 2.0 + medium_fraction_ * (201 + 1399) / 2.0 +
+         large_fraction * (1400 + 1500) / 2.0;
+}
+
+std::vector<net::Packet> GenerateFlows(std::uint16_t tenant, int num_flows, int count,
+                                       const PacketSizeProfile& profile, Rng& rng) {
+  SFP_CHECK_GT(num_flows, 0);
+  std::vector<net::Packet> packets;
+  packets.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int flow = static_cast<int>(rng.UniformInt(0, num_flows - 1));
+    const auto src = net::Ipv4Address::Of(
+        10, 1, static_cast<std::uint8_t>(flow >> 8), static_cast<std::uint8_t>(flow & 0xFF));
+    const auto dst = net::Ipv4Address::Of(10, 0, 0, 100);
+    const auto sport = static_cast<std::uint16_t>(1024 + flow % 50000);
+    const int size = profile.Sample(rng);
+    packets.push_back(net::MakeTcpPacket(tenant, src, dst, sport, 80,
+                                         static_cast<std::uint32_t>(size)));
+  }
+  return packets;
+}
+
+}  // namespace sfp::workload

@@ -1,0 +1,135 @@
+// Tests for atomic batched data-plane updates (§V-E reconciliation).
+#include <gtest/gtest.h>
+
+#include "dataplane/data_plane.h"
+#include "nf/firewall.h"
+
+namespace sfp::dataplane {
+namespace {
+
+using net::Ipv4Address;
+using net::MakeTcpPacket;
+using Op = DataPlane::UpdateOp;
+
+nf::NfConfig Fw(std::uint16_t port, int extra_rules = 0) {
+  nf::NfConfig config;
+  config.type = nf::NfType::kFirewall;
+  config.rules.push_back(nf::Firewall::Deny(
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+      switchsim::FieldMatch::Any(), switchsim::FieldMatch::Range(port, port),
+      switchsim::FieldMatch::Any()));
+  for (int i = 0; i < extra_rules; ++i) {
+    config.rules.push_back(nf::Firewall::Deny(
+        switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+        switchsim::FieldMatch::Any(),
+        switchsim::FieldMatch::Range(10000 + static_cast<std::uint64_t>(i),
+                                     10000 + static_cast<std::uint64_t>(i)),
+        switchsim::FieldMatch::Any()));
+  }
+  return config;
+}
+
+Sfc MakeSfc(TenantId tenant, std::uint16_t port, int extra_rules = 0) {
+  Sfc sfc;
+  sfc.tenant = tenant;
+  sfc.bandwidth_gbps = 5;
+  sfc.chain = {Fw(port, extra_rules)};
+  return sfc;
+}
+
+switchsim::SwitchConfig SmallSwitch() {
+  switchsim::SwitchConfig config;
+  config.num_stages = 1;
+  config.blocks_per_stage = 1;
+  config.entries_per_block = 50;
+  return config;
+}
+
+TEST(AtomicUpdateTest, AppliesMixedBatch) {
+  DataPlane dp(SmallSwitch());
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kFirewall));
+  ASSERT_TRUE(dp.AllocateSfc(MakeSfc(1, 80)).ok);
+
+  const auto result = dp.ApplyAtomic({
+      Op{Op::Kind::kRemove, MakeSfc(1, 80)},
+      Op{Op::Kind::kAdmit, MakeSfc(2, 443)},
+      Op{Op::Kind::kAdmit, MakeSfc(3, 22)},
+  });
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_FALSE(dp.IsAllocated(1));
+  EXPECT_TRUE(dp.IsAllocated(2));
+  EXPECT_TRUE(dp.IsAllocated(3));
+}
+
+TEST(AtomicUpdateTest, FailedAdmitRollsEverythingBack) {
+  DataPlane dp(SmallSwitch());
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kFirewall));
+  // Tenant 1 occupies most of the 50-entry block.
+  ASSERT_TRUE(dp.AllocateSfc(MakeSfc(1, 80, /*extra_rules=*/40)).ok);
+  const auto entries_before = dp.pipeline().TotalEntriesUsed();
+
+  // Batch: admit a small tenant, then one that cannot possibly fit.
+  const auto result = dp.ApplyAtomic({
+      Op{Op::Kind::kAdmit, MakeSfc(2, 443)},
+      Op{Op::Kind::kAdmit, MakeSfc(3, 22, /*extra_rules=*/45)},
+  });
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_op, 1);
+  // All-or-nothing: tenant 2's partial admission was rolled back.
+  EXPECT_FALSE(dp.IsAllocated(2));
+  EXPECT_FALSE(dp.IsAllocated(3));
+  EXPECT_TRUE(dp.IsAllocated(1));
+  EXPECT_EQ(dp.pipeline().TotalEntriesUsed(), entries_before);
+
+  // Tenant 1's rules still work.
+  auto out = dp.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                      Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  EXPECT_TRUE(out.meta.dropped);
+}
+
+TEST(AtomicUpdateTest, FailedRemoveRestoresRemovedTenants) {
+  DataPlane dp(SmallSwitch());
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kFirewall));
+  ASSERT_TRUE(dp.AllocateSfc(MakeSfc(1, 80)).ok);
+
+  // Remove tenant 1, then "remove" a tenant that does not exist.
+  const auto result = dp.ApplyAtomic({
+      Op{Op::Kind::kRemove, MakeSfc(1, 80)},
+      Op{Op::Kind::kRemove, MakeSfc(9, 443)},
+  });
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.failed_op, 1);
+  EXPECT_EQ(result.error, "tenant not allocated");
+  // Tenant 1 was restored with working rules.
+  ASSERT_TRUE(dp.IsAllocated(1));
+  auto out = dp.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                      Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  EXPECT_TRUE(out.meta.dropped);
+}
+
+TEST(AtomicUpdateTest, RemoveThenReadmitSwapsInPlace) {
+  // Classic reconfiguration: replace a tenant's chain in one atomic step.
+  DataPlane dp(SmallSwitch());
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kFirewall));
+  ASSERT_TRUE(dp.AllocateSfc(MakeSfc(1, 80)).ok);
+
+  const auto result = dp.ApplyAtomic({
+      Op{Op::Kind::kRemove, MakeSfc(1, 80)},
+      Op{Op::Kind::kAdmit, MakeSfc(1, 443)},  // same tenant, new config
+  });
+  ASSERT_TRUE(result.ok) << result.error;
+  auto p80 = dp.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                      Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  auto p443 = dp.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                       Ipv4Address::Of(2, 2, 2, 2), 9, 443, 64));
+  EXPECT_FALSE(p80.meta.dropped);
+  EXPECT_TRUE(p443.meta.dropped);
+}
+
+TEST(AtomicUpdateTest, EmptyBatchIsNoOp) {
+  DataPlane dp(SmallSwitch());
+  EXPECT_TRUE(dp.ApplyAtomic({}).ok);
+}
+
+}  // namespace
+}  // namespace sfp::dataplane

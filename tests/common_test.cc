@@ -1,0 +1,148 @@
+// Tests for common utilities: RNG determinism/distributions, table
+// rendering, unit conversions.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace sfp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(100, 2100);
+    EXPECT_GE(v, 100);
+    EXPECT_LE(v, 2100);
+  }
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000 && !(saw_lo && saw_hi); ++i) {
+    const auto v = rng.UniformInt(0, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(12);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.01);
+}
+
+TEST(RngTest, ParetoIsLongTailedAboveScale) {
+  Rng rng(13);
+  double max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Pareto(/*shape=*/1.5, /*scale=*/2.0);
+    EXPECT_GE(v, 2.0);
+    max_seen = std::max(max_seen, v);
+  }
+  // A long tail should produce draws far above the scale.
+  EXPECT_GT(max_seen, 20.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.Fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent_copy(15);
+  (void)parent_copy.Next();  // parent consumed one draw when forking
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child.Next() == parent_copy.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(16);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"L", "Throughput"});
+  table.Row().Add(std::int64_t{10}).Add(247.13, 1);
+  table.Row().Add(std::int64_t{20}).Add(9.5, 1);
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("L "), std::string::npos);
+  EXPECT_NE(out.find("247.1"), std::string::npos);
+  EXPECT_NE(out.find("9.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasNoPadding) {
+  Table table({"a", "b"});
+  table.Row().Add("x").Add(std::int64_t{1});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(UnitsTest, PpsGbpsRoundTrip) {
+  const double pps = GbpsToPps(100.0, 64);
+  EXPECT_NEAR(pps, 100e9 / (64 * 8), 1);
+  EXPECT_NEAR(PpsToGbps(pps, 64), 100.0, 1e-9);
+}
+
+TEST(UnitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+  EXPECT_EQ(CeilDiv(5, 5), 1);
+  EXPECT_EQ(CeilDiv(6, 5), 2);
+  EXPECT_EQ(CeilDiv(2100, 1000), 3);
+}
+
+TEST(UnitsTest, CyclesToNanos) {
+  EXPECT_NEAR(CyclesToNanos(2200, 2.2), 1000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfp

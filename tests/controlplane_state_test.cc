@@ -1,0 +1,160 @@
+// Tests for the §VII "NF States" extension (state memory shares the
+// stage SRAM with rule entries) and feasibility properties of the
+// structured rounding.
+#include <gtest/gtest.h>
+
+#include "controlplane/approx_solver.h"
+#include "controlplane/greedy_solver.h"
+#include "controlplane/ilp_solver.h"
+#include "controlplane/model_builder.h"
+#include "controlplane/verifier.h"
+#include "lp/simplex.h"
+#include "workload/sfc_gen.h"
+
+namespace sfp::controlplane {
+namespace {
+
+TEST(NfStateTest, MemoryUnitsIncludeState) {
+  NfBox stateless{0, 500, 0};
+  NfBox stateful{0, 500, 300};
+  EXPECT_EQ(stateless.MemoryUnits(1), 500);
+  EXPECT_EQ(stateful.MemoryUnits(1), 800);
+  EXPECT_EQ(stateful.MemoryUnits(2), 1300);  // rule width multiplies rules only
+}
+
+TEST(NfStateTest, VerifierChargesStateMemory) {
+  PlacementInstance instance;
+  instance.sw.stages = 1;
+  instance.sw.blocks_per_stage = 1;
+  instance.sw.entries_per_block = 1000;
+  instance.sw.capacity_gbps = 100;
+  instance.num_types = 1;
+  // 600 rules + 500 state = 1100 units > one 1000-entry block.
+  instance.sfcs.push_back({{{0, 600, 500}}, 5.0});
+
+  PlacementSolution solution;
+  solution.physical = {{true}};
+  solution.chains.resize(1);
+  solution.chains[0].placed = true;
+  solution.chains[0].virtual_stages = {1};
+
+  EXPECT_FALSE(Verify(instance, solution, {MemoryModel::kConsolidated, 1}).ok);
+  instance.sfcs[0].boxes[0].state_entries = 300;  // 900 units: fits
+  EXPECT_TRUE(Verify(instance, solution, {MemoryModel::kConsolidated, 1}).ok);
+}
+
+TEST(NfStateTest, IlpAccountsForStateMemory) {
+  // Two single-box chains of the same type; each 600 units with state.
+  // One block holds only one of them.
+  PlacementInstance instance;
+  instance.sw.stages = 1;
+  instance.sw.blocks_per_stage = 1;
+  instance.sw.entries_per_block = 1000;
+  instance.sw.capacity_gbps = 100;
+  instance.num_types = 1;
+  instance.sfcs.push_back({{{0, 300, 300}}, 10.0});
+  instance.sfcs.push_back({{{0, 300, 300}}, 8.0});
+
+  IlpOptions options;
+  options.model.max_passes = 2;
+  auto report = SolveIlp(instance, options);
+  ASSERT_EQ(report.status, lp::SolveStatus::kOptimal);
+  // 600 + 600 = 1200 > 1000: only the higher-value chain fits.
+  EXPECT_NEAR(report.objective, 10.0, 1e-5);
+
+  // Without state both fit (300 + 300 <= 1000).
+  instance.sfcs[0].boxes[0].state_entries = 0;
+  instance.sfcs[1].boxes[0].state_entries = 0;
+  auto no_state = SolveIlp(instance, options);
+  ASSERT_EQ(no_state.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(no_state.objective, 18.0, 1e-5);
+}
+
+TEST(NfStateTest, GreedyAccountsForStateMemory) {
+  PlacementInstance instance;
+  instance.sw.stages = 1;
+  instance.sw.blocks_per_stage = 1;
+  instance.sw.entries_per_block = 1000;
+  instance.sw.capacity_gbps = 100;
+  instance.num_types = 1;
+  instance.sfcs.push_back({{{0, 300, 600}}, 10.0});  // 900 units
+  instance.sfcs.push_back({{{0, 300, 0}}, 8.0});     // 300 units
+
+  GreedyOptions options;
+  options.max_passes = 2;
+  auto report = SolveGreedy(instance, options);
+  // eq. 13's metric counts rules only, so SFC0 (10/300) outranks SFC1
+  // (8/300); SFC0's 900 units land first and SFC1's 300 no longer fit
+  // the 1000-entry block.
+  EXPECT_TRUE(report.solution.chains[0].placed);
+  EXPECT_FALSE(report.solution.chains[1].placed);
+
+  // Without state memory both fit (300 + 300 <= 1000).
+  instance.sfcs[0].boxes[0].state_entries = 0;
+  auto no_state = SolveGreedy(instance, options);
+  EXPECT_EQ(no_state.solution.NumPlaced(), 2);
+}
+
+// Structured rounding must produce verifier-clean placements on random
+// memory-tight instances (feasible by construction).
+class RoundingFeasibilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundingFeasibilityTest, EveryDrawVerifies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  workload::DatasetParams params;
+  params.num_sfcs = 25;
+  params.num_types = 8;
+  SwitchResources sw;
+  sw.blocks_per_stage = 6;  // memory-tight
+  auto instance = workload::GenerateInstance(params, sw, rng);
+
+  ModelOptions options;
+  options.max_passes = 3;
+  auto pm = BuildPlacementModel(instance, options);
+  lp::Simplex simplex(pm.model);
+  auto lp_solution = simplex.Solve();
+  ASSERT_EQ(lp_solution.status, lp::SolveStatus::kOptimal);
+
+  VerifyOptions verify_options;
+  verify_options.max_passes = 3;
+  int verified = 0;
+  for (int draw = 0; draw < 20; ++draw) {
+    auto rounded = StructuredRound(instance, pm, lp_solution.values, rng);
+    ASSERT_TRUE(rounded.has_value());
+    auto verdict = Verify(instance, *rounded, verify_options);
+    EXPECT_TRUE(verdict.ok) << verdict.violation;
+    verified += verdict.ok;
+    // The rounded objective never exceeds the LP bound.
+    EXPECT_LE(rounded->ObjectiveWeighted(instance), lp_solution.objective + 1e-2);
+  }
+  EXPECT_EQ(verified, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(TightInstances, RoundingFeasibilityTest, ::testing::Range(0, 6));
+
+TEST(GreedyCompleteFromLpTest, AlwaysVerifies) {
+  Rng rng(404);
+  workload::DatasetParams params;
+  params.num_sfcs = 20;
+  params.num_types = 8;
+  SwitchResources sw;
+  sw.blocks_per_stage = 8;
+  auto instance = workload::GenerateInstance(params, sw, rng);
+
+  ModelOptions options;
+  options.max_passes = 3;
+  auto pm = BuildPlacementModel(instance, options);
+  lp::Simplex simplex(pm.model);
+  auto lp_solution = simplex.Solve();
+  ASSERT_EQ(lp_solution.status, lp::SolveStatus::kOptimal);
+
+  auto completed = GreedyCompleteFromLp(instance, pm, lp_solution.values);
+  VerifyOptions verify_options;
+  verify_options.max_passes = 3;
+  auto verdict = Verify(instance, completed, verify_options);
+  EXPECT_TRUE(verdict.ok) << verdict.violation;
+  EXPECT_GT(completed.NumPlaced(), 0);
+}
+
+}  // namespace
+}  // namespace sfp::controlplane

@@ -1,0 +1,110 @@
+// Tests for branching-SFC flattening (§VII).
+#include "dataplane/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "dataplane/data_plane.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+
+namespace sfp::dataplane {
+namespace {
+
+nf::NfConfig Nf(nf::NfType type) {
+  nf::NfConfig config;
+  config.type = type;
+  return config;
+}
+
+TEST(DagTest, ValidatesStructure) {
+  SfcDag dag;
+  dag.nodes.push_back({Nf(nf::NfType::kFirewall), {1}});
+  dag.nodes.push_back({Nf(nf::NfType::kRouter), {}});
+  EXPECT_TRUE(IsValidDag(dag));
+
+  dag.nodes[1].successors = {5};  // out of range
+  EXPECT_FALSE(IsValidDag(dag));
+
+  dag.nodes[1].successors = {0};  // cycle 0 -> 1 -> 0
+  EXPECT_FALSE(IsValidDag(dag));
+}
+
+TEST(DagTest, DepthsOnDiamond) {
+  // 0 -> {1, 2} -> 3 (diamond: 1 and 2 are independent).
+  SfcDag dag;
+  dag.nodes.push_back({Nf(nf::NfType::kFirewall), {1, 2}});
+  dag.nodes.push_back({Nf(nf::NfType::kClassifier), {3}});
+  dag.nodes.push_back({Nf(nf::NfType::kRateLimiter), {3}});
+  dag.nodes.push_back({Nf(nf::NfType::kRouter), {}});
+
+  const auto depths = TopologicalDepths(dag);
+  ASSERT_EQ(depths.size(), 4u);
+  EXPECT_EQ(depths[0], 0);
+  EXPECT_EQ(depths[1], 1);
+  EXPECT_EQ(depths[2], 1);  // same depth as node 1: independent
+  EXPECT_EQ(depths[3], 2);
+}
+
+TEST(DagTest, FlattenRespectsDependencies) {
+  SfcDag dag;
+  dag.tenant = 9;
+  dag.bandwidth_gbps = 12;
+  dag.nodes.push_back({Nf(nf::NfType::kFirewall), {1, 2}});
+  dag.nodes.push_back({Nf(nf::NfType::kClassifier), {3}});
+  dag.nodes.push_back({Nf(nf::NfType::kRateLimiter), {3}});
+  dag.nodes.push_back({Nf(nf::NfType::kRouter), {}});
+
+  const auto sfc = FlattenDag(dag);
+  ASSERT_TRUE(sfc.has_value());
+  EXPECT_EQ(sfc->tenant, 9);
+  EXPECT_EQ(sfc->bandwidth_gbps, 12);
+  ASSERT_EQ(sfc->chain.size(), 4u);
+  // FW first, RT last; the independent middle pair keeps index order.
+  EXPECT_EQ(sfc->chain[0].type, nf::NfType::kFirewall);
+  EXPECT_EQ(sfc->chain[1].type, nf::NfType::kClassifier);
+  EXPECT_EQ(sfc->chain[2].type, nf::NfType::kRateLimiter);
+  EXPECT_EQ(sfc->chain[3].type, nf::NfType::kRouter);
+}
+
+TEST(DagTest, FlattenRejectsCycle) {
+  SfcDag dag;
+  dag.nodes.push_back({Nf(nf::NfType::kFirewall), {1}});
+  dag.nodes.push_back({Nf(nf::NfType::kRouter), {0}});
+  EXPECT_FALSE(FlattenDag(dag).has_value());
+}
+
+TEST(DagTest, EmptyDagFlattensToEmptyChain) {
+  SfcDag dag;
+  const auto sfc = FlattenDag(dag);
+  ASSERT_TRUE(sfc.has_value());
+  EXPECT_TRUE(sfc->chain.empty());
+}
+
+TEST(DagTest, FlattenedDagAllocatesOnDataPlane) {
+  SfcDag dag;
+  dag.tenant = 4;
+  dag.bandwidth_gbps = 5;
+  nf::NfConfig fw = Nf(nf::NfType::kFirewall);
+  fw.rules.push_back(nf::Firewall::Deny(switchsim::FieldMatch::Any(),
+                                        switchsim::FieldMatch::Any(),
+                                        switchsim::FieldMatch::Any(),
+                                        switchsim::FieldMatch::Range(80, 80),
+                                        switchsim::FieldMatch::Any()));
+  nf::NfConfig tc = Nf(nf::NfType::kClassifier);
+  tc.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, 2));
+  dag.nodes.push_back({fw, {1}});
+  dag.nodes.push_back({tc, {}});
+
+  const auto sfc = FlattenDag(dag);
+  ASSERT_TRUE(sfc.has_value());
+
+  switchsim::SwitchConfig config;
+  config.num_stages = 2;
+  DataPlane dp(config);
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kFirewall));
+  ASSERT_TRUE(dp.InstallPhysicalNf(1, nf::NfType::kClassifier));
+  EXPECT_TRUE(dp.AllocateSfc(*sfc).ok);
+}
+
+}  // namespace
+}  // namespace sfp::dataplane

@@ -1,0 +1,117 @@
+// Tests for the strict-priority egress port.
+#include "switchsim/egress.h"
+
+#include <gtest/gtest.h>
+
+namespace sfp::switchsim {
+namespace {
+
+// 100 Gbps: a 1250-byte packet takes 1250*8/100 = 100 ns to transmit.
+constexpr double kLineRate = 100.0;
+
+TEST(EgressPortTest, ServesFifoWithinOneClass) {
+  EgressPort port(1, kLineRate, 1 << 20);
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  port.DrainAll();
+  auto departures = port.TakeDepartures();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_NEAR(departures[0].departure_ns, 100.0, 1e-9);
+  EXPECT_NEAR(departures[1].departure_ns, 200.0, 1e-9);
+  EXPECT_LT(departures[0].packet_id, departures[1].packet_id);
+}
+
+TEST(EgressPortTest, HigherClassPreemptsQueueOrderNotService) {
+  EgressPort port(2, kLineRate, 1 << 20);
+  // Low-priority packet arrives first and starts service immediately.
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  // While it transmits (until t=100), one high and one low arrive.
+  ASSERT_TRUE(port.Enqueue(10, 1250, 0).has_value());
+  ASSERT_TRUE(port.Enqueue(20, 1250, 1).has_value());
+  port.DrainAll();
+  auto departures = port.TakeDepartures();
+  ASSERT_EQ(departures.size(), 3u);
+  // Non-preemptive: first low finishes at 100; then the high-priority
+  // packet jumps the remaining low one.
+  EXPECT_EQ(departures[0].flow_class, 0);
+  EXPECT_EQ(departures[1].flow_class, 1);
+  EXPECT_EQ(departures[2].flow_class, 0);
+  EXPECT_NEAR(departures[1].departure_ns, 200.0, 1e-9);
+  EXPECT_NEAR(departures[2].departure_ns, 300.0, 1e-9);
+}
+
+TEST(EgressPortTest, TailDropAtCapacity) {
+  EgressPort port(1, kLineRate, /*capacity=*/2500);  // two 1250B packets
+  EXPECT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  EXPECT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  // First is in service... backlog still counts both until served.
+  EXPECT_FALSE(port.Enqueue(0, 1250, 0).has_value());
+  EXPECT_EQ(port.stats(0).dropped, 1u);
+  // After service drains, capacity frees up.
+  port.DrainUntil(250);
+  EXPECT_TRUE(port.Enqueue(250, 1250, 0).has_value());
+}
+
+TEST(EgressPortTest, WorkConservingIdleGaps) {
+  EgressPort port(1, kLineRate, 1 << 20);
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  // Second packet arrives long after the first finished: no carryover.
+  ASSERT_TRUE(port.Enqueue(10000, 1250, 0).has_value());
+  port.DrainAll();
+  auto departures = port.TakeDepartures();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_NEAR(departures[1].departure_ns, 10100.0, 1e-9);
+  EXPECT_NEAR(port.stats(0).MeanWaitNs(), 0.0, 1e-9);
+}
+
+TEST(EgressPortTest, StatsTrackWaits) {
+  EgressPort port(1, kLineRate, 1 << 20);
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());  // waits 100 ns
+  port.DrainAll();
+  port.TakeDepartures();
+  EXPECT_EQ(port.stats(0).served, 2u);
+  EXPECT_NEAR(port.stats(0).MeanWaitNs(), 50.0, 1e-9);
+  EXPECT_NEAR(port.stats(0).max_wait_ns, 100.0, 1e-9);
+}
+
+TEST(EgressPortTest, LowPriorityStarvesUnderHighLoad) {
+  EgressPort port(2, kLineRate, 1 << 20);
+  // Saturating high-priority stream + one low packet at t=0.
+  ASSERT_TRUE(port.Enqueue(0, 1250, 0).has_value());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(port.Enqueue(i * 10.0 + 1.0, 1250, 1).has_value());
+  }
+  port.DrainAll();
+  auto departures = port.TakeDepartures();
+  // The low-priority packet departs after every high one that was
+  // queued before it got a turn... with all arrivals within 500 ns and
+  // service 100 ns each, it goes last.
+  ASSERT_FALSE(departures.empty());
+  double low_departure = 0;
+  double max_high_departure = 0;
+  for (const auto& d : departures) {
+    if (d.flow_class == 0) {
+      low_departure = d.departure_ns;
+    } else {
+      max_high_departure = std::max(max_high_departure, d.departure_ns);
+    }
+  }
+  // Non-preemptive start: the low packet was first in, so it's served
+  // first; its *next* chance would have starved. Verify the high class
+  // then monopolizes the port.
+  EXPECT_GT(max_high_departure, low_departure);
+  EXPECT_EQ(port.stats(1).served, 50u);
+}
+
+TEST(EgressPortTest, BacklogTracksOccupancy) {
+  EgressPort port(1, kLineRate, 1 << 20);
+  port.Enqueue(0, 1000, 0);
+  port.Enqueue(0, 500, 0);
+  EXPECT_EQ(port.BacklogBytes(), 1500u);
+  port.DrainAll();
+  EXPECT_EQ(port.BacklogBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sfp::switchsim

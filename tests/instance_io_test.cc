@@ -1,0 +1,104 @@
+// Tests for placement-instance text serialization.
+#include "workload/instance_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/sfc_gen.h"
+
+namespace sfp::workload {
+namespace {
+
+TEST(InstanceIoTest, RoundTripsGeneratedInstance) {
+  Rng rng(12);
+  DatasetParams params;
+  params.num_sfcs = 15;
+  controlplane::SwitchResources sw;
+  const auto instance = GenerateInstance(params, sw, rng);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstance(instance, buffer));
+  const auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->num_types, instance.num_types);
+  EXPECT_EQ(loaded->sw.stages, instance.sw.stages);
+  EXPECT_EQ(loaded->sw.capacity_gbps, instance.sw.capacity_gbps);
+  ASSERT_EQ(loaded->NumSfcs(), instance.NumSfcs());
+  for (int l = 0; l < instance.NumSfcs(); ++l) {
+    const auto& a = instance.sfcs[static_cast<std::size_t>(l)];
+    const auto& b = loaded->sfcs[static_cast<std::size_t>(l)];
+    EXPECT_DOUBLE_EQ(a.bandwidth_gbps, b.bandwidth_gbps);
+    ASSERT_EQ(a.Length(), b.Length());
+    for (int j = 0; j < a.Length(); ++j) {
+      EXPECT_EQ(a.boxes[static_cast<std::size_t>(j)].type,
+                b.boxes[static_cast<std::size_t>(j)].type);
+      EXPECT_EQ(a.boxes[static_cast<std::size_t>(j)].rules,
+                b.boxes[static_cast<std::size_t>(j)].rules);
+    }
+  }
+}
+
+TEST(InstanceIoTest, PreservesStateEntries) {
+  controlplane::PlacementInstance instance;
+  instance.num_types = 2;
+  instance.sfcs.push_back({{{0, 100, 50}, {1, 200}}, 7.5});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteInstance(instance, buffer));
+  const auto loaded = ReadInstance(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sfcs[0].boxes[0].state_entries, 50);
+  EXPECT_EQ(loaded->sfcs[0].boxes[1].state_entries, 0);
+}
+
+TEST(InstanceIoTest, IgnoresCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "switch 4 10 500 1 200  # trailing comment\n"
+      "types 3\n"
+      "sfc 5.5 0:100 2:300\n");
+  const auto loaded = ReadInstance(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->sw.stages, 4);
+  EXPECT_EQ(loaded->num_types, 3);
+  ASSERT_EQ(loaded->NumSfcs(), 1);
+  EXPECT_EQ(loaded->sfcs[0].boxes[1].type, 2);
+}
+
+TEST(InstanceIoTest, RejectsMalformedInput) {
+  // Missing switch line.
+  std::stringstream no_switch("types 2\nsfc 1 0:10\n");
+  EXPECT_FALSE(ReadInstance(no_switch).has_value());
+  // Type out of range.
+  std::stringstream bad_type("switch 4 10 500 1 200\ntypes 2\nsfc 1 5:10\n");
+  EXPECT_FALSE(ReadInstance(bad_type).has_value());
+  // Garbage keyword.
+  std::stringstream garbage("switch 4 10 500 1 200\ntypes 2\nbanana\n");
+  EXPECT_FALSE(ReadInstance(garbage).has_value());
+  // SFC with no boxes.
+  std::stringstream empty_sfc("switch 4 10 500 1 200\ntypes 2\nsfc 1\n");
+  EXPECT_FALSE(ReadInstance(empty_sfc).has_value());
+  // Negative rules.
+  std::stringstream negative("switch 4 10 500 1 200\ntypes 2\nsfc 1 0:-5\n");
+  EXPECT_FALSE(ReadInstance(negative).has_value());
+}
+
+TEST(InstanceIoTest, SaveLoadFile) {
+  Rng rng(3);
+  DatasetParams params;
+  params.num_sfcs = 5;
+  controlplane::SwitchResources sw;
+  const auto instance = GenerateInstance(params, sw, rng);
+  const std::string path = "/tmp/sfp_instance_test.txt";
+  ASSERT_TRUE(SaveInstance(instance, path));
+  const auto loaded = LoadInstance(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumSfcs(), 5);
+  EXPECT_FALSE(LoadInstance("/nonexistent/x.txt").has_value());
+}
+
+}  // namespace
+}  // namespace sfp::workload

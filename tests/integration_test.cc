@@ -1,0 +1,281 @@
+// End-to-end integration tests: control-plane provisioning drives the
+// data plane; tenant traffic flows through the virtualized pipeline;
+// dynamic arrival/departure (R1-R5 of §II-A).
+#include <gtest/gtest.h>
+
+#include "core/sfp_system.h"
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "nf/load_balancer.h"
+#include "nf/router.h"
+#include "workload/sfc_gen.h"
+#include "workload/traffic.h"
+
+namespace sfp::core {
+namespace {
+
+using dataplane::Sfc;
+using net::Ipv4Address;
+using net::MakeTcpPacket;
+using nf::NfConfig;
+using nf::NfType;
+using switchsim::FieldMatch;
+
+switchsim::SwitchConfig TestSwitch() {
+  switchsim::SwitchConfig config;
+  config.num_stages = 8;
+  config.blocks_per_stage = 20;
+  config.entries_per_block = 1000;
+  config.backplane_gbps = 400.0;
+  return config;
+}
+
+NfConfig Fw(std::uint16_t blocked_port) {
+  NfConfig config;
+  config.type = NfType::kFirewall;
+  config.rules.push_back(nf::Firewall::Deny(FieldMatch::Any(), FieldMatch::Any(),
+                                            FieldMatch::Any(),
+                                            FieldMatch::Range(blocked_port, blocked_port),
+                                            FieldMatch::Any()));
+  return config;
+}
+
+NfConfig Rt() {
+  NfConfig config;
+  config.type = NfType::kRouter;
+  config.rules.push_back(nf::Router::Route(0, 0, 1));  // default route
+  return config;
+}
+
+NfConfig Lb(Ipv4Address vip, Ipv4Address dip) {
+  NfConfig config;
+  config.type = NfType::kLoadBalancer;
+  config.rules.push_back(nf::LoadBalancer::SetBackend(vip, 80, dip));
+  return config;
+}
+
+NfConfig Tc(std::uint8_t cls) {
+  NfConfig config;
+  config.type = NfType::kClassifier;
+  config.rules.push_back(nf::Classifier::ClassifyByPort(0, 65535, cls));
+  return config;
+}
+
+TEST(SfpSystemTest, ExplicitLayoutAndFullChainTraffic) {
+  SfpSystem system(TestSwitch());
+  ASSERT_EQ(system.ProvisionPhysical({{NfType::kFirewall},
+                                      {NfType::kClassifier},
+                                      {NfType::kLoadBalancer},
+                                      {NfType::kRouter}}),
+            4);
+
+  Sfc sfc;
+  sfc.tenant = 10;
+  sfc.bandwidth_gbps = 20;
+  const auto vip = Ipv4Address::Of(10, 0, 0, 100);
+  const auto dip = Ipv4Address::Of(192, 168, 1, 1);
+  sfc.chain = {Fw(443), Tc(2), Lb(vip, dip), Rt()};
+  auto admit = system.AdmitTenant(sfc);
+  ASSERT_TRUE(admit.admitted) << admit.reason;
+  EXPECT_EQ(admit.passes, 1);  // in pipeline order
+
+  auto out = system.Process(MakeTcpPacket(10, Ipv4Address::Of(1, 1, 1, 1), vip, 99, 80, 128));
+  EXPECT_FALSE(out.meta.dropped);
+  EXPECT_EQ(out.meta.flow_class, 2);
+  EXPECT_EQ(out.packet.ipv4->dst, dip);
+  EXPECT_EQ(out.meta.egress_port, 1);
+  EXPECT_EQ(out.passes, 1);
+
+  auto blocked =
+      system.Process(MakeTcpPacket(10, Ipv4Address::Of(1, 1, 1, 1), vip, 99, 443, 128));
+  EXPECT_TRUE(blocked.meta.dropped);
+}
+
+TEST(SfpSystemTest, OutOfOrderChainRecirculatesEndToEnd) {
+  SfpSystem system(TestSwitch());
+  system.ProvisionPhysical({{NfType::kFirewall},
+                            {NfType::kClassifier},
+                            {NfType::kLoadBalancer},
+                            {NfType::kRouter}});
+
+  Sfc sfc;
+  sfc.tenant = 11;
+  sfc.bandwidth_gbps = 10;
+  // Router first, firewall last: needs a fold.
+  sfc.chain = {Rt(), Fw(443)};
+  auto admit = system.AdmitTenant(sfc);
+  ASSERT_TRUE(admit.admitted) << admit.reason;
+  EXPECT_EQ(admit.passes, 2);
+  EXPECT_NEAR(admit.backplane_gbps, 20.0, 1e-9);
+
+  auto out = system.Process(MakeTcpPacket(11, Ipv4Address::Of(1, 1, 1, 1),
+                                          Ipv4Address::Of(2, 2, 2, 2), 99, 443, 128));
+  EXPECT_EQ(out.passes, 2);
+  EXPECT_TRUE(out.meta.dropped);  // FW applies on the second pass
+}
+
+TEST(SfpSystemTest, AdmissionControlEnforcesBackplaneCapacity) {
+  auto config = TestSwitch();
+  config.backplane_gbps = 50.0;
+  SfpSystem system(config);
+  system.ProvisionPhysical({{NfType::kFirewall}});
+
+  Sfc a;
+  a.tenant = 1;
+  a.bandwidth_gbps = 30;
+  a.chain = {Fw(443)};
+  Sfc b = a;
+  b.tenant = 2;
+  b.bandwidth_gbps = 30;
+  EXPECT_TRUE(system.AdmitTenant(a).admitted);
+  auto rejected = system.AdmitTenant(b);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.reason, "backplane capacity exceeded");
+  // Rejection must leave no residue: removing tenant 1 readmits 2.
+  EXPECT_TRUE(system.RemoveTenant(1));
+  EXPECT_TRUE(system.AdmitTenant(b).admitted);
+}
+
+TEST(SfpSystemTest, StatsTrackAdmissionsAndMemory) {
+  SfpSystem system(TestSwitch());
+  system.ProvisionPhysical({{NfType::kFirewall}, {NfType::kRouter}});
+
+  Sfc sfc;
+  sfc.tenant = 5;
+  sfc.bandwidth_gbps = 25;
+  sfc.chain = {Fw(80), Rt()};
+  ASSERT_TRUE(system.AdmitTenant(sfc).admitted);
+
+  auto stats = system.Stats();
+  EXPECT_EQ(stats.tenants, 1);
+  EXPECT_NEAR(stats.offered_gbps, 25.0, 1e-9);
+  EXPECT_NEAR(stats.backplane_gbps, 25.0, 1e-9);
+  EXPECT_GT(stats.entries_used, 0);
+  EXPECT_GE(stats.blocks_used, 2);
+
+  system.RemoveTenant(5);
+  stats = system.Stats();
+  EXPECT_EQ(stats.tenants, 0);
+  EXPECT_EQ(stats.entries_used, 0);
+}
+
+TEST(SfpSystemTest, SolverDrivenProvisioningServesWorkload) {
+  SfpSystem system(TestSwitch());
+  // Expected workload: a handful of random concrete SFCs.
+  Rng rng(99);
+  std::vector<Sfc> expected;
+  for (int t = 0; t < 5; ++t) {
+    expected.push_back(workload::GenerateConcreteSfc(
+        static_cast<dataplane::TenantId>(100 + t), 3, 10.0, rng, /*rules_per_nf=*/30));
+  }
+  controlplane::ApproxOptions options;
+  options.model.max_passes = 2;
+  const int installed = system.ProvisionPhysical(expected, options);
+  EXPECT_GE(installed, nf::kNumNfTypes);  // eq. 4: every type somewhere
+
+  // Every expected tenant can actually be admitted and served.
+  int admitted = 0;
+  for (const auto& sfc : expected) {
+    if (system.AdmitTenant(sfc).admitted) ++admitted;
+  }
+  EXPECT_GE(admitted, 4);  // near-universal admission on this small load
+
+  workload::PacketSizeProfile profile;
+  auto packets = workload::GenerateFlows(expected[0].tenant, 16, 200, profile, rng);
+  int processed = 0;
+  for (const auto& packet : packets) {
+    auto out = system.Process(packet);
+    EXPECT_LE(out.passes, 8);
+    ++processed;
+  }
+  EXPECT_EQ(processed, 200);
+}
+
+TEST(SfpSystemTest, ManyTenantsChurn) {
+  SfpSystem system(TestSwitch());
+  system.ProvisionPhysical({{NfType::kFirewall, NfType::kClassifier},
+                            {NfType::kLoadBalancer, NfType::kRouter},
+                            {NfType::kFirewall, NfType::kRouter},
+                            {NfType::kClassifier, NfType::kNat}});
+
+  Rng rng(7);
+  std::vector<dataplane::TenantId> active;
+  int total_admitted = 0;
+  for (int round = 0; round < 50; ++round) {
+    if (!active.empty() && rng.Bernoulli(0.4)) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(active.size()) - 1));
+      EXPECT_TRUE(system.RemoveTenant(active[at]));
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {
+      const auto tenant = static_cast<dataplane::TenantId>(200 + round);
+      auto sfc = workload::GenerateConcreteSfc(tenant, 2, 2.0, rng, /*rules_per_nf=*/10);
+      if (system.AdmitTenant(sfc).admitted) {
+        active.push_back(tenant);
+        ++total_admitted;
+      }
+    }
+  }
+  EXPECT_GT(total_admitted, 10);
+  // Remove everyone: the pipeline must drain to zero tenant entries.
+  for (const auto tenant : active) EXPECT_TRUE(system.RemoveTenant(tenant));
+  EXPECT_EQ(system.Stats().entries_used, 0);
+  EXPECT_EQ(system.Stats().tenants, 0);
+}
+
+TEST(SfpSystemTest, TelemetryTracksPerTenantBehaviour) {
+  SfpSystem system(TestSwitch());
+  system.ProvisionPhysical({{NfType::kFirewall}});
+
+  Sfc sfc;
+  sfc.tenant = 3;
+  sfc.bandwidth_gbps = 10;
+  sfc.chain = {Fw(80)};
+  ASSERT_TRUE(system.AdmitTenant(sfc).admitted);
+
+  // 4 packets for tenant 3 (two blocked), 2 for unconfigured tenant 8.
+  for (const std::uint16_t port : {80, 80, 443, 22}) {
+    system.Process(MakeTcpPacket(3, Ipv4Address::Of(1, 1, 1, 1),
+                                 Ipv4Address::Of(2, 2, 2, 2), 9, port, 100));
+  }
+  for (int i = 0; i < 2; ++i) {
+    system.Process(MakeTcpPacket(8, Ipv4Address::Of(1, 1, 1, 1),
+                                 Ipv4Address::Of(2, 2, 2, 2), 9, 80, 200));
+  }
+
+  const auto t3 = system.Telemetry().Tenant(3);
+  EXPECT_EQ(t3.packets, 4u);
+  EXPECT_EQ(t3.drops, 2u);
+  EXPECT_EQ(t3.bytes, 400u);
+  EXPECT_GT(t3.MeanLatencyNs(), 0.0);
+
+  const auto t8 = system.Telemetry().Tenant(8);
+  EXPECT_EQ(t8.packets, 2u);
+  EXPECT_EQ(t8.drops, 0u);
+
+  const auto total = system.Telemetry().Total();
+  EXPECT_EQ(total.packets, 6u);
+  EXPECT_EQ(system.Telemetry().Tenants(), (std::vector<std::uint16_t>{3, 8}));
+}
+
+TEST(SfpSystemTest, TelemetryCountsRecirculatedTenants) {
+  SfpSystem system(TestSwitch());
+  system.ProvisionPhysical({{NfType::kFirewall}, {NfType::kClassifier}});
+
+  Sfc sfc;
+  sfc.tenant = 6;
+  sfc.bandwidth_gbps = 5;
+  sfc.chain = {Tc(1), Fw(443)};  // TC @1 then FW @0: folds to 2 passes
+  const auto admit = system.AdmitTenant(sfc);
+  ASSERT_TRUE(admit.admitted) << admit.reason;
+  ASSERT_EQ(admit.passes, 2);
+
+  system.Process(MakeTcpPacket(6, Ipv4Address::Of(1, 1, 1, 1),
+                               Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  const auto t6 = system.Telemetry().Tenant(6);
+  EXPECT_EQ(t6.recirculated_packets, 1u);
+  EXPECT_NEAR(t6.MeanPasses(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sfp::core

@@ -1,0 +1,233 @@
+// Unit and property tests for the branch & bound MIP solver.
+#include "lp/mip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/rounding.h"
+
+namespace sfp::lp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(MipTest, SolvesSmallKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binaries.
+  // Best: a + c (weight 5, value 17) vs b + c (6, 20) -> 20.
+  Model model;
+  VarId a = model.AddBinaryVar(10, "a");
+  VarId b = model.AddBinaryVar(13, "b");
+  VarId c = model.AddBinaryVar(7, "c");
+  model.AddRow({a, b, c}, {3, 4, 2}, Sense::kLe, 6);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 20.0, kTol);
+  EXPECT_NEAR(result.solution.values[static_cast<std::size_t>(b)], 1.0, kTol);
+  EXPECT_NEAR(result.solution.values[static_cast<std::size_t>(c)], 1.0, kTol);
+}
+
+TEST(MipTest, SolvesIntegerProgramWithGeneralIntegers) {
+  // max x + y, x,y integer, 2x + 3y <= 12, x <= 4 -> x=4, y=1 -> 5.
+  Model model;
+  VarId x = model.AddVar(0, 4, 1, true, "x");
+  VarId y = model.AddVar(0, kInfinity, 1, true, "y");
+  model.AddRow({x, y}, {2, 3}, Sense::kLe, 12);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 5.0, kTol);
+}
+
+TEST(MipTest, ReportsInfeasible) {
+  Model model;
+  VarId x = model.AddBinaryVar(1, "x");
+  model.AddRow({x}, {1}, Sense::kGe, 2);
+
+  MipSolver solver(model);
+  EXPECT_EQ(solver.Solve().solution.status, SolveStatus::kInfeasible);
+}
+
+TEST(MipTest, MinimizationDirection) {
+  // min 3x + 5y s.t. x + y >= 4, x <= 2, integers -> x=2,y=2 -> 16.
+  Model model;
+  model.SetMaximize(false);
+  VarId x = model.AddVar(0, 2, 3, true, "x");
+  VarId y = model.AddVar(0, kInfinity, 5, true, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kGe, 4);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 16.0, kTol);
+}
+
+TEST(MipTest, MixedIntegerContinuous) {
+  // max 2x + y with x binary, y continuous <= 2.5, x + y <= 3.
+  Model model;
+  VarId x = model.AddBinaryVar(2, "x");
+  VarId y = model.AddVar(0, 2.5, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 3);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 2 + 2.0, kTol);  // x=1, y=2
+}
+
+TEST(MipTest, TimeLimitReturnsTimeLimitStatusWithoutIncumbent) {
+  // A model whose root LP already takes nonzero time cannot be built
+  // reliably; instead use a zero-second budget so no node completes...
+  // The solver checks the clock before each node, so with limit 0 the
+  // root node is never solved.
+  Model model;
+  VarId x = model.AddBinaryVar(1, "x");
+  model.AddRow({x}, {1}, Sense::kLe, 1);
+
+  MipOptions options;
+  options.time_limit_seconds = 0.0;
+  MipSolver solver(model, options);
+  MipResult result = solver.Solve();
+  EXPECT_EQ(result.solution.status, SolveStatus::kTimeLimit);
+  EXPECT_EQ(result.nodes_explored, 0);
+}
+
+TEST(MipTest, IncumbentTraceIsMonotone) {
+  Rng rng(7);
+  Model model;
+  std::vector<VarId> vars;
+  std::vector<double> weights;
+  for (int i = 0; i < 18; ++i) {
+    const double value = rng.UniformDouble(1, 20);
+    vars.push_back(model.AddBinaryVar(value));
+    weights.push_back(rng.UniformDouble(1, 10));
+  }
+  model.AddRow(vars, weights, Sense::kLe, 25);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(result.incumbent_trace.empty());
+  for (std::size_t i = 1; i < result.incumbent_trace.size(); ++i) {
+    EXPECT_GT(result.incumbent_trace[i].objective,
+              result.incumbent_trace[i - 1].objective);
+    EXPECT_GE(result.incumbent_trace[i].seconds, result.incumbent_trace[i - 1].seconds);
+  }
+  EXPECT_NEAR(result.incumbent_trace.back().objective, result.solution.objective, kTol);
+}
+
+TEST(MipTest, HeuristicCandidatesAreVetted) {
+  // A heuristic that proposes an infeasible point must be rejected.
+  Model model;
+  VarId x = model.AddBinaryVar(5, "x");
+  VarId y = model.AddBinaryVar(4, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 1);
+
+  MipOptions options;
+  options.heuristic_period = 1;
+  MipSolver solver(model, options);
+  solver.SetHeuristic([](const std::vector<double>&, std::vector<double>& cand) {
+    cand = {1.0, 1.0};  // violates x + y <= 1
+    return true;
+  });
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 5.0, kTol);
+}
+
+// ---------------------------------------------------------------------
+// Property test: B&B must match exhaustive enumeration on random small
+// binary knapsack-style programs.
+class MipBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipBruteForceTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 3571 + 11);
+  const int n = static_cast<int>(rng.UniformInt(3, 10));
+  const int m = static_cast<int>(rng.UniformInt(1, 4));
+
+  Model model;
+  std::vector<VarId> vars;
+  std::vector<double> objective;
+  for (int v = 0; v < n; ++v) {
+    const double obj = rng.UniformDouble(-3, 10);
+    vars.push_back(model.AddBinaryVar(obj));
+    objective.push_back(obj);
+  }
+  std::vector<std::vector<double>> coeffs;
+  std::vector<double> rhs;
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> row;
+    for (int v = 0; v < n; ++v) row.push_back(rng.UniformDouble(0, 5));
+    coeffs.push_back(row);
+    rhs.push_back(rng.UniformDouble(3, 15));
+    model.AddRow(vars, row, Sense::kLe, rhs.back());
+  }
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+
+  // Exhaustive enumeration.
+  double best = -1e100;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool feasible = true;
+    for (int r = 0; r < m && feasible; ++r) {
+      double lhs = 0;
+      for (int v = 0; v < n; ++v) {
+        if (mask & (1 << v)) lhs += coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)];
+      }
+      feasible = lhs <= rhs[static_cast<std::size_t>(r)] + 1e-9;
+    }
+    if (!feasible) continue;
+    double obj = 0;
+    for (int v = 0; v < n; ++v) {
+      if (mask & (1 << v)) obj += objective[static_cast<std::size_t>(v)];
+    }
+    best = std::max(best, obj);
+  }
+  EXPECT_NEAR(result.solution.objective, best, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMips, MipBruteForceTest, ::testing::Range(0, 30));
+
+// Randomized rounding preserves expectation: over many draws, the mean
+// of each rounded coordinate approaches the LP value.
+TEST(RoundingTest, RandomizedRoundIsUnbiased) {
+  Model model;
+  VarId x = model.AddBinaryVar(1, "x");
+  VarId y = model.AddVar(0, 5, 1, true, "y");
+  (void)x;
+  (void)y;
+  std::vector<double> lp_values = {0.3, 2.7};
+
+  Rng rng(42);
+  double sum_x = 0, sum_y = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    auto rounded = RandomizedRound(model, lp_values, rng);
+    EXPECT_TRUE(rounded[0] == 0.0 || rounded[0] == 1.0);
+    EXPECT_TRUE(rounded[1] == 2.0 || rounded[1] == 3.0);
+    sum_x += rounded[0];
+    sum_y += rounded[1];
+  }
+  EXPECT_NEAR(sum_x / trials, 0.3, 0.02);
+  EXPECT_NEAR(sum_y / trials, 2.7, 0.02);
+}
+
+TEST(RoundingTest, NearestRoundClampsToBounds) {
+  Model model;
+  model.AddVar(0, 1, 1, true, "x");
+  std::vector<double> values = {1.4};  // rounds to 1 (clamped)
+  auto rounded = NearestRound(model, values);
+  EXPECT_EQ(rounded[0], 1.0);
+}
+
+}  // namespace
+}  // namespace sfp::lp

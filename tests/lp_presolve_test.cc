@@ -1,0 +1,138 @@
+// Tests for the LP/MIP presolve pass.
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/mip.h"
+#include "lp/simplex.h"
+
+namespace sfp::lp {
+namespace {
+
+TEST(PresolveTest, RemovesEmptyAndRedundantRows) {
+  Model model;
+  VarId x = model.AddVar(0, 5, 1, false, "x");
+  VarId y = model.AddVar(0, 5, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 100);  // redundant: max 10 <= 100
+  model.AddRow({x, y}, {0, 0}, Sense::kLe, 3);    // empty, feasible
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 6);    // binding
+
+  const auto stats = Presolve(model);
+  EXPECT_FALSE(stats.infeasible);
+  EXPECT_EQ(stats.rows_removed, 2);
+  EXPECT_EQ(model.num_rows(), 1);
+
+  Simplex solver(model);
+  auto solution = solver.Solve();
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 6.0, 1e-6);
+}
+
+TEST(PresolveTest, SingletonRowsBecomeBounds) {
+  Model model;
+  VarId x = model.AddVar(0, 100, 1, false, "x");
+  model.AddRow({x}, {2}, Sense::kLe, 14);   // x <= 7
+  model.AddRow({x}, {1}, Sense::kGe, 3);    // x >= 3
+  model.AddRow({x}, {-1}, Sense::kGe, -5);  // x <= 5
+
+  const auto stats = Presolve(model);
+  EXPECT_FALSE(stats.infeasible);
+  EXPECT_EQ(model.num_rows(), 0);
+  EXPECT_GE(stats.bounds_tightened, 2);
+  EXPECT_NEAR(model.var(x).lower, 3.0, 1e-9);
+  EXPECT_NEAR(model.var(x).upper, 5.0, 1e-9);
+}
+
+TEST(PresolveTest, DetectsEmptyRowInfeasibility) {
+  Model model;
+  VarId x = model.AddVar(0, 1, 1, false, "x");
+  model.AddRow({x}, {0}, Sense::kGe, 2);  // 0 >= 2
+  EXPECT_TRUE(Presolve(model).infeasible);
+}
+
+TEST(PresolveTest, DetectsCrossedBoundInfeasibility) {
+  Model model;
+  VarId x = model.AddVar(0, 10, 1, false, "x");
+  model.AddRow({x}, {1}, Sense::kGe, 8);
+  model.AddRow({x}, {1}, Sense::kLe, 3);
+  EXPECT_TRUE(Presolve(model).infeasible);
+}
+
+TEST(PresolveTest, DetectsActivityInfeasibility) {
+  Model model;
+  VarId x = model.AddVar(0, 1, 1, false, "x");
+  VarId y = model.AddVar(0, 1, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kGe, 5);  // max activity 2 < 5
+  EXPECT_TRUE(Presolve(model).infeasible);
+}
+
+TEST(PresolveTest, RoundsIntegerBounds) {
+  Model model;
+  VarId x = model.AddVar(0.3, 4.7, 1, true, "x");
+  const auto stats = Presolve(model);
+  EXPECT_FALSE(stats.infeasible);
+  EXPECT_EQ(model.var(x).lower, 1.0);
+  EXPECT_EQ(model.var(x).upper, 4.0);
+}
+
+TEST(PresolveTest, SingletonOnIntegerRoundsBound) {
+  Model model;
+  VarId x = model.AddVar(0, 10, 1, true, "x");
+  model.AddRow({x}, {2}, Sense::kLe, 7);  // x <= 3.5 -> 3
+  Presolve(model);
+  EXPECT_EQ(model.var(x).upper, 3.0);
+}
+
+// Property: presolve must not change the optimum of random LPs/MIPs.
+class PresolveEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalenceTest, OptimaMatch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 409 + 17);
+  const int n = static_cast<int>(rng.UniformInt(3, 8));
+  const int m = static_cast<int>(rng.UniformInt(2, 6));
+  const bool integer = rng.Bernoulli(0.5);
+
+  Model model;
+  std::vector<VarId> vars;
+  for (int v = 0; v < n; ++v) {
+    vars.push_back(model.AddVar(0, rng.UniformDouble(1, 6), rng.UniformDouble(-2, 6),
+                                integer));
+  }
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> coeffs;
+    for (int v = 0; v < n; ++v) {
+      coeffs.push_back(rng.Bernoulli(0.3) ? 0.0 : rng.UniformDouble(0, 3));
+    }
+    model.AddRow(vars, coeffs, Sense::kLe, rng.UniformDouble(2, 25));
+  }
+  // Sprinkle singleton and redundant rows.
+  model.AddRow({vars[0]}, {1.0}, Sense::kLe, rng.UniformDouble(1, 6));
+  model.AddRow(vars, std::vector<double>(static_cast<std::size_t>(n), 1.0), Sense::kLe,
+               1000.0);
+
+  Model presolved = model;  // value copy
+  const auto stats = Presolve(presolved);
+  ASSERT_FALSE(stats.infeasible);
+
+  if (integer) {
+    MipSolver a(model), b(presolved);
+    const auto ra = a.Solve();
+    const auto rb = b.Solve();
+    ASSERT_EQ(ra.solution.status, SolveStatus::kOptimal);
+    ASSERT_EQ(rb.solution.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(ra.solution.objective, rb.solution.objective, 1e-5);
+  } else {
+    Simplex a(model), b(presolved);
+    const auto ra = a.Solve();
+    const auto rb = b.Solve();
+    ASSERT_EQ(ra.status, SolveStatus::kOptimal);
+    ASSERT_EQ(rb.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(ra.objective, rb.objective, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, PresolveEquivalenceTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sfp::lp

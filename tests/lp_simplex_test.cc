@@ -1,0 +1,291 @@
+// Unit and property tests for the bounded-variable revised simplex.
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/model.h"
+
+namespace sfp::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(SimplexTest, SolvesTwoVariableMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+  // Optimum at (4, 0) with objective 12.
+  Model model;
+  VarId x = model.AddVar(0, kInfinity, 3, false, "x");
+  VarId y = model.AddVar(0, kInfinity, 2, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 4);
+  model.AddRow({x, y}, {1, 3}, Sense::kLe, 6);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12.0, kTol);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(x)], 4.0, kTol);
+  EXPECT_NEAR(sol.values[static_cast<std::size_t>(y)], 0.0, kTol);
+}
+
+TEST(SimplexTest, SolvesMinimizationWithGeRows) {
+  // min 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 1.
+  // Optimum: push everything onto x: (9, 1) -> 21.
+  Model model;
+  model.SetMaximize(false);
+  VarId x = model.AddVar(2, kInfinity, 2, false, "x");
+  VarId y = model.AddVar(1, kInfinity, 3, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kGe, 10);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 21.0, kTol);
+}
+
+TEST(SimplexTest, HandlesEqualityRows) {
+  // max x + y  s.t. x + y == 5, x <= 3, y <= 3.
+  Model model;
+  VarId x = model.AddVar(0, 3, 1, false, "x");
+  VarId y = model.AddVar(0, 3, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kEq, 5);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, kTol);
+  EXPECT_NEAR(sol.values[0] + sol.values[1], 5.0, kTol);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 3 simultaneously.
+  Model model;
+  VarId x = model.AddVar(0, kInfinity, 1, false, "x");
+  model.AddRow({x}, {1}, Sense::kLe, 1);
+  model.AddRow({x}, {1}, Sense::kGe, 3);
+
+  Simplex solver(model);
+  EXPECT_EQ(solver.Solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsInfeasibleEqualitySystem) {
+  Model model;
+  VarId x = model.AddVar(0, 10, 1, false, "x");
+  VarId y = model.AddVar(0, 10, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kEq, 5);
+  model.AddRow({x, y}, {1, 1}, Sense::kEq, 7);
+
+  Simplex solver(model);
+  EXPECT_EQ(solver.Solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // max x with no upper limit.
+  Model model;
+  VarId x = model.AddVar(0, kInfinity, 1, false, "x");
+  VarId y = model.AddVar(0, kInfinity, 0, false, "y");
+  model.AddRow({x, y}, {-1, 1}, Sense::kGe, -100);  // never binds upward
+
+  Simplex solver(model);
+  EXPECT_EQ(solver.Solve().status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, RespectsVariableUpperBounds) {
+  // max x + y with x <= 2, y <= 3 as *bounds*, one loose row.
+  Model model;
+  VarId x = model.AddVar(0, 2, 1, false, "x");
+  VarId y = model.AddVar(0, 3, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 100);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, kTol);
+}
+
+TEST(SimplexTest, HandlesNegativeLowerBounds) {
+  // min x + y with x, y in [-5, 5] and x + y >= -3.
+  Model model;
+  model.SetMaximize(false);
+  VarId x = model.AddVar(-5, 5, 1, false, "x");
+  VarId y = model.AddVar(-5, 5, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kGe, -3);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -3.0, kTol);
+}
+
+TEST(SimplexTest, HandlesFreeVariables) {
+  // max -|x| style: min x1 + x2 with free y split: y = x1 - x2 ... instead:
+  // max y s.t. y <= x, x <= 7, y free.
+  Model model;
+  VarId x = model.AddVar(0, 7, 0, false, "x");
+  VarId y = model.AddVar(-kInfinity, kInfinity, 1, false, "y");
+  model.AddRow({y, x}, {1, -1}, Sense::kLe, 0);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, kTol);
+}
+
+TEST(SimplexTest, FixedVariablesStayFixed) {
+  Model model;
+  VarId x = model.AddVar(3, 3, 10, false, "x");
+  VarId y = model.AddVar(0, kInfinity, 1, false, "y");
+  model.AddRow({x, y}, {1, 1}, Sense::kLe, 8);
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[0], 3.0, kTol);
+  EXPECT_NEAR(sol.objective, 30.0 + 5.0, kTol);
+}
+
+TEST(SimplexTest, WarmRestartAfterBoundChange) {
+  // Solve, tighten a bound, re-solve: result must match a cold solve.
+  Model model;
+  VarId x = model.AddVar(0, 10, 5, false, "x");
+  VarId y = model.AddVar(0, 10, 4, false, "y");
+  model.AddRow({x, y}, {6, 4}, Sense::kLe, 24);
+  model.AddRow({x, y}, {1, 2}, Sense::kLe, 6);
+
+  Simplex solver(model);
+  Solution first = solver.Solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(first.objective, 21.0, kTol);  // classic LP: x=3, y=1.5
+
+  solver.SetVarBounds(x, 0, 1);
+  Solution second = solver.Solve();
+  ASSERT_EQ(second.status, SolveStatus::kOptimal);
+  // With x <= 1: best is x=1, y=2.5 -> 15.
+  EXPECT_NEAR(second.objective, 15.0, kTol);
+
+  // Relax back; warm solve must recover the original optimum.
+  solver.SetVarBounds(x, 0, 10);
+  Solution third = solver.Solve();
+  ASSERT_EQ(third.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(third.objective, 21.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degenerate rows.
+  Model model;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 6; ++i) {
+    vars.push_back(model.AddVar(0, kInfinity, std::pow(2.0, 5 - i), false));
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::vector<VarId> row_vars;
+    std::vector<double> coeffs;
+    for (int j = 0; j < i; ++j) {
+      row_vars.push_back(vars[static_cast<std::size_t>(j)]);
+      coeffs.push_back(std::pow(2.0, i - j + 1));
+    }
+    row_vars.push_back(vars[static_cast<std::size_t>(i)]);
+    coeffs.push_back(1.0);
+    model.AddRow(row_vars, coeffs, Sense::kLe, std::pow(5.0, i + 1));
+  }
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, std::pow(5.0, 6), 1e-3);
+}
+
+TEST(SimplexTest, EmptyModelIsOptimal) {
+  Model model;
+  Simplex solver(model);
+  EXPECT_EQ(solver.Solve().status, SolveStatus::kOptimal);
+}
+
+TEST(SimplexTest, ModelWithOnlyBoundsNoRows) {
+  Model model;
+  model.AddVar(1, 4, 2, false, "x");
+  model.AddVar(-2, 3, -1, false, "y");
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2 * 4 + (-1) * (-2), kTol);
+}
+
+// ---------------------------------------------------------------------
+// Property test: on random dense LPs over boxed variables, the simplex
+// optimum must (a) be feasible and (b) weakly dominate a cloud of random
+// feasible points.
+class SimplexRandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomLpTest, OptimumDominatesRandomFeasiblePoints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  const int n = static_cast<int>(rng.UniformInt(2, 8));
+  const int m = static_cast<int>(rng.UniformInt(1, 6));
+
+  Model model;
+  std::vector<VarId> vars;
+  for (int v = 0; v < n; ++v) {
+    vars.push_back(model.AddVar(0, rng.UniformDouble(1, 10), rng.UniformDouble(-5, 5),
+                                false));
+  }
+  std::vector<std::vector<double>> coeffs(static_cast<std::size_t>(m));
+  std::vector<double> rhs(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    std::vector<double> row;
+    for (int v = 0; v < n; ++v) row.push_back(rng.UniformDouble(0, 3));
+    rhs[static_cast<std::size_t>(r)] = rng.UniformDouble(5, 30);
+    coeffs[static_cast<std::size_t>(r)] = row;
+    model.AddRow(vars, row, Sense::kLe, rhs[static_cast<std::size_t>(r)]);
+  }
+
+  Simplex solver(model);
+  Solution sol = solver.Solve();
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);  // origin is always feasible
+
+  // (a) feasibility of the reported optimum.
+  for (int r = 0; r < m; ++r) {
+    double lhs = 0;
+    for (int v = 0; v < n; ++v) {
+      lhs += coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)] *
+             sol.values[static_cast<std::size_t>(v)];
+    }
+    EXPECT_LE(lhs, rhs[static_cast<std::size_t>(r)] + 1e-5);
+  }
+  for (int v = 0; v < n; ++v) {
+    EXPECT_GE(sol.values[static_cast<std::size_t>(v)], -1e-7);
+    EXPECT_LE(sol.values[static_cast<std::size_t>(v)],
+              model.var(vars[static_cast<std::size_t>(v)]).upper + 1e-7);
+  }
+
+  // (b) dominance over random feasible points.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> point(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      point[static_cast<std::size_t>(v)] =
+          rng.UniformDouble(0, model.var(vars[static_cast<std::size_t>(v)]).upper);
+    }
+    bool feasible = true;
+    for (int r = 0; r < m && feasible; ++r) {
+      double lhs = 0;
+      for (int v = 0; v < n; ++v) {
+        lhs += coeffs[static_cast<std::size_t>(r)][static_cast<std::size_t>(v)] *
+               point[static_cast<std::size_t>(v)];
+      }
+      feasible = lhs <= rhs[static_cast<std::size_t>(r)];
+    }
+    if (!feasible) continue;
+    double obj = 0;
+    for (int v = 0; v < n; ++v) {
+      obj += model.var(vars[static_cast<std::size_t>(v)]).objective *
+             point[static_cast<std::size_t>(v)];
+    }
+    EXPECT_LE(obj, sol.objective + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomLpTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace sfp::lp

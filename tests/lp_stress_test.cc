@@ -1,0 +1,194 @@
+// Stress/property tests for the LP/MIP stack on structured problems
+// with independently computable optima.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/mip.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace sfp::lp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Assignment problems: the LP relaxation of the assignment polytope is
+// integral, so the simplex optimum must equal the brute-force minimum
+// matching cost.
+class AssignmentLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentLpTest, LpMatchesBruteForceMatching) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 5);
+  const int n = static_cast<int>(rng.UniformInt(2, 7));
+  std::vector<std::vector<double>> cost(static_cast<std::size_t>(n),
+                                        std::vector<double>(static_cast<std::size_t>(n)));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.UniformDouble(0, 10);
+  }
+
+  Model model;
+  model.SetMaximize(false);
+  std::vector<std::vector<VarId>> x(static_cast<std::size_t>(n),
+                                    std::vector<VarId>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = model.AddVar(
+          0, 1, cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], false);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<VarId> row_vars, col_vars;
+    for (int j = 0; j < n; ++j) {
+      row_vars.push_back(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+      col_vars.push_back(x[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]);
+    }
+    model.AddRow(row_vars, std::vector<double>(static_cast<std::size_t>(n), 1.0),
+                 Sense::kEq, 1);
+    model.AddRow(col_vars, std::vector<double>(static_cast<std::size_t>(n), 1.0),
+                 Sense::kEq, 1);
+  }
+
+  Simplex solver(model);
+  auto solution = solver.Solve();
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+
+  // Brute force over permutations.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  double best = 1e100;
+  do {
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      total += cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_NEAR(solution.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAssignments, AssignmentLpTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------
+// Transportation problems: LP optimum equals a known closed-form on a
+// 2x2 grid, and general feasibility/bound sanity on random grids.
+TEST(TransportationLpTest, TwoByTwoClosedForm) {
+  // supply (10, 20), demand (15, 15), costs [[1, 4], [2, 1]].
+  // Optimal: x00=10, x10=5, x11=15 -> 10 + 10 + 15 = 35.
+  Model model;
+  model.SetMaximize(false);
+  VarId x00 = model.AddVar(0, kInfinity, 1, false);
+  VarId x01 = model.AddVar(0, kInfinity, 4, false);
+  VarId x10 = model.AddVar(0, kInfinity, 2, false);
+  VarId x11 = model.AddVar(0, kInfinity, 1, false);
+  model.AddRow({x00, x01}, {1, 1}, Sense::kEq, 10);
+  model.AddRow({x10, x11}, {1, 1}, Sense::kEq, 20);
+  model.AddRow({x00, x10}, {1, 1}, Sense::kEq, 15);
+  model.AddRow({x01, x11}, {1, 1}, Sense::kEq, 15);
+
+  Simplex solver(model);
+  auto solution = solver.Solve();
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 35.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// MIP on set covering with verifiable brute force.
+class SetCoverMipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetCoverMipTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 733 + 1);
+  const int elements = static_cast<int>(rng.UniformInt(3, 8));
+  const int sets = static_cast<int>(rng.UniformInt(3, 10));
+
+  std::vector<std::uint32_t> covers(static_cast<std::size_t>(sets), 0);
+  std::vector<double> weights(static_cast<std::size_t>(sets));
+  for (int s = 0; s < sets; ++s) {
+    for (int e = 0; e < elements; ++e) {
+      if (rng.Bernoulli(0.4)) covers[static_cast<std::size_t>(s)] |= 1u << e;
+    }
+    weights[static_cast<std::size_t>(s)] = rng.UniformDouble(1, 5);
+  }
+  // Guarantee coverage is possible.
+  covers[0] = (1u << elements) - 1;
+
+  Model model;
+  model.SetMaximize(false);
+  std::vector<VarId> vars;
+  for (int s = 0; s < sets; ++s) {
+    vars.push_back(model.AddVar(0, 1, weights[static_cast<std::size_t>(s)], true));
+  }
+  for (int e = 0; e < elements; ++e) {
+    std::vector<VarId> row;
+    std::vector<double> coeffs;
+    for (int s = 0; s < sets; ++s) {
+      if (covers[static_cast<std::size_t>(s)] & (1u << e)) {
+        row.push_back(vars[static_cast<std::size_t>(s)]);
+        coeffs.push_back(1.0);
+      }
+    }
+    model.AddRow(std::move(row), std::move(coeffs), Sense::kGe, 1);
+  }
+
+  MipSolver solver(model);
+  auto result = solver.Solve();
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+
+  double best = 1e100;
+  for (int mask = 0; mask < (1 << sets); ++mask) {
+    std::uint32_t covered = 0;
+    double weight = 0;
+    for (int s = 0; s < sets; ++s) {
+      if (mask & (1 << s)) {
+        covered |= covers[static_cast<std::size_t>(s)];
+        weight += weights[static_cast<std::size_t>(s)];
+      }
+    }
+    if (covered == (1u << elements) - 1) best = std::min(best, weight);
+  }
+  EXPECT_NEAR(result.solution.objective, best, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCovers, SetCoverMipTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------
+// Warm-restart torture: random sequences of bound changes must always
+// agree with a cold solve.
+TEST(SimplexWarmRestartTest, RandomBoundChangeSequencesMatchColdSolves) {
+  Rng rng(99);
+  Model model;
+  const int n = 8;
+  std::vector<VarId> vars;
+  for (int v = 0; v < n; ++v) {
+    vars.push_back(model.AddVar(0, 10, rng.UniformDouble(-2, 5), false));
+  }
+  for (int r = 0; r < 5; ++r) {
+    std::vector<double> coeffs;
+    for (int v = 0; v < n; ++v) coeffs.push_back(rng.UniformDouble(0, 2));
+    model.AddRow(vars, coeffs, Sense::kLe, rng.UniformDouble(10, 40));
+  }
+
+  Simplex warm(model);
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+
+  for (int step = 0; step < 25; ++step) {
+    const VarId v = vars[static_cast<std::size_t>(rng.UniformInt(0, n - 1))];
+    const double lo = rng.UniformDouble(0, 5);
+    const double hi = lo + rng.UniformDouble(0, 5);
+    warm.SetVarBounds(v, lo, hi);
+    model.SetVarBounds(v, lo, hi);
+
+    auto warm_solution = warm.Solve();
+    Simplex cold(model);
+    auto cold_solution = cold.Solve();
+    ASSERT_EQ(warm_solution.status, cold_solution.status);
+    if (warm_solution.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(warm_solution.objective, cold_solution.objective, 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfp::lp

@@ -1,0 +1,129 @@
+// Coverage for smaller API surfaces: stage/table management, model
+// validation, p4gen edge cases, system provisioning details.
+#include <gtest/gtest.h>
+
+#include "core/sfp_system.h"
+#include "lp/model.h"
+#include "p4gen/p4gen.h"
+#include "switchsim/pipeline.h"
+
+namespace sfp {
+namespace {
+
+using switchsim::FieldId;
+using switchsim::FieldMatch;
+using switchsim::MatchKind;
+
+TEST(StageManagementTest, RemoveTableFreesBlocks) {
+  switchsim::SwitchConfig config;
+  config.blocks_per_stage = 2;
+  switchsim::Stage stage(0, config);
+  ASSERT_NE(stage.AddTable("a", {{FieldId::kDstPort, MatchKind::kExact}}), nullptr);
+  ASSERT_NE(stage.AddTable("b", {{FieldId::kDstPort, MatchKind::kExact}}), nullptr);
+  EXPECT_EQ(stage.BlocksUsed(), 2);
+  EXPECT_EQ(stage.AddTable("c", {{FieldId::kDstPort, MatchKind::kExact}}), nullptr);
+
+  EXPECT_TRUE(stage.RemoveTable("a"));
+  EXPECT_FALSE(stage.RemoveTable("a"));
+  EXPECT_EQ(stage.BlocksUsed(), 1);
+  EXPECT_NE(stage.AddTable("c", {{FieldId::kDstPort, MatchKind::kExact}}), nullptr);
+  EXPECT_EQ(stage.FindTable("b")->name(), "b");
+  EXPECT_EQ(stage.FindTable("zzz"), nullptr);
+}
+
+TEST(PipelineAccountingTest, TotalsAggregateAcrossStages) {
+  switchsim::SwitchConfig config;
+  config.num_stages = 3;
+  config.entries_per_block = 10;
+  switchsim::Pipeline pipeline(config);
+  auto* t0 = pipeline.stage(0).AddTable("a", {{FieldId::kDstPort, MatchKind::kExact}});
+  auto* t2 = pipeline.stage(2).AddTable("b", {{FieldId::kDstPort, MatchKind::kExact}});
+  ASSERT_NE(t0, nullptr);
+  ASSERT_NE(t2, nullptr);
+  const auto noop0 = t0->RegisterAction("noop", [](net::Packet&, switchsim::PacketMeta&,
+                                                   const switchsim::ActionArgs&) {});
+  const auto noop2 = t2->RegisterAction("noop", [](net::Packet&, switchsim::PacketMeta&,
+                                                   const switchsim::ActionArgs&) {});
+  for (int i = 0; i < 12; ++i) {
+    t0->AddEntry({FieldMatch::Exact(static_cast<std::uint64_t>(i))}, noop0);
+  }
+  t2->AddEntry({FieldMatch::Exact(1)}, noop2);
+
+  EXPECT_EQ(pipeline.TotalEntriesUsed(), 13);
+  EXPECT_EQ(pipeline.TotalBlocksUsed(), 2 + 1);  // ceil(12/10) + 1
+}
+
+TEST(ModelValidationTest, IntegerVarsEnumerated) {
+  lp::Model model;
+  model.AddVar(0, 1, 1, true, "a");
+  model.AddVar(0, 1, 1, false, "b");
+  model.AddVar(0, 5, 1, true, "c");
+  const auto ints = model.IntegerVars();
+  ASSERT_EQ(ints.size(), 2u);
+  EXPECT_EQ(ints[0], 0);
+  EXPECT_EQ(ints[1], 2);
+  EXPECT_EQ(model.num_nonzeros(), 0u);
+  model.AddRow({0, 2}, {1.0, 2.0}, lp::Sense::kLe, 3);
+  EXPECT_EQ(model.num_nonzeros(), 2u);
+}
+
+TEST(ModelValidationTest, StatusNames) {
+  EXPECT_STREQ(lp::ToString(lp::SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(lp::ToString(lp::SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(lp::ToString(lp::SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(lp::ToString(lp::SolveStatus::kTimeLimit), "time-limit");
+  EXPECT_STREQ(lp::ToString(lp::SolveStatus::kFeasible), "feasible");
+}
+
+TEST(P4GenCoverageTest, AllNfTypesEmit) {
+  for (int t = 0; t < nf::kNumNfTypes; ++t) {
+    const auto decl = p4gen::EmitTableDecl(static_cast<nf::NfType>(t), 1);
+    EXPECT_NE(decl.find("table tab_"), std::string::npos);
+    EXPECT_NE(decl.find("meta.tenant_id"), std::string::npos);
+  }
+}
+
+TEST(P4GenCoverageTest, EmptyPipelineStillValidSkeleton) {
+  dataplane::DataPlane dp{switchsim::SwitchConfig{}};
+  const auto program = p4gen::EmitProgram(dp, "empty");
+  EXPECT_NE(program.find("parser SfpParser"), std::string::npos);
+  EXPECT_NE(program.find("apply {"), std::string::npos);
+}
+
+TEST(SfpSystemCoverageTest, RemoveUnknownTenantFails) {
+  core::SfpSystem system;
+  EXPECT_FALSE(system.RemoveTenant(99));
+}
+
+TEST(SfpSystemCoverageTest, ExplicitLayoutSkipsDuplicates) {
+  core::SfpSystem system;
+  const int installed = system.ProvisionPhysical(
+      {{nf::NfType::kFirewall, nf::NfType::kFirewall}, {nf::NfType::kRouter}});
+  EXPECT_EQ(installed, 2);  // duplicate firewall in stage 0 skipped
+}
+
+TEST(SfpSystemCoverageTest, ToSpecCountsCatchAll) {
+  dataplane::Sfc sfc;
+  sfc.bandwidth_gbps = 7;
+  nf::NfConfig fw;
+  fw.type = nf::NfType::kFirewall;
+  fw.rules.resize(3);
+  sfc.chain = {fw};
+  const auto spec = core::SfpSystem::ToSpec(sfc);
+  EXPECT_EQ(spec.bandwidth_gbps, 7);
+  ASSERT_EQ(spec.boxes.size(), 1u);
+  EXPECT_EQ(spec.boxes[0].type, static_cast<int>(nf::NfType::kFirewall));
+  EXPECT_EQ(spec.boxes[0].rules, 4);  // 3 rules + tenant catch-all
+}
+
+TEST(FieldNameTest, AllFieldsNamed) {
+  for (const auto field :
+       {FieldId::kTenantId, FieldId::kPass, FieldId::kSrcIp, FieldId::kDstIp,
+        FieldId::kSrcPort, FieldId::kDstPort, FieldId::kIpProto, FieldId::kDscp,
+        FieldId::kFlowClass, FieldId::kEthType}) {
+    EXPECT_STRNE(switchsim::FieldName(field), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace sfp

@@ -1,0 +1,96 @@
+// Robustness (fuzz-style) tests: Packet::Parse and Trace::ReadFrom must
+// never crash or accept garbage silently, whatever bytes arrive.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "net/trace.h"
+
+namespace sfp::net {
+namespace {
+
+class PacketParseFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PacketParseFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 47 + 3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(0, 200));
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    // Must not crash; result validity is the parser's business.
+    auto parsed = Packet::Parse(bytes);
+    if (parsed && parsed->ipv4) {
+      // Any accepted IPv4 header must have a valid checksum.
+      EXPECT_EQ(parsed->ipv4->ComputeChecksum(), parsed->ipv4->checksum);
+    }
+  }
+}
+
+TEST_P(PacketParseFuzzTest, MutatedValidFramesNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 1);
+  const auto base = MakeTcpPacket(3, Ipv4Address::Of(10, 0, 0, 1),
+                                  Ipv4Address::Of(10, 0, 0, 2), 1234, 80, 128)
+                        .Serialize();
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = base;
+    const int flips = static_cast<int>(rng.UniformInt(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto at =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[at] ^= static_cast<std::uint8_t>(1 << rng.UniformInt(0, 7));
+    }
+    // Occasionally truncate too.
+    if (rng.Bernoulli(0.3)) {
+      bytes.resize(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()))));
+    }
+    (void)Packet::Parse(bytes);  // must not crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketParseFuzzTest, ::testing::Range(0, 4));
+
+TEST(TraceFuzzTest, RandomStreamsNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(0, 300));
+    std::string bytes(static_cast<std::size_t>(size), '\0');
+    for (auto& b : bytes) b = static_cast<char>(rng.UniformInt(0, 255));
+    std::stringstream stream(bytes);
+    (void)Trace::ReadFrom(stream);  // must not crash
+  }
+}
+
+TEST(TraceFuzzTest, MutatedValidTraceNeverCrashes) {
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.Append(i * 100.0, MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                          Ipv4Address::Of(2, 2, 2, 2), 1, 2, 64));
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(trace.WriteTo(buffer));
+  const std::string base = buffer.str();
+
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes = base;
+    const auto at =
+        static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[at] = static_cast<char>(rng.UniformInt(0, 255));
+    std::stringstream stream(bytes);
+    auto loaded = Trace::ReadFrom(stream);
+    if (loaded) {
+      // Accepted traces must still be internally consistent.
+      double last = -1;
+      for (const auto& record : loaded->records()) {
+        EXPECT_GE(record.timestamp_ns, last);
+        last = record.timestamp_ns;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfp::net

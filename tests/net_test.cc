@@ -1,0 +1,129 @@
+// Tests for packet headers, parsing, and serialization round-trips.
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace sfp::net {
+namespace {
+
+TEST(MacAddressTest, ToStringFromStringRoundTrip) {
+  MacAddress mac{{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42}};
+  auto parsed = MacAddress::FromString(mac.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(MacAddressTest, RejectsMalformed) {
+  EXPECT_FALSE(MacAddress::FromString("not-a-mac").has_value());
+  EXPECT_FALSE(MacAddress::FromString("").has_value());
+}
+
+TEST(Ipv4AddressTest, ToStringFromStringRoundTrip) {
+  auto addr = Ipv4Address::Of(192, 168, 1, 77);
+  EXPECT_EQ(addr.ToString(), "192.168.1.77");
+  auto parsed = Ipv4Address::FromString("192.168.1.77");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(Ipv4AddressTest, RejectsOutOfRangeOctets) {
+  EXPECT_FALSE(Ipv4Address::FromString("300.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::FromString("1.2.3.4.5").has_value());
+}
+
+TEST(Ipv4HeaderTest, ChecksumValidatesOnParse) {
+  Ipv4Header h;
+  h.src = Ipv4Address::Of(10, 0, 0, 1);
+  h.dst = Ipv4Address::Of(10, 0, 0, 2);
+  h.total_length = 40;
+  std::vector<std::uint8_t> bytes;
+  h.Serialize(bytes);
+  ASSERT_EQ(bytes.size(), Ipv4Header::kSize);
+  auto parsed = Ipv4Header::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+
+  // Corrupt one byte: the checksum must catch it.
+  bytes[16] ^= 0xFF;
+  EXPECT_FALSE(Ipv4Header::Parse(bytes).has_value());
+}
+
+TEST(PacketTest, TcpSerializeParseRoundTrip) {
+  Packet p = MakeTcpPacket(/*tenant=*/7, Ipv4Address::Of(10, 1, 0, 5),
+                           Ipv4Address::Of(10, 2, 0, 9), 12345, 443, 256);
+  EXPECT_EQ(p.WireBytes(), 256u);
+  auto bytes = p.Serialize();
+  EXPECT_EQ(bytes.size(), 256u);
+
+  auto parsed = Packet::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->TenantId(), 7);
+  EXPECT_TRUE(parsed->IsTcp());
+  EXPECT_EQ(parsed->Tuple().src_port, 12345);
+  EXPECT_EQ(parsed->Tuple().dst_port, 443);
+  EXPECT_EQ(parsed->ipv4->src, Ipv4Address::Of(10, 1, 0, 5));
+  EXPECT_EQ(parsed->WireBytes(), 256u);
+}
+
+TEST(PacketTest, UdpSerializeParseRoundTrip) {
+  Packet p = MakeUdpPacket(/*tenant=*/3, Ipv4Address::Of(172, 16, 0, 1),
+                           Ipv4Address::Of(172, 16, 0, 2), 5353, 53, 128);
+  auto bytes = p.Serialize();
+  auto parsed = Packet::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->IsUdp());
+  EXPECT_EQ(parsed->Tuple().dst_port, 53);
+  EXPECT_EQ(parsed->TenantId(), 3);
+}
+
+TEST(PacketTest, UntaggedPacketHasTenantZero) {
+  Packet p = MakeTcpPacket(/*tenant=*/0, Ipv4Address::Of(1, 1, 1, 1),
+                           Ipv4Address::Of(2, 2, 2, 2), 1000, 80, 64);
+  EXPECT_FALSE(p.vlan.has_value());
+  EXPECT_EQ(p.TenantId(), 0);
+  auto parsed = Packet::Parse(p.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->TenantId(), 0);
+}
+
+TEST(PacketTest, MinimumFrameClampsPayload) {
+  // Requesting a frame smaller than the headers yields zero payload.
+  Packet p = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                           1, 2, 10);
+  EXPECT_EQ(p.payload_bytes, 0u);
+}
+
+TEST(PacketTest, ParseRejectsTruncated) {
+  Packet p = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                           1, 2, 128);
+  auto bytes = p.Serialize();
+  bytes.resize(20);  // cut inside the IPv4 header
+  EXPECT_FALSE(Packet::Parse(bytes).has_value());
+}
+
+TEST(FiveTupleTest, HashIsStableAndSpreads) {
+  FiveTuple a{Ipv4Address::Of(1, 2, 3, 4), Ipv4Address::Of(5, 6, 7, 8), 100, 200, 6};
+  FiveTuple b = a;
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.src_port = 101;
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(VlanTagTest, SerializeParsePreservesFields) {
+  VlanTag tag;
+  tag.pcp = 5;
+  tag.dei = true;
+  tag.vid = 0x123;
+  std::vector<std::uint8_t> bytes;
+  tag.Serialize(bytes);
+  auto parsed = VlanTag::Parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->pcp, 5);
+  EXPECT_TRUE(parsed->dei);
+  EXPECT_EQ(parsed->vid, 0x123);
+}
+
+}  // namespace
+}  // namespace sfp::net

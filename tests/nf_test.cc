@@ -1,0 +1,310 @@
+// Tests for the NF library: each NF's actions, rule builders, and the
+// REC variants.
+#include "nf/nf.h"
+
+#include <gtest/gtest.h>
+
+#include "nf/classifier.h"
+#include "nf/firewall.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "nf/rate_limiter.h"
+#include "nf/router.h"
+
+namespace sfp::nf {
+namespace {
+
+using net::Ipv4Address;
+using net::MakeTcpPacket;
+using net::MakeUdpPacket;
+using switchsim::ActionId;
+using switchsim::FieldMatch;
+using switchsim::MatchActionTable;
+using switchsim::PacketMeta;
+
+// Builds a table for `nf`, binds its actions, and returns the action id
+// by name.
+ActionId FindAction(const MatchActionTable& table, const std::string& name) {
+  for (std::size_t i = 0; i < table.action_names().size(); ++i) {
+    if (table.action_names()[i] == name) return static_cast<ActionId>(i);
+  }
+  return -1;
+}
+
+// Installs a single NfRule into a table built from the NF's key spec.
+void InstallRule(MatchActionTable& table, const NfRule& rule) {
+  const ActionId action = FindAction(table, rule.action);
+  ASSERT_GE(action, 0) << "unknown action " << rule.action;
+  table.AddEntry(rule.matches, action, rule.args, rule.priority);
+}
+
+TEST(NfFactoryTest, CreatesEveryType) {
+  for (int t = 0; t < kNumNfTypes; ++t) {
+    auto nf = MakeNf(static_cast<NfType>(t));
+    ASSERT_NE(nf, nullptr);
+    EXPECT_EQ(static_cast<int>(nf->type()), t);
+    EXPECT_FALSE(nf->KeySpec().empty());
+  }
+}
+
+TEST(NfFactoryTest, NamesAreUniqueAndStable) {
+  EXPECT_STREQ(NfShortName(NfType::kFirewall), "fw");
+  EXPECT_STREQ(NfShortName(NfType::kLoadBalancer), "lb");
+  EXPECT_STREQ(NfShortName(NfType::kClassifier), "tc");
+  EXPECT_STREQ(NfShortName(NfType::kRouter), "rt");
+  EXPECT_STREQ(NfFullName(NfType::kNat), "NAT");
+}
+
+TEST(FirewallTest, DenyDropsMatchingTraffic) {
+  Firewall fw;
+  MatchActionTable table("fw", fw.KeySpec());
+  fw.BindActions(table);
+  InstallRule(table, Firewall::Deny(FieldMatch::Any(), FieldMatch::Any(), FieldMatch::Any(),
+                                    FieldMatch::Range(80, 80), FieldMatch::Any()));
+
+  auto blocked = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                               999, 80, 64);
+  PacketMeta meta;
+  table.Apply(blocked, meta);
+  EXPECT_TRUE(meta.dropped);
+
+  auto allowed = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                               999, 443, 64);
+  PacketMeta meta2;
+  table.Apply(allowed, meta2);
+  EXPECT_FALSE(meta2.dropped);
+}
+
+TEST(FirewallTest, AllowPunchesHoleAboveDeny) {
+  Firewall fw;
+  MatchActionTable table("fw", fw.KeySpec());
+  fw.BindActions(table);
+  // Broad deny on port 80, but allow from 10.0.0.0/8.
+  InstallRule(table, Firewall::Deny(FieldMatch::Any(), FieldMatch::Any(), FieldMatch::Any(),
+                                    FieldMatch::Range(80, 80), FieldMatch::Any(),
+                                    /*priority=*/10));
+  InstallRule(table,
+              Firewall::Allow(FieldMatch::Ternary(Ipv4Address::Of(10, 0, 0, 0).value,
+                                                  0xFF000000),
+                              FieldMatch::Any(), FieldMatch::Any(),
+                              FieldMatch::Range(80, 80), FieldMatch::Any(),
+                              /*priority=*/20));
+
+  auto friendly = MakeTcpPacket(1, Ipv4Address::Of(10, 5, 5, 5), Ipv4Address::Of(2, 2, 2, 2),
+                                999, 80, 64);
+  PacketMeta meta;
+  table.Apply(friendly, meta);
+  EXPECT_FALSE(meta.dropped);
+}
+
+TEST(LoadBalancerTest, SetBackendRewritesDstIp) {
+  LoadBalancer lb;
+  MatchActionTable table("lb", lb.KeySpec());
+  lb.BindActions(table);
+  const auto vip = Ipv4Address::Of(10, 0, 0, 100);
+  const auto dip = Ipv4Address::Of(192, 168, 0, 7);
+  InstallRule(table, LoadBalancer::SetBackend(vip, 80, dip));
+
+  auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), vip, 999, 80, 64);
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_EQ(packet.ipv4->dst, dip);
+}
+
+TEST(LoadBalancerTest, PoolSelectIsFlowAffine) {
+  LoadBalancer lb;
+  MatchActionTable table("lb", lb.KeySpec());
+  lb.BindActions(table);
+  const auto vip = Ipv4Address::Of(10, 0, 0, 100);
+  const auto pool = lb.AddPool({Ipv4Address::Of(192, 168, 0, 1), Ipv4Address::Of(192, 168, 0, 2),
+                                Ipv4Address::Of(192, 168, 0, 3)});
+  InstallRule(table, LoadBalancer::PoolSelect(vip, 80, pool));
+
+  // The same flow must always pick the same backend.
+  auto p1 = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), vip, 999, 80, 64);
+  auto p2 = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), vip, 999, 80, 64);
+  PacketMeta m1, m2;
+  table.Apply(p1, m1);
+  table.Apply(p2, m2);
+  EXPECT_EQ(p1.ipv4->dst, p2.ipv4->dst);
+
+  // Across many flows, more than one backend must be used.
+  std::set<std::uint32_t> backends;
+  for (std::uint16_t sport = 1000; sport < 1100; ++sport) {
+    auto p = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), vip, sport, 80, 64);
+    PacketMeta m;
+    table.Apply(p, m);
+    backends.insert(p.ipv4->dst.value);
+  }
+  EXPECT_GT(backends.size(), 1u);
+}
+
+TEST(LoadBalancerTest, ExplicitRuleOutranksPool) {
+  LoadBalancer lb;
+  MatchActionTable table("lb", lb.KeySpec());
+  lb.BindActions(table);
+  const auto vip = Ipv4Address::Of(10, 0, 0, 100);
+  const auto pinned = Ipv4Address::Of(192, 168, 9, 9);
+  const auto pool = lb.AddPool({Ipv4Address::Of(192, 168, 0, 1)});
+  InstallRule(table, LoadBalancer::PoolSelect(vip, 80, pool));
+  InstallRule(table, LoadBalancer::SetBackend(vip, 80, pinned));
+
+  auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), vip, 999, 80, 64);
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_EQ(packet.ipv4->dst, pinned);
+}
+
+TEST(ClassifierTest, SetsFlowClass) {
+  Classifier tc;
+  MatchActionTable table("tc", tc.KeySpec());
+  tc.BindActions(table);
+  InstallRule(table, Classifier::ClassifyByPort(80, 90, 3));
+
+  auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                              999, 85, 64);
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_EQ(meta.flow_class, 3);
+}
+
+TEST(RouterTest, LpmSelectsEgressAndDecrementsTtl) {
+  Router rt;
+  MatchActionTable table("rt", rt.KeySpec());
+  rt.BindActions(table);
+  InstallRule(table, Router::Route(Ipv4Address::Of(10, 0, 0, 0).value, 8, 3));
+  InstallRule(table, Router::Route(Ipv4Address::Of(10, 0, 0, 0).value, 24, 7));
+
+  auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(10, 0, 0, 5),
+                              999, 80, 64);
+  const auto ttl_before = packet.ipv4->ttl;
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_EQ(meta.egress_port, 7);  // /24 beats /8
+  EXPECT_EQ(packet.ipv4->ttl, ttl_before - 1);
+  EXPECT_FALSE(meta.dropped);
+}
+
+TEST(RouterTest, TtlExpiryDrops) {
+  Router rt;
+  MatchActionTable table("rt", rt.KeySpec());
+  rt.BindActions(table);
+  InstallRule(table, Router::Route(0, 0, 1));  // default route
+
+  auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                              999, 80, 64);
+  packet.ipv4->ttl = 1;
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_TRUE(meta.dropped);
+}
+
+TEST(RateLimiterTest, EnforcesRateOverTime) {
+  RateLimiter rl;
+  MatchActionTable table("rl", rl.KeySpec());
+  rl.BindActions(table);
+  // 1 Mbps with a 1 KB burst: a 64B packet is 512 bits; the bucket
+  // holds 8000 bits => ~15 packets back-to-back, then drops.
+  const auto bucket = rl.AddBucket(/*rate_mbps=*/1.0, /*burst_kb=*/1.0);
+  InstallRule(table, RateLimiter::Police(0, 0, bucket));
+
+  int passed = 0, dropped = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto packet = MakeUdpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                                999, 80, 64);
+    PacketMeta meta;
+    meta.time_ns = 0.0;  // all at t=0: no refill
+    table.Apply(packet, meta);
+    meta.dropped ? ++dropped : ++passed;
+  }
+  EXPECT_EQ(passed, 15);
+  EXPECT_EQ(dropped, 15);
+  EXPECT_EQ(rl.drops(), 15u);
+
+  // After enough time the bucket refills.
+  auto packet = MakeUdpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                              999, 80, 64);
+  PacketMeta meta;
+  meta.time_ns = 1e9;  // 1 second later
+  table.Apply(packet, meta);
+  EXPECT_FALSE(meta.dropped);
+}
+
+TEST(NatTest, RewritesSourceAddress) {
+  Nat nat;
+  MatchActionTable table("nat", nat.KeySpec());
+  nat.BindActions(table);
+  const auto internal = Ipv4Address::Of(10, 0, 0, 5);
+  const auto external = Ipv4Address::Of(203, 0, 113, 20);
+  InstallRule(table, Nat::Translate(internal, external));
+
+  auto packet = MakeTcpPacket(1, internal, Ipv4Address::Of(8, 8, 8, 8), 999, 80, 64);
+  PacketMeta meta;
+  table.Apply(packet, meta);
+  EXPECT_EQ(packet.ipv4->src, external);
+}
+
+TEST(RecVariantTest, RecActionSetsRecirculateUnlessDropped) {
+  Firewall fw;
+  MatchActionTable table("fw", fw.KeySpec());
+  fw.BindActions(table);
+  const auto allow_rec = FindAction(table, "allow_rec");
+  const auto deny_rec = FindAction(table, "deny_rec");
+  ASSERT_GE(allow_rec, 0);
+  ASSERT_GE(deny_rec, 0);
+  table.AddEntry({FieldMatch::Any(), FieldMatch::Any(), FieldMatch::Any(),
+                  FieldMatch::Range(80, 80), FieldMatch::Any()},
+                 allow_rec);
+  table.AddEntry({FieldMatch::Any(), FieldMatch::Any(), FieldMatch::Any(),
+                  FieldMatch::Range(443, 443), FieldMatch::Any()},
+                 deny_rec);
+
+  auto p80 = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                           999, 80, 64);
+  PacketMeta m80;
+  table.Apply(p80, m80);
+  EXPECT_TRUE(m80.recirculate);
+  EXPECT_FALSE(m80.dropped);
+
+  auto p443 = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1), Ipv4Address::Of(2, 2, 2, 2),
+                            999, 443, 64);
+  PacketMeta m443;
+  table.Apply(p443, m443);
+  EXPECT_TRUE(m443.dropped);
+  EXPECT_FALSE(m443.recirculate);  // dropped packets never recirculate
+}
+
+class NfRuleGenerationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NfRuleGenerationTest, GeneratedRulesInstallCleanly) {
+  const auto type = static_cast<NfType>(GetParam());
+  auto nf = MakeNf(type);
+  MatchActionTable table(NfShortName(type), nf->KeySpec());
+  nf->BindActions(table);
+  if (type == NfType::kRateLimiter) {
+    static_cast<RateLimiter*>(nf.get())->AddBucket(100, 10);
+  }
+  Rng rng(77);
+  auto rules = nf->GenerateRules(rng, 50);
+  ASSERT_EQ(rules.size(), 50u);
+  for (const auto& rule : rules) {
+    ASSERT_EQ(rule.matches.size(), nf->KeySpec().size());
+    InstallRule(table, rule);
+  }
+  EXPECT_EQ(table.num_entries(), 50u);
+
+  // Installed tables must survive traffic without crashing.
+  for (int i = 0; i < 100; ++i) {
+    auto packet = MakeTcpPacket(1, Ipv4Address::Of(10, 1, 2, 3), Ipv4Address::Of(10, 4, 5, 6),
+                                static_cast<std::uint16_t>(1000 + i), 80, 128);
+    PacketMeta meta;
+    meta.time_ns = i * 1000.0;
+    table.Apply(packet, meta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNfTypes, NfRuleGenerationTest,
+                         ::testing::Range(0, kNumNfTypes));
+
+}  // namespace
+}  // namespace sfp::nf

@@ -1,0 +1,60 @@
+// Tests for the P4 emitter.
+#include "p4gen/p4gen.h"
+
+#include <gtest/gtest.h>
+
+namespace sfp::p4gen {
+namespace {
+
+TEST(P4GenTest, TableDeclIncludesVirtualizationPrefix) {
+  const std::string decl = EmitTableDecl(nf::NfType::kFirewall, 2);
+  EXPECT_NE(decl.find("meta.tenant_id : exact"), std::string::npos);
+  EXPECT_NE(decl.find("meta.pass"), std::string::npos);
+  EXPECT_NE(decl.find("@stage(2)"), std::string::npos);
+  EXPECT_NE(decl.find("table tab_fw_s2"), std::string::npos);
+  EXPECT_NE(decl.find("deny"), std::string::npos);
+  EXPECT_NE(decl.find("default_action = nop()"), std::string::npos);
+}
+
+TEST(P4GenTest, TableDeclReflectsMatchKinds) {
+  const std::string fw = EmitTableDecl(nf::NfType::kFirewall, 0);
+  EXPECT_NE(fw.find("hdr.ipv4.srcAddr : ternary"), std::string::npos);
+  EXPECT_NE(fw.find("hdr.l4.dstPort : range"), std::string::npos);
+  const std::string rt = EmitTableDecl(nf::NfType::kRouter, 0);
+  EXPECT_NE(rt.find("hdr.ipv4.dstAddr : lpm"), std::string::npos);
+  const std::string lb = EmitTableDecl(nf::NfType::kLoadBalancer, 0);
+  EXPECT_NE(lb.find("hdr.ipv4.dstAddr : exact"), std::string::npos);
+}
+
+TEST(P4GenTest, ProgramWalksTheLayoutInStageOrder) {
+  dataplane::DataPlane dp(switchsim::SwitchConfig{});
+  ASSERT_TRUE(dp.InstallPhysicalNf(0, nf::NfType::kClassifier));
+  ASSERT_TRUE(dp.InstallPhysicalNf(1, nf::NfType::kFirewall));
+  ASSERT_TRUE(dp.InstallPhysicalNf(2, nf::NfType::kLoadBalancer));
+
+  const std::string program = EmitProgram(dp, "sfp_demo");
+  EXPECT_NE(program.find("parser SfpParser"), std::string::npos);
+  EXPECT_NE(program.find("control SfpIngress"), std::string::npos);
+  EXPECT_NE(program.find("recirculate_pass"), std::string::npos);
+
+  const auto tc_at = program.find("tab_tc_s0.apply()");
+  const auto fw_at = program.find("tab_fw_s1.apply()");
+  const auto lb_at = program.find("tab_lb_s2.apply()");
+  ASSERT_NE(tc_at, std::string::npos);
+  ASSERT_NE(fw_at, std::string::npos);
+  ASSERT_NE(lb_at, std::string::npos);
+  EXPECT_LT(tc_at, fw_at);
+  EXPECT_LT(fw_at, lb_at);
+}
+
+TEST(P4GenTest, Fig2LoadBalancerHasThreeTables) {
+  const std::string lb = EmitFig2LoadBalancer();
+  EXPECT_NE(lb.find("table tab_lb "), std::string::npos);
+  EXPECT_NE(lb.find("table tab_lbhash"), std::string::npos);
+  EXPECT_NE(lb.find("table tab_lbselect"), std::string::npos);
+  // Hash fallback only on tab_lb miss, as in Fig. 2.
+  EXPECT_NE(lb.find("if (!tab_lb.apply().hit)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfp::p4gen

@@ -1,0 +1,73 @@
+// Tests for the DPDK software-SFC server model and its calibration
+// against the paper's measured points (§VI-B).
+#include "serversim/server_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace sfp::serversim {
+namespace {
+
+TEST(ServerSfcTest, LatencyMatchesPaperCalibration) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  // Fig. 5: DPDK average latency ~= 1151 ns.
+  EXPECT_NEAR(sfc.PacketLatencyNs(), 1151.0, 3.0);
+}
+
+TEST(ServerSfcTest, SaturatesOnlyNearMtu) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  // Fig. 4: DPDK reaches 100 Gbps only at ~1500 B frames.
+  EXPECT_LT(sfc.ThroughputGbps(1024, 100.0), 99.0);
+  EXPECT_NEAR(sfc.ThroughputGbps(1500, 100.0), 100.0, 0.5);
+  const int saturating = sfc.SaturatingFrameBytes(100.0);
+  EXPECT_GT(saturating, 1200);
+  EXPECT_LE(saturating, 1500);
+}
+
+TEST(ServerSfcTest, TenTimesGapAt64Bytes) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  // Fig. 4: at 64 B the switch (line rate) beats DPDK by >= 10x.
+  const double dpdk = sfc.ThroughputGbps(64, 100.0);
+  EXPECT_GE(100.0 / dpdk, 10.0);
+}
+
+TEST(ServerSfcTest, ThroughputBoundedByOfferAndLineRate) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  EXPECT_LE(sfc.ThroughputGbps(1500, 40.0), 40.0 + 1e-9);  // offered bound
+  ServerConfig fat;
+  fat.worker_cores = 56;  // overprovisioned CPU
+  ServerSfc fast(fat, DefaultChain());
+  // At MTU frames the overprovisioned server is line-rate bound.
+  EXPECT_NEAR(fast.ThroughputGbps(1500, 200.0), fat.line_rate_gbps, 1e-9);
+}
+
+TEST(ServerSfcTest, ResourceFootprintMatchesPaper) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  // §VI-B: 722 MB memory, 30.35% CPU (17/56 cores).
+  EXPECT_NEAR(sfc.MemoryMb(), 722.0, 1.0);
+  EXPECT_NEAR(sfc.CpuUtilization(), 17.0 / 56.0, 1e-9);
+}
+
+TEST(ServerSfcTest, ThroughputMonotoneInFrameSize) {
+  ServerSfc sfc(ServerConfig{}, DefaultChain());
+  double prev = 0.0;
+  for (int size : {64, 128, 256, 512, 1024, 1500}) {
+    const double gbps = sfc.ThroughputGbps(size, 100.0);
+    EXPECT_GE(gbps + 1e-9, prev);
+    prev = gbps;
+  }
+}
+
+TEST(ServerSfcTest, LongerChainsAreSlower) {
+  auto chain = DefaultChain();
+  ServerSfc four(ServerConfig{}, chain);
+  chain.push_back({"nat", 500});
+  ServerSfc five(ServerConfig{}, chain);
+  EXPECT_GT(five.PacketLatencyNs(), four.PacketLatencyNs());
+  EXPECT_LT(five.PpsCapacity(), four.PpsCapacity());
+  EXPECT_GT(five.MemoryMb(), four.MemoryMb());
+}
+
+}  // namespace
+}  // namespace sfp::serversim

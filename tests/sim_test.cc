@@ -1,0 +1,75 @@
+// Tests for the discrete-event engine and latency statistics.
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace sfp::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimestampOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(30, [&] { order.push_back(3); });
+  simulator.ScheduleAt(10, [&] { order.push_back(1); });
+  simulator.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(simulator.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now(), 30.0);
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(5, [&] { order.push_back(1); });
+  simulator.ScheduleAt(5, [&] { order.push_back(2); });
+  simulator.ScheduleAt(5, [&] { order.push_back(3); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) simulator.ScheduleAfter(10, chain);
+  };
+  simulator.ScheduleAt(0, chain);
+  simulator.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(simulator.Now(), 40.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsEarly) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(10, [&] { ++fired; });
+  simulator.ScheduleAt(100, [&] { ++fired; });
+  EXPECT_EQ(simulator.Run(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.Now(), 50.0);
+  // The remaining event still fires on the next Run.
+  EXPECT_EQ(simulator.Run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(LatencyStatsTest, ComputesMomentsAndPercentiles) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) stats.Add(i);
+  EXPECT_EQ(stats.Count(), 100u);
+  EXPECT_NEAR(stats.Mean(), 50.5, 1e-9);
+  EXPECT_EQ(stats.Min(), 1.0);
+  EXPECT_EQ(stats.Max(), 100.0);
+  EXPECT_NEAR(stats.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(stats.Percentile(99), 99.01, 0.1);
+  EXPECT_EQ(stats.Percentile(0), 1.0);
+  EXPECT_EQ(stats.Percentile(100), 100.0);
+}
+
+TEST(LatencyStatsTest, EmptyStatsAreZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace sfp::sim

@@ -1,0 +1,147 @@
+// Property tests for the switch simulator: table lookup vs a naive
+// oracle, and resource-accounting invariants under random churn.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/packet.h"
+#include "switchsim/pipeline.h"
+
+namespace sfp::switchsim {
+namespace {
+
+using net::Ipv4Address;
+
+// Naive reference matcher replicating the documented semantics:
+// highest priority wins; LPM prefix sum breaks priority ties; earliest
+// installation breaks the rest.
+const TableEntry* OracleLookup(const MatchActionTable& table, const net::Packet& packet,
+                               const PacketMeta& meta) {
+  const TableEntry* best = nullptr;
+  int best_priority = 0;
+  int best_prefix = -1;
+  for (const auto& entry : table.entries()) {
+    bool match = true;
+    int prefix = 0;
+    for (std::size_t f = 0; f < table.key().size() && match; ++f) {
+      const auto value = GetField(packet, meta, table.key()[f].field);
+      match = FieldMatches(entry.matches[f], table.key()[f].kind, value);
+      if (table.key()[f].kind == MatchKind::kLpm) prefix += entry.matches[f].prefix_len;
+    }
+    if (!match) continue;
+    if (best == nullptr || entry.priority > best_priority ||
+        (entry.priority == best_priority && prefix > best_prefix)) {
+      best = &entry;
+      best_priority = entry.priority;
+      best_prefix = prefix;
+    }
+  }
+  return best;
+}
+
+class TableLookupPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableLookupPropertyTest, LookupAgreesWithOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 29);
+  MatchActionTable table("t", {{FieldId::kSrcIp, MatchKind::kTernary},
+                               {FieldId::kDstIp, MatchKind::kLpm},
+                               {FieldId::kDstPort, MatchKind::kRange}});
+  const auto noop = table.RegisterAction("noop", [](net::Packet&, PacketMeta&,
+                                                    const ActionArgs&) {});
+
+  const int entry_count = static_cast<int>(rng.UniformInt(5, 60));
+  for (int e = 0; e < entry_count; ++e) {
+    const std::uint32_t src = static_cast<std::uint32_t>(rng.UniformInt(0, 0xFF)) << 24;
+    const auto port_lo = static_cast<std::uint64_t>(rng.UniformInt(0, 60000));
+    table.AddEntry({FieldMatch::Ternary(src, rng.Bernoulli(0.5) ? 0xFF000000 : 0),
+                    FieldMatch::Lpm(static_cast<std::uint32_t>(rng.UniformInt(0, 0xFF)) << 24,
+                                    static_cast<int>(rng.UniformInt(0, 16))),
+                    FieldMatch::Range(port_lo, port_lo + static_cast<std::uint64_t>(
+                                                             rng.UniformInt(0, 5000)))},
+                   noop, {}, static_cast<int>(rng.UniformInt(0, 5)));
+  }
+
+  for (int trial = 0; trial < 200; ++trial) {
+    auto packet = net::MakeTcpPacket(
+        1,
+        Ipv4Address{static_cast<std::uint32_t>(rng.UniformInt(0, 0xFF)) << 24},
+        Ipv4Address{static_cast<std::uint32_t>(rng.UniformInt(0, 0xFF)) << 24},
+        static_cast<std::uint16_t>(rng.UniformInt(0, 65000)),
+        static_cast<std::uint16_t>(rng.UniformInt(0, 65000)), 64);
+    PacketMeta meta;
+    const TableEntry* actual = table.Lookup(packet, meta);
+    const TableEntry* expected = OracleLookup(table, packet, meta);
+    if (expected == nullptr) {
+      EXPECT_EQ(actual, nullptr);
+    } else {
+      ASSERT_NE(actual, nullptr);
+      EXPECT_EQ(actual->handle, expected->handle);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTables, TableLookupPropertyTest, ::testing::Range(0, 10));
+
+class StageChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageChurnTest, ResourceAccountingSurvivesChurn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  SwitchConfig config;
+  config.blocks_per_stage = 6;
+  config.entries_per_block = 50;
+  Stage stage(0, config);
+  auto* table = stage.AddTable("t", {{FieldId::kDstPort, MatchKind::kExact}});
+  ASSERT_NE(table, nullptr);
+  const auto noop = table->RegisterAction("noop", [](net::Packet&, PacketMeta&,
+                                                     const ActionArgs&) {});
+
+  std::vector<EntryHandle> live;
+  for (int op = 0; op < 600; ++op) {
+    if (!live.empty() && rng.Bernoulli(0.45)) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+      EXPECT_TRUE(table->RemoveEntry(live[at]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else if (stage.CanAddEntry(*table)) {
+      live.push_back(table->AddEntry(
+          {FieldMatch::Exact(static_cast<std::uint64_t>(rng.UniformInt(0, 65535)))}, noop));
+    }
+    // Invariants: entries match live handles; blocks = ceil(entries/E)
+    // clamped to at least the reserved block; never above the budget.
+    EXPECT_EQ(table->num_entries(), live.size());
+    EXPECT_EQ(stage.EntriesUsed(), static_cast<std::int64_t>(live.size()));
+    const int expected_blocks = std::max<int>(
+        1, static_cast<int>((live.size() + 49) / 50));
+    EXPECT_EQ(stage.BlocksUsed(), expected_blocks);
+    EXPECT_LE(stage.BlocksUsed(), config.blocks_per_stage);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSeeds, StageChurnTest, ::testing::Range(0, 6));
+
+// Recirculation behaviour is consistent for any pass budget.
+class RecirculationSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecirculationSweepTest, PacketMakesExactlyBudgetedPasses) {
+  const int budget = GetParam();
+  SwitchConfig config;
+  config.num_stages = 2;
+  config.max_passes = budget;
+  Pipeline pipeline(config);
+  auto* table = pipeline.stage(1).AddTable("rec", {{FieldId::kDstPort, MatchKind::kExact}});
+  const auto rec = table->RegisterAction(
+      "recirc", [](net::Packet&, PacketMeta& meta, const ActionArgs&) {
+        meta.recirculate = true;
+      });
+  table->AddEntry({FieldMatch::Exact(80)}, rec);  // always recirculate
+
+  auto result = pipeline.Process(net::MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                                    Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  EXPECT_EQ(result.passes, budget);
+  EXPECT_EQ(result.meta.pass, budget - 1);
+  EXPECT_EQ(result.active_stages + result.idle_stages, budget * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RecirculationSweepTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace sfp::switchsim

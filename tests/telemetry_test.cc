@@ -1,0 +1,63 @@
+// Tests for per-tenant telemetry.
+#include "dataplane/telemetry.h"
+
+#include <gtest/gtest.h>
+
+namespace sfp::dataplane {
+namespace {
+
+switchsim::ProcessResult Result(std::uint16_t tenant, bool dropped, int passes,
+                                double latency_ns) {
+  switchsim::ProcessResult r;
+  r.meta.tenant_id = tenant;
+  r.meta.dropped = dropped;
+  r.passes = passes;
+  r.latency_ns = latency_ns;
+  return r;
+}
+
+TEST(TelemetryTest, AccumulatesPerTenant) {
+  TelemetryCollector collector;
+  collector.Record(100, Result(1, false, 1, 300));
+  collector.Record(200, Result(1, true, 1, 100));
+  collector.Record(64, Result(2, false, 2, 350));
+
+  const auto t1 = collector.Tenant(1);
+  EXPECT_EQ(t1.packets, 2u);
+  EXPECT_EQ(t1.bytes, 300u);
+  EXPECT_EQ(t1.drops, 1u);
+  EXPECT_EQ(t1.recirculated_packets, 0u);
+  EXPECT_NEAR(t1.MeanLatencyNs(), 200.0, 1e-9);
+  EXPECT_NEAR(t1.DropRate(), 0.5, 1e-9);
+  EXPECT_EQ(t1.max_latency_ns, 300.0);
+
+  const auto t2 = collector.Tenant(2);
+  EXPECT_EQ(t2.recirculated_packets, 1u);
+  EXPECT_NEAR(t2.MeanPasses(), 2.0, 1e-9);
+}
+
+TEST(TelemetryTest, UnknownTenantIsZero) {
+  TelemetryCollector collector;
+  const auto t = collector.Tenant(42);
+  EXPECT_EQ(t.packets, 0u);
+  EXPECT_EQ(t.MeanLatencyNs(), 0.0);
+}
+
+TEST(TelemetryTest, TotalAggregatesAndResetClears) {
+  TelemetryCollector collector;
+  collector.Record(100, Result(1, false, 1, 300));
+  collector.Record(100, Result(2, false, 3, 400));
+  const auto total = collector.Total();
+  EXPECT_EQ(total.packets, 2u);
+  EXPECT_EQ(total.bytes, 200u);
+  EXPECT_EQ(total.total_passes, 4u);
+  EXPECT_EQ(total.max_latency_ns, 400.0);
+  EXPECT_EQ(collector.Tenants(), (std::vector<std::uint16_t>{1, 2}));
+
+  collector.Reset();
+  EXPECT_TRUE(collector.Tenants().empty());
+  EXPECT_EQ(collector.Total().packets, 0u);
+}
+
+}  // namespace
+}  // namespace sfp::dataplane

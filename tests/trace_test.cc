@@ -1,0 +1,91 @@
+// Tests for the packet-trace container and its binary format.
+#include "net/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sfp::net {
+namespace {
+
+Trace MakeTrace(int packets) {
+  Trace trace;
+  for (int i = 0; i < packets; ++i) {
+    trace.Append(i * 1000.0,
+                 MakeTcpPacket(1, Ipv4Address::Of(10, 0, 0, 1), Ipv4Address::Of(10, 0, 0, 2),
+                               static_cast<std::uint16_t>(1000 + i), 80,
+                               static_cast<std::uint32_t>(64 + i)));
+  }
+  return trace;
+}
+
+TEST(TraceTest, WriteReadRoundTrip) {
+  const Trace trace = MakeTrace(10);
+  std::stringstream buffer;
+  ASSERT_TRUE(trace.WriteTo(buffer));
+
+  const auto loaded = Trace::ReadFrom(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(loaded->records()[i].timestamp_ns, trace.records()[i].timestamp_ns);
+    EXPECT_EQ(loaded->records()[i].frame, trace.records()[i].frame);
+  }
+  // Frames are parseable packets.
+  const auto packet = Packet::Parse(loaded->records()[3].frame);
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->Tuple().src_port, 1003);
+}
+
+TEST(TraceTest, RejectsCorruptMagicAndTruncation) {
+  const Trace trace = MakeTrace(3);
+  std::stringstream buffer;
+  ASSERT_TRUE(trace.WriteTo(buffer));
+  std::string bytes = buffer.str();
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  std::stringstream bad1(bad_magic);
+  EXPECT_FALSE(Trace::ReadFrom(bad1).has_value());
+
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 10));
+  EXPECT_FALSE(Trace::ReadFrom(truncated).has_value());
+}
+
+TEST(TraceTest, OfferedLoadComputation) {
+  Trace trace;
+  // Two 125-byte frames 1000 ns apart: 125*2*8 bits over 1000 ns = 2 Gbps.
+  trace.Append(0.0, std::vector<std::uint8_t>(125, 0));
+  trace.Append(1000.0, std::vector<std::uint8_t>(125, 0));
+  EXPECT_EQ(trace.TotalBytes(), 250u);
+  EXPECT_EQ(trace.DurationNs(), 1000.0);
+  EXPECT_NEAR(trace.OfferedGbps(), 2.0, 1e-9);
+}
+
+TEST(TraceTest, EmptyAndSingleRecordEdgeCases) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.DurationNs(), 0.0);
+  EXPECT_EQ(trace.OfferedGbps(), 0.0);
+  trace.Append(5.0, std::vector<std::uint8_t>(64, 0));
+  EXPECT_EQ(trace.DurationNs(), 0.0);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(trace.WriteTo(buffer));
+  auto loaded = Trace::ReadFrom(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(TraceTest, SaveLoadFile) {
+  const Trace trace = MakeTrace(5);
+  const std::string path = "/tmp/sfp_trace_test.sfpt";
+  ASSERT_TRUE(trace.Save(path));
+  const auto loaded = Trace::Load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 5u);
+  EXPECT_FALSE(Trace::Load("/nonexistent/dir/x.sfpt").has_value());
+}
+
+}  // namespace
+}  // namespace sfp::net

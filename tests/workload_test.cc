@@ -1,0 +1,136 @@
+// Tests for synthetic dataset and traffic generation (§VI-A).
+#include "workload/sfc_gen.h"
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sfp::workload {
+namespace {
+
+TEST(SfcGenTest, RespectsDatasetParameters) {
+  Rng rng(1);
+  DatasetParams params;
+  params.num_sfcs = 40;
+  params.num_types = 10;
+  params.min_chain_len = 3;
+  params.max_chain_len = 7;
+  controlplane::SwitchResources sw;
+  auto instance = GenerateInstance(params, sw, rng);
+
+  EXPECT_EQ(instance.NumSfcs(), 40);
+  EXPECT_EQ(instance.num_types, 10);
+  for (const auto& sfc : instance.sfcs) {
+    EXPECT_GE(sfc.Length(), 3);
+    EXPECT_LE(sfc.Length(), 7);
+    EXPECT_GT(sfc.bandwidth_gbps, 0.0);
+    EXPECT_LE(sfc.bandwidth_gbps, params.bw_cap_gbps);
+    std::set<int> types;
+    for (const auto& box : sfc.boxes) {
+      EXPECT_GE(box.rules, 100);
+      EXPECT_LE(box.rules, 2100);
+      types.insert(box.type);
+    }
+    // distinct_types_in_chain: no repeats when the universe allows.
+    EXPECT_EQ(static_cast<int>(types.size()), sfc.Length());
+  }
+}
+
+TEST(SfcGenTest, FixedChainLengthOverrides) {
+  Rng rng(2);
+  DatasetParams params;
+  params.num_sfcs = 10;
+  params.fixed_chain_len = 8;
+  controlplane::SwitchResources sw;
+  auto instance = GenerateInstance(params, sw, rng);
+  for (const auto& sfc : instance.sfcs) EXPECT_EQ(sfc.Length(), 8);
+}
+
+TEST(SfcGenTest, BandwidthIsLongTailed) {
+  Rng rng(3);
+  DatasetParams params;
+  params.num_sfcs = 500;
+  controlplane::SwitchResources sw;
+  auto instance = GenerateInstance(params, sw, rng);
+  double max_bw = 0, sum = 0;
+  for (const auto& sfc : instance.sfcs) {
+    max_bw = std::max(max_bw, sfc.bandwidth_gbps);
+    sum += sfc.bandwidth_gbps;
+  }
+  const double mean = sum / instance.NumSfcs();
+  // A long tail: the max is several times the mean.
+  EXPECT_GT(max_bw, 3 * mean);
+}
+
+TEST(SfcGenTest, DeterministicForSameSeed) {
+  DatasetParams params;
+  params.num_sfcs = 10;
+  controlplane::SwitchResources sw;
+  Rng a(7), b(7);
+  auto ia = GenerateInstance(params, sw, a);
+  auto ib = GenerateInstance(params, sw, b);
+  ASSERT_EQ(ia.NumSfcs(), ib.NumSfcs());
+  for (int l = 0; l < ia.NumSfcs(); ++l) {
+    EXPECT_EQ(ia.sfcs[static_cast<std::size_t>(l)].bandwidth_gbps,
+              ib.sfcs[static_cast<std::size_t>(l)].bandwidth_gbps);
+    ASSERT_EQ(ia.sfcs[static_cast<std::size_t>(l)].Length(),
+              ib.sfcs[static_cast<std::size_t>(l)].Length());
+  }
+}
+
+TEST(SfcGenTest, ConcreteSfcHasInstallableRules) {
+  Rng rng(4);
+  auto sfc = GenerateConcreteSfc(/*tenant=*/3, /*chain_len=*/4, /*bw=*/10.0, rng,
+                                 /*rules_per_nf=*/20);
+  EXPECT_EQ(sfc.tenant, 3);
+  EXPECT_EQ(sfc.Length(), 4);
+  EXPECT_EQ(sfc.TotalRules(), 4 * 20);
+  std::set<nf::NfType> types;
+  for (const auto& cfg : sfc.chain) {
+    EXPECT_EQ(cfg.rules.size(), 20u);
+    types.insert(cfg.type);
+  }
+  EXPECT_EQ(types.size(), 4u);  // distinct types
+}
+
+TEST(PacketSizeProfileTest, SamplesWithinRangeAndBimodal) {
+  Rng rng(5);
+  PacketSizeProfile profile;
+  int small = 0, large = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const int size = profile.Sample(rng);
+    EXPECT_GE(size, 64);
+    EXPECT_LE(size, 1500);
+    if (size <= 200) ++small;
+    if (size >= 1400) ++large;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / total, 0.45, 0.02);
+  EXPECT_NEAR(static_cast<double>(large) / total, 0.40, 0.02);
+}
+
+TEST(PacketSizeProfileTest, MeanMatchesAnalytic) {
+  Rng rng(6);
+  PacketSizeProfile profile;
+  double sum = 0;
+  const int total = 50000;
+  for (int i = 0; i < total; ++i) sum += profile.Sample(rng);
+  EXPECT_NEAR(sum / total, profile.MeanBytes(), 10.0);
+}
+
+TEST(GenerateFlowsTest, ProducesRequestedPacketsAndFlows) {
+  Rng rng(7);
+  PacketSizeProfile profile;
+  auto packets = GenerateFlows(/*tenant=*/5, /*num_flows=*/8, /*count=*/500, profile, rng);
+  ASSERT_EQ(packets.size(), 500u);
+  std::set<std::uint64_t> flows;
+  for (const auto& packet : packets) {
+    EXPECT_EQ(packet.TenantId(), 5);
+    flows.insert(packet.Tuple().Hash());
+  }
+  EXPECT_LE(flows.size(), 8u);
+  EXPECT_GT(flows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sfp::workload

@@ -1,0 +1,257 @@
+// sfpctl — command-line utility around the SFP library.
+//
+//   sfpctl gen   --sfcs N [--types I] [--seed S] [--len-min A --len-max B]
+//                [--out FILE]            synthesize a placement instance
+//   sfpctl place --in FILE --algo ip|appro|greedy|anneal
+//                [--passes P] [--time-limit SEC] [--no-consolidation]
+//                                         solve and print the placement
+//   sfpctl p4    --layout fw,tc/lb,rt     emit P4 for a physical layout
+//   sfpctl trace --replay FILE            replay an SFPT trace
+//
+// Exit code 0 on success, 1 on usage/solve errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "controlplane/annealing_solver.h"
+#include "controlplane/approx_solver.h"
+#include "controlplane/greedy_solver.h"
+#include "controlplane/ilp_solver.h"
+#include "core/sfp_system.h"
+#include "net/trace.h"
+#include "p4gen/p4gen.h"
+#include "workload/instance_io.h"
+#include "workload/sfc_gen.h"
+
+namespace {
+
+using namespace sfp;
+using namespace sfp::controlplane;
+
+/// --key value argument map (flags without values unsupported except
+/// --no-consolidation).
+std::map<std::string, std::string> ParseArgs(int argc, char** argv, int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (key == "no-consolidation") {
+      args[key] = "1";
+    } else if (i + 1 < argc) {
+      args[key] = argv[++i];
+    }
+  }
+  return args;
+}
+
+std::string Get(const std::map<std::string, std::string>& args, const std::string& key,
+                const std::string& fallback) {
+  const auto it = args.find(key);
+  return it != args.end() ? it->second : fallback;
+}
+
+int CmdGen(const std::map<std::string, std::string>& args) {
+  workload::DatasetParams params;
+  params.num_sfcs = std::atoi(Get(args, "sfcs", "20").c_str());
+  params.num_types = std::atoi(Get(args, "types", "10").c_str());
+  params.min_chain_len = std::atoi(Get(args, "len-min", "3").c_str());
+  params.max_chain_len = std::atoi(Get(args, "len-max", "7").c_str());
+  Rng rng(static_cast<std::uint64_t>(std::atoll(Get(args, "seed", "1").c_str())));
+  SwitchResources sw;
+  const auto instance = workload::GenerateInstance(params, sw, rng);
+
+  const std::string out = Get(args, "out", "");
+  if (out.empty()) {
+    workload::WriteInstance(instance, std::cout);
+  } else if (!workload::SaveInstance(instance, out)) {
+    std::fprintf(stderr, "sfpctl: cannot write %s\n", out.c_str());
+    return 1;
+  } else {
+    std::printf("wrote %d SFCs over %d types to %s\n", instance.NumSfcs(),
+                instance.num_types, out.c_str());
+  }
+  return 0;
+}
+
+void PrintSolution(const PlacementInstance& instance, const PlacementSolution& solution,
+                   double objective, double seconds) {
+  std::printf("objective (eq.1) : %.1f\n", objective);
+  std::printf("placed chains    : %d / %d\n", solution.NumPlaced(), instance.NumSfcs());
+  std::printf("offloaded        : %.1f Gbps\n", solution.OffloadedGbps(instance));
+  std::printf("backplane        : %.1f Gbps (C=%.0f)\n", solution.BackplaneGbps(instance),
+              instance.sw.capacity_gbps);
+  std::printf("blocks/stage avg : %.1f (B=%d)\n",
+              solution.AvgBlockUtilization(instance, MemoryModel::kConsolidated),
+              instance.sw.blocks_per_stage);
+  std::printf("solve time       : %.2f s\n", seconds);
+  std::printf("physical layout  :\n");
+  for (int s = 0; s < instance.sw.stages; ++s) {
+    std::printf("  stage %d:", s);
+    for (int i = 0; i < instance.num_types; ++i) {
+      if (solution.physical[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]) {
+        std::printf(" t%d", i);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+int CmdPlace(const std::map<std::string, std::string>& args) {
+  const std::string in = Get(args, "in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "sfpctl place: --in FILE required\n");
+    return 1;
+  }
+  auto instance = workload::LoadInstance(in);
+  if (!instance) {
+    std::fprintf(stderr, "sfpctl: cannot parse %s\n", in.c_str());
+    return 1;
+  }
+
+  const std::string algo = Get(args, "algo", "appro");
+  const int passes = std::atoi(Get(args, "passes", "3").c_str());
+  const double time_limit = std::atof(Get(args, "time-limit", "30").c_str());
+  const auto memory_model = args.contains("no-consolidation")
+                                ? MemoryModel::kPerLogicalNf
+                                : MemoryModel::kConsolidated;
+
+  if (algo == "ip") {
+    IlpOptions options;
+    options.model.max_passes = passes;
+    options.model.memory_model = memory_model;
+    options.time_limit_seconds = time_limit;
+    options.relative_gap = 1e-4;
+    const auto report = SolveIlp(*instance, options);
+    std::printf("SFP-IP (%s, bound %.1f)\n", lp::ToString(report.status),
+                report.best_bound);
+    PrintSolution(*instance, report.solution, report.objective, report.seconds);
+  } else if (algo == "appro") {
+    ApproxOptions options;
+    options.model.max_passes = passes;
+    options.model.memory_model = memory_model;
+    const auto report = SolveApprox(*instance, options);
+    if (!report.ok) {
+      std::fprintf(stderr, "sfpctl: approximation found no verified placement\n");
+      return 1;
+    }
+    std::printf("SFP-Appro (LP bound %.1f, %d roundings, %d stripped)\n", report.lp_bound,
+                report.roundings, report.stripped_sfcs);
+    PrintSolution(*instance, report.solution, report.objective, report.seconds);
+  } else if (algo == "greedy") {
+    GreedyOptions options;
+    options.max_passes = passes;
+    options.memory_model = memory_model;
+    const auto report = SolveGreedy(*instance, options);
+    std::printf("Greedy (Algorithm 2)\n");
+    PrintSolution(*instance, report.solution, report.objective, report.seconds);
+  } else if (algo == "anneal") {
+    AnnealingOptions options;
+    options.placement.max_passes = passes;
+    options.placement.memory_model = memory_model;
+    const auto report = SolveAnnealing(*instance, options);
+    std::printf("Annealing (%d accepted / %d improving moves)\n", report.accepted_moves,
+                report.improving_moves);
+    PrintSolution(*instance, report.solution, report.objective, report.seconds);
+  } else {
+    std::fprintf(stderr, "sfpctl place: unknown --algo %s\n", algo.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdP4(const std::map<std::string, std::string>& args) {
+  // --layout "fw,tc/lb,rt": stages separated by '/', NFs by ','.
+  const std::string layout_text = Get(args, "layout", "fw/tc/lb/rt");
+  dataplane::DataPlane dp{switchsim::SwitchConfig{}};
+
+  std::map<std::string, nf::NfType> by_name;
+  for (int t = 0; t < nf::kNumNfTypes; ++t) {
+    by_name[nf::NfShortName(static_cast<nf::NfType>(t))] = static_cast<nf::NfType>(t);
+  }
+  std::istringstream stages(layout_text);
+  std::string stage_text;
+  int stage = 0;
+  while (std::getline(stages, stage_text, '/')) {
+    std::istringstream nfs(stage_text);
+    std::string nf_name;
+    while (std::getline(nfs, nf_name, ',')) {
+      const auto it = by_name.find(nf_name);
+      if (it == by_name.end()) {
+        std::fprintf(stderr, "sfpctl p4: unknown NF '%s' (use fw/lb/tc/rt/rl/nat)\n",
+                     nf_name.c_str());
+        return 1;
+      }
+      if (!dp.InstallPhysicalNf(stage, it->second)) {
+        std::fprintf(stderr, "sfpctl p4: cannot install %s at stage %d\n", nf_name.c_str(),
+                     stage);
+        return 1;
+      }
+    }
+    ++stage;
+  }
+  std::cout << p4gen::EmitProgram(dp, "sfpctl_layout");
+  return 0;
+}
+
+int CmdTrace(const std::map<std::string, std::string>& args) {
+  const std::string path = Get(args, "replay", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "sfpctl trace: --replay FILE required\n");
+    return 1;
+  }
+  const auto trace = net::Trace::Load(path);
+  if (!trace) {
+    std::fprintf(stderr, "sfpctl: cannot load %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("%zu frames, %.1f KB, duration %.1f us, offered %.2f Gbps\n", trace->size(),
+              trace->TotalBytes() / 1e3, trace->DurationNs() / 1e3, trace->OfferedGbps());
+
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  for (int t = 0; t < nf::kNumNfTypes; ++t) {
+    system.data_plane().InstallPhysicalNf(t % system.data_plane().pipeline().num_stages(),
+                                          static_cast<nf::NfType>(t));
+  }
+  int parse_errors = 0;
+  for (const auto& record : trace->records()) {
+    auto result = system.data_plane().pipeline().ProcessBytes(record.frame);
+    if (result.parse_error) {
+      ++parse_errors;
+      continue;
+    }
+    system.Telemetry().Record(static_cast<std::uint32_t>(record.frame.size()), result);
+  }
+  const auto total = system.Telemetry().Total();
+  std::printf("replayed: %llu packets, %d parse errors, mean latency %.0f ns\n",
+              static_cast<unsigned long long>(total.packets), parse_errors,
+              total.MeanLatencyNs());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: sfpctl <gen|place|p4|trace> [--key value ...]\n"
+                 "  gen   --sfcs N [--types I] [--seed S] [--out FILE]\n"
+                 "  place --in FILE --algo ip|appro|greedy|anneal [--passes P]\n"
+                 "        [--time-limit SEC] [--no-consolidation]\n"
+                 "  p4    --layout fw,tc/lb,rt\n"
+                 "  trace --replay FILE\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const auto args = ParseArgs(argc, argv, 2);
+  if (command == "gen") return CmdGen(args);
+  if (command == "place") return CmdPlace(args);
+  if (command == "p4") return CmdP4(args);
+  if (command == "trace") return CmdTrace(args);
+  std::fprintf(stderr, "sfpctl: unknown command '%s'\n", command.c_str());
+  return 1;
+}
