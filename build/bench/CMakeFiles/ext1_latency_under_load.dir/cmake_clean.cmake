@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_latency_under_load.dir/ext1_latency_under_load.cc.o"
+  "CMakeFiles/ext1_latency_under_load.dir/ext1_latency_under_load.cc.o.d"
+  "ext1_latency_under_load"
+  "ext1_latency_under_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_latency_under_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

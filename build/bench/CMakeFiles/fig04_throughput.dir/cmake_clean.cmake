@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_throughput.dir/fig04_throughput.cc.o"
+  "CMakeFiles/fig04_throughput.dir/fig04_throughput.cc.o.d"
+  "fig04_throughput"
+  "fig04_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

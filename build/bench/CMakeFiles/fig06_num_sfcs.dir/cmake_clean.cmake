@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_num_sfcs.dir/fig06_num_sfcs.cc.o"
+  "CMakeFiles/fig06_num_sfcs.dir/fig06_num_sfcs.cc.o.d"
+  "fig06_num_sfcs"
+  "fig06_num_sfcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_num_sfcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

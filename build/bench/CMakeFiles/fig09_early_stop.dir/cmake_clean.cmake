@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_early_stop.dir/fig09_early_stop.cc.o"
+  "CMakeFiles/fig09_early_stop.dir/fig09_early_stop.cc.o.d"
+  "fig09_early_stop"
+  "fig09_early_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_early_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

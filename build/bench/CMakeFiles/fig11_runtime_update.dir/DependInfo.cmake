@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_runtime_update.cc" "bench/CMakeFiles/fig11_runtime_update.dir/fig11_runtime_update.cc.o" "gcc" "bench/CMakeFiles/fig11_runtime_update.dir/fig11_runtime_update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controlplane/CMakeFiles/sfp_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sfp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sfp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/sfp_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/sfp_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/sfp_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_runtime_update.dir/fig11_runtime_update.cc.o"
+  "CMakeFiles/fig11_runtime_update.dir/fig11_runtime_update.cc.o.d"
+  "fig11_runtime_update"
+  "fig11_runtime_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_runtime_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

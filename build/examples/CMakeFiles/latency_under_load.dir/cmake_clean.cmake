@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_under_load.dir/latency_under_load.cpp.o"
+  "CMakeFiles/latency_under_load.dir/latency_under_load.cpp.o.d"
+  "latency_under_load"
+  "latency_under_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_under_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

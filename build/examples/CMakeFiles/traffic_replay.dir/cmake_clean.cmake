@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_replay.dir/traffic_replay.cpp.o"
+  "CMakeFiles/traffic_replay.dir/traffic_replay.cpp.o.d"
+  "traffic_replay"
+  "traffic_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_common.dir/logging.cc.o"
+  "CMakeFiles/sfp_common.dir/logging.cc.o.d"
+  "CMakeFiles/sfp_common.dir/rng.cc.o"
+  "CMakeFiles/sfp_common.dir/rng.cc.o.d"
+  "CMakeFiles/sfp_common.dir/table.cc.o"
+  "CMakeFiles/sfp_common.dir/table.cc.o.d"
+  "libsfp_common.a"
+  "libsfp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/annealing_solver.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/annealing_solver.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/annealing_solver.cc.o.d"
+  "/root/repo/src/controlplane/approx_solver.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/approx_solver.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/approx_solver.cc.o.d"
+  "/root/repo/src/controlplane/greedy_solver.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/greedy_solver.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/greedy_solver.cc.o.d"
+  "/root/repo/src/controlplane/ilp_solver.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/ilp_solver.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/ilp_solver.cc.o.d"
+  "/root/repo/src/controlplane/model_builder.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/model_builder.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/model_builder.cc.o.d"
+  "/root/repo/src/controlplane/runtime_update.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/runtime_update.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/runtime_update.cc.o.d"
+  "/root/repo/src/controlplane/solution.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/solution.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/solution.cc.o.d"
+  "/root/repo/src/controlplane/verifier.cc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/verifier.cc.o" "gcc" "src/controlplane/CMakeFiles/sfp_controlplane.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/sfp_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_controlplane.dir/annealing_solver.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/annealing_solver.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/approx_solver.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/approx_solver.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/greedy_solver.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/greedy_solver.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/ilp_solver.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/ilp_solver.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/model_builder.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/model_builder.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/runtime_update.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/runtime_update.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/solution.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/solution.cc.o.d"
+  "CMakeFiles/sfp_controlplane.dir/verifier.cc.o"
+  "CMakeFiles/sfp_controlplane.dir/verifier.cc.o.d"
+  "libsfp_controlplane.a"
+  "libsfp_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

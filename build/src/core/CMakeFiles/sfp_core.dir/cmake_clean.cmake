@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_core.dir/sfp_system.cc.o"
+  "CMakeFiles/sfp_core.dir/sfp_system.cc.o.d"
+  "libsfp_core.a"
+  "libsfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

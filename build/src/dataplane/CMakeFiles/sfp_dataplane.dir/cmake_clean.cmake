@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_dataplane.dir/dag.cc.o"
+  "CMakeFiles/sfp_dataplane.dir/dag.cc.o.d"
+  "CMakeFiles/sfp_dataplane.dir/data_plane.cc.o"
+  "CMakeFiles/sfp_dataplane.dir/data_plane.cc.o.d"
+  "CMakeFiles/sfp_dataplane.dir/telemetry.cc.o"
+  "CMakeFiles/sfp_dataplane.dir/telemetry.cc.o.d"
+  "libsfp_dataplane.a"
+  "libsfp_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_lp.dir/mip.cc.o"
+  "CMakeFiles/sfp_lp.dir/mip.cc.o.d"
+  "CMakeFiles/sfp_lp.dir/model.cc.o"
+  "CMakeFiles/sfp_lp.dir/model.cc.o.d"
+  "CMakeFiles/sfp_lp.dir/presolve.cc.o"
+  "CMakeFiles/sfp_lp.dir/presolve.cc.o.d"
+  "CMakeFiles/sfp_lp.dir/rounding.cc.o"
+  "CMakeFiles/sfp_lp.dir/rounding.cc.o.d"
+  "CMakeFiles/sfp_lp.dir/simplex.cc.o"
+  "CMakeFiles/sfp_lp.dir/simplex.cc.o.d"
+  "libsfp_lp.a"
+  "libsfp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_net.dir/headers.cc.o"
+  "CMakeFiles/sfp_net.dir/headers.cc.o.d"
+  "CMakeFiles/sfp_net.dir/packet.cc.o"
+  "CMakeFiles/sfp_net.dir/packet.cc.o.d"
+  "CMakeFiles/sfp_net.dir/trace.cc.o"
+  "CMakeFiles/sfp_net.dir/trace.cc.o.d"
+  "libsfp_net.a"
+  "libsfp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/classifier.cc" "src/nf/CMakeFiles/sfp_nf.dir/classifier.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/classifier.cc.o.d"
+  "/root/repo/src/nf/firewall.cc" "src/nf/CMakeFiles/sfp_nf.dir/firewall.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/firewall.cc.o.d"
+  "/root/repo/src/nf/load_balancer.cc" "src/nf/CMakeFiles/sfp_nf.dir/load_balancer.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/load_balancer.cc.o.d"
+  "/root/repo/src/nf/nat.cc" "src/nf/CMakeFiles/sfp_nf.dir/nat.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/nat.cc.o.d"
+  "/root/repo/src/nf/nf.cc" "src/nf/CMakeFiles/sfp_nf.dir/nf.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/nf.cc.o.d"
+  "/root/repo/src/nf/rate_limiter.cc" "src/nf/CMakeFiles/sfp_nf.dir/rate_limiter.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/nf/router.cc" "src/nf/CMakeFiles/sfp_nf.dir/router.cc.o" "gcc" "src/nf/CMakeFiles/sfp_nf.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/switchsim/CMakeFiles/sfp_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_nf.dir/classifier.cc.o"
+  "CMakeFiles/sfp_nf.dir/classifier.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/firewall.cc.o"
+  "CMakeFiles/sfp_nf.dir/firewall.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/load_balancer.cc.o"
+  "CMakeFiles/sfp_nf.dir/load_balancer.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/nat.cc.o"
+  "CMakeFiles/sfp_nf.dir/nat.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/nf.cc.o"
+  "CMakeFiles/sfp_nf.dir/nf.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/rate_limiter.cc.o"
+  "CMakeFiles/sfp_nf.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/sfp_nf.dir/router.cc.o"
+  "CMakeFiles/sfp_nf.dir/router.cc.o.d"
+  "libsfp_nf.a"
+  "libsfp_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_p4gen.dir/p4gen.cc.o"
+  "CMakeFiles/sfp_p4gen.dir/p4gen.cc.o.d"
+  "libsfp_p4gen.a"
+  "libsfp_p4gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_p4gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfp_p4gen.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_serversim.dir/server_model.cc.o"
+  "CMakeFiles/sfp_serversim.dir/server_model.cc.o.d"
+  "CMakeFiles/sfp_serversim.dir/soft_chain.cc.o"
+  "CMakeFiles/sfp_serversim.dir/soft_chain.cc.o.d"
+  "libsfp_serversim.a"
+  "libsfp_serversim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_serversim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_sim.dir/event_sim.cc.o"
+  "CMakeFiles/sfp_sim.dir/event_sim.cc.o.d"
+  "libsfp_sim.a"
+  "libsfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

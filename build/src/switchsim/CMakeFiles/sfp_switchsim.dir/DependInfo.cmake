@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/egress.cc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/egress.cc.o" "gcc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/egress.cc.o.d"
+  "/root/repo/src/switchsim/pipeline.cc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/pipeline.cc.o" "gcc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/pipeline.cc.o.d"
+  "/root/repo/src/switchsim/table.cc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/table.cc.o" "gcc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/table.cc.o.d"
+  "/root/repo/src/switchsim/types.cc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/types.cc.o" "gcc" "src/switchsim/CMakeFiles/sfp_switchsim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sfp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_switchsim.dir/egress.cc.o"
+  "CMakeFiles/sfp_switchsim.dir/egress.cc.o.d"
+  "CMakeFiles/sfp_switchsim.dir/pipeline.cc.o"
+  "CMakeFiles/sfp_switchsim.dir/pipeline.cc.o.d"
+  "CMakeFiles/sfp_switchsim.dir/table.cc.o"
+  "CMakeFiles/sfp_switchsim.dir/table.cc.o.d"
+  "CMakeFiles/sfp_switchsim.dir/types.cc.o"
+  "CMakeFiles/sfp_switchsim.dir/types.cc.o.d"
+  "libsfp_switchsim.a"
+  "libsfp_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfp_workload.dir/instance_io.cc.o"
+  "CMakeFiles/sfp_workload.dir/instance_io.cc.o.d"
+  "CMakeFiles/sfp_workload.dir/sfc_gen.cc.o"
+  "CMakeFiles/sfp_workload.dir/sfc_gen.cc.o.d"
+  "CMakeFiles/sfp_workload.dir/traffic.cc.o"
+  "CMakeFiles/sfp_workload.dir/traffic.cc.o.d"
+  "libsfp_workload.a"
+  "libsfp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

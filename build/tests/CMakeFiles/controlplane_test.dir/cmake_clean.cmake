@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_test.dir/controlplane_test.cc.o"
+  "CMakeFiles/controlplane_test.dir/controlplane_test.cc.o.d"
+  "controlplane_test"
+  "controlplane_test.pdb"
+  "controlplane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_mip_test.dir/lp_mip_test.cc.o"
+  "CMakeFiles/lp_mip_test.dir/lp_mip_test.cc.o.d"
+  "lp_mip_test"
+  "lp_mip_test.pdb"
+  "lp_mip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_mip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

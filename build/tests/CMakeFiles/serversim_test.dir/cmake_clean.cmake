@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serversim_test.dir/serversim_test.cc.o"
+  "CMakeFiles/serversim_test.dir/serversim_test.cc.o.d"
+  "serversim_test"
+  "serversim_test.pdb"
+  "serversim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serversim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

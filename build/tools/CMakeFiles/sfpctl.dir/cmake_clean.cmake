@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfpctl.dir/sfpctl.cc.o"
+  "CMakeFiles/sfpctl.dir/sfpctl.cc.o.d"
+  "sfpctl"
+  "sfpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
