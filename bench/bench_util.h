@@ -5,12 +5,24 @@
 // EXPERIMENTS.md). Randomized experiments average over SFP_BENCH_SEEDS
 // dataset draws (default 3; the paper used 5 — set SFP_BENCH_SEEDS=5
 // to match at ~1.7x runtime).
+//
+// Benches additionally emit machine-readable results: a BenchReport
+// collects the printed tables, free-form notes and a metrics registry,
+// and writes them as BENCH_<name>.json (schema "sfp.bench.v1",
+// documented in docs/METRICS.md) into SFP_BENCH_JSON_DIR (default:
+// the working directory), giving every PR a perf baseline to diff.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/table.h"
 
 namespace sfp::bench {
@@ -33,5 +45,98 @@ inline void PrintHeader(const char* figure, const char* caption) {
 
 /// Prints a short note line (calibration caveats etc.).
 inline void PrintNote(const char* note) { std::printf("note: %s\n", note); }
+
+/// Directory BENCH_*.json files are written to.
+inline std::string JsonDir() {
+  if (const char* env = std::getenv("SFP_BENCH_JSON_DIR")) return env;
+  return ".";
+}
+
+/// Machine-readable result sink for one bench run. Collect tables and
+/// metrics while the bench executes, then Write() once at the end.
+class BenchReport {
+ public:
+  /// `name` keys the output file (BENCH_<name>.json); `caption` is the
+  /// human-readable figure caption.
+  BenchReport(std::string name, std::string caption)
+      : name_(std::move(name)), caption_(std::move(caption)) {}
+
+  /// Counters/histograms exported into the JSON "metrics" object.
+  common::metrics::Registry& metrics() { return registry_; }
+
+  /// Stores a copy of `table`'s cells under `id` in the "tables" object.
+  void AddTable(const std::string& id, const Table& table) {
+    tables_.push_back({id, table.headers(), table.rows()});
+  }
+
+  void AddNote(std::string note) { notes_.push_back(std::move(note)); }
+
+  /// Writes JsonDir()/BENCH_<name>.json; creates the directory if
+  /// needed. Returns false (with a warning on stdout) on I/O failure.
+  bool Write() const {
+    namespace metrics = common::metrics;
+    const std::filesystem::path dir(JsonDir());
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; "." exists
+    const std::filesystem::path path = dir / ("BENCH_" + name_ + ".json");
+    std::ofstream os(path);
+    if (!os) {
+      std::printf("warning: cannot write %s\n", path.string().c_str());
+      return false;
+    }
+    os << "{\"schema\": \"sfp.bench.v1\", \"bench\": \"" << metrics::JsonEscape(name_)
+       << "\", \"caption\": \"" << metrics::JsonEscape(caption_)
+       << "\", \"unix_time_s\": " << static_cast<long long>(std::time(nullptr))
+       << ", \"seeds\": " << NumSeeds() << ", \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << '"' << metrics::JsonEscape(notes_[i]) << '"';
+    }
+    os << "], \"tables\": {";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const auto& table = tables_[t];
+      if (t > 0) os << ", ";
+      os << '"' << metrics::JsonEscape(table.id) << "\": {\"columns\": [";
+      for (std::size_t c = 0; c < table.columns.size(); ++c) {
+        if (c > 0) os << ", ";
+        os << '"' << metrics::JsonEscape(table.columns[c]) << '"';
+      }
+      os << "], \"rows\": [";
+      for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        if (r > 0) os << ", ";
+        os << '[';
+        for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+          if (c > 0) os << ", ";
+          os << '"' << metrics::JsonEscape(table.rows[r][c]) << '"';
+        }
+        os << ']';
+      }
+      os << "]}";
+    }
+    os << "}, \"metrics\": ";
+    registry_.WriteJson(os);
+    os << "}\n";
+    os.close();
+    if (!os) {
+      std::printf("warning: write to %s failed\n", path.string().c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.string().c_str());
+    return true;
+  }
+
+ private:
+  struct StoredTable {
+    std::string id;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::string caption_;
+  std::vector<std::string> notes_;
+  std::vector<StoredTable> tables_;
+  common::metrics::Registry registry_;
+};
 
 }  // namespace sfp::bench

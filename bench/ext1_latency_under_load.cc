@@ -28,6 +28,8 @@ nf::NfConfig Classify(std::uint8_t cls) {
 
 int main() {
   bench::PrintHeader("Ext. 1", "per-tenant latency under egress load (priority classes)");
+  bench::BenchReport report("ext1_latency_under_load",
+                            "per-tenant latency under egress load (priority classes)");
 
   core::SfpSystem system{switchsim::SwitchConfig{}};
   system.ProvisionPhysical({{nf::NfType::kClassifier}});
@@ -82,5 +84,8 @@ int main() {
       "strict priority isolates the premium tenant: its wait stays ~0 at any "
       "best-effort load, while best-effort queueing and loss grow past the "
       "port's saturation point (~90 Gbps residual).");
+  report.AddTable("latency_under_load", table);
+  system.ExportMetrics(report.metrics());
+  report.Write();
   return 0;
 }

@@ -60,7 +60,9 @@ switchsim::SwitchConfig Testbed() {
 }
 
 /// Mean measured latency of the tenant chain over frames of each size.
-sim::LatencyStats MeasureSwitch(core::SfpSystem& system, int expected_passes) {
+/// Every sample is also observed into `histogram` when non-null.
+sim::LatencyStats MeasureSwitch(core::SfpSystem& system, int expected_passes,
+                                common::metrics::Histogram* histogram = nullptr) {
   sim::LatencyStats stats;
   for (const int size : {64, 128, 256, 512, 1024, 1500}) {
     for (int i = 0; i < 100; ++i) {
@@ -75,6 +77,7 @@ sim::LatencyStats MeasureSwitch(core::SfpSystem& system, int expected_passes) {
         std::exit(1);
       }
       stats.Add(out.latency_ns);
+      if (histogram != nullptr) histogram->Observe(out.latency_ns);
     }
   }
   return stats;
@@ -84,6 +87,8 @@ sim::LatencyStats MeasureSwitch(core::SfpSystem& system, int expected_passes) {
 
 int main() {
   bench::PrintHeader("Fig. 5", "processing latency of SFP, DPDK SFC, and SFP-Recir");
+  bench::BenchReport report("fig05_latency",
+                            "processing latency of SFP, DPDK SFC, and SFP-Recir");
 
   // SFP: the 4-NF chain in pipeline order — one pass.
   core::SfpSystem in_order(Testbed());
@@ -96,7 +101,9 @@ int main() {
   chain.bandwidth_gbps = 100;
   chain.chain = {Fw(), Lb(), Tc(), Rt()};
   if (!in_order.AdmitTenant(chain).admitted) return 1;
-  const auto sfp = MeasureSwitch(in_order, /*expected_passes=*/1);
+  auto& sfp_hist = report.metrics().GetHistogram(
+      "latency.sfp_ns", common::metrics::ExponentialBounds(64, 2, 8));
+  const auto sfp = MeasureSwitch(in_order, /*expected_passes=*/1, &sfp_hist);
 
   // SFP-Recir: same NFs, physical layout reversed so every NF lands in
   // its own pass (4 passes, 3 recirculations) — the §VI-C experiment
@@ -107,7 +114,9 @@ int main() {
                               {nf::NfType::kLoadBalancer},
                               {nf::NfType::kFirewall}});
   if (!reversed.AdmitTenant(chain).admitted) return 1;
-  const auto recir = MeasureSwitch(reversed, /*expected_passes=*/4);
+  auto& recir_hist = report.metrics().GetHistogram(
+      "latency.sfp_recir_ns", common::metrics::ExponentialBounds(64, 2, 8));
+  const auto recir = MeasureSwitch(reversed, /*expected_passes=*/4, &recir_hist);
 
   serversim::ServerSfc dpdk{serversim::ServerConfig{}, serversim::DefaultChain()};
 
@@ -127,6 +136,7 @@ int main() {
       .Add(dpdk.PacketLatencyNs(), 1)
       .Add("1151");
   table.Print(std::cout);
+  report.AddTable("latency", table);
 
   std::printf("\nrecirculation overhead: %.1f ns for 3 recirculations (paper: ~35 ns)\n",
               recir.Mean() - sfp.Mean());
@@ -135,5 +145,9 @@ int main() {
   bench::PrintNote(
       "latency tracks the SFC's processing complexity, not the recirculation "
       "count — the paper's Fig. 5 conclusion, structural in the timing model.");
+
+  in_order.ExportMetrics(report.metrics());
+  report.AddNote("SFP-Recir = same 4 NFs, one per pass (3 recirculations).");
+  report.Write();
   return 0;
 }

@@ -41,6 +41,32 @@ void BM_PipelineProcess4Nf(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineProcess4Nf);
 
+void BM_PipelineProcessBatch4Nf(benchmark::State& state) {
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  system.ProvisionPhysical({{nf::NfType::kFirewall},
+                            {nf::NfType::kLoadBalancer},
+                            {nf::NfType::kClassifier},
+                            {nf::NfType::kRouter}});
+  Rng rng(1);
+  auto sfc = workload::GenerateConcreteSfc(1, 4, 10.0, rng, /*rules_per_nf=*/50);
+  if (!system.AdmitTenant(sfc).admitted) state.SkipWithError("admission failed");
+  std::vector<net::Packet> batch;
+  for (int i = 0; i < 1024; ++i) {
+    batch.push_back(net::MakeTcpPacket(
+        1, net::Ipv4Address::Of(10, 1, static_cast<std::uint8_t>(i >> 8),
+                                static_cast<std::uint8_t>(i & 0xFF)),
+        net::Ipv4Address::Of(10, 0, 0, 100), static_cast<std::uint16_t>(1024 + i), 80,
+        256));
+  }
+  switchsim::BatchOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.ProcessBatch(batch, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PipelineProcessBatch4Nf)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_TableLookup(benchmark::State& state) {
   const int entries = static_cast<int>(state.range(0));
   nf::Firewall fw;

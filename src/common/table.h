@@ -38,6 +38,10 @@ class Table {
   /// Number of data rows so far.
   std::size_t NumRows() const { return rows_.size(); }
 
+  /// Raw cells, for machine-readable export (bench JSON).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

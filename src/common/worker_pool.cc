@@ -1,0 +1,89 @@
+#include "common/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sfp::common {
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("SFP_WORKER_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hardware), 1, 8);
+}
+
+WorkerPool::WorkerPool(int num_threads) {
+  const int pool_threads = std::max(0, num_threads - 1);
+  threads_.reserve(static_cast<std::size_t>(pool_threads));
+  for (int i = 0; i < pool_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    int count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      count = count_;
+    }
+    // The job may already be fully claimed (or retired) by the time
+    // this worker wakes; the cursor check below handles both.
+    if (task == nullptr) continue;
+    for (int i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*task)(i);
+      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(int count, const std::function<void(int)>& task) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> serialize(job_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a worker too: claim indices until none remain.
+  for (int i = next_.fetch_add(1, std::memory_order_relaxed); i < count;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    task(i);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return completed_.load(std::memory_order_acquire) == count; });
+  task_ = nullptr;
+}
+
+WorkerPool& WorkerPool::Shared() {
+  static WorkerPool pool(DefaultParallelism());
+  return pool;
+}
+
+}  // namespace sfp::common

@@ -63,7 +63,44 @@ int SfpSystem::ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& lay
   return installed;
 }
 
+std::vector<switchsim::ProcessResult> SfpSystem::ProcessBatch(
+    std::span<const net::Packet> packets, const switchsim::BatchOptions& options) {
+  auto results = data_plane_.ProcessBatch(packets, options);
+  // Telemetry aggregation is sequential (input order) on this thread:
+  // identical to a scalar Process loop, and the collector needs no
+  // locking.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    telemetry_.Record(packets[i].WireBytes(), results[i]);
+  }
+  return results;
+}
+
+void SfpSystem::ExportMetrics(common::metrics::Registry& registry) const {
+  data_plane_.pipeline().ExportMetrics(registry);
+  const auto total = telemetry_.Total();
+  registry.GetCounter("telemetry.total.packets").Set(total.packets);
+  registry.GetCounter("telemetry.total.bytes").Set(total.bytes);
+  registry.GetCounter("telemetry.total.drops").Set(total.drops);
+  registry.GetCounter("telemetry.total.recirculated_packets")
+      .Set(total.recirculated_packets);
+  registry.GetCounter("telemetry.total.passes").Set(total.total_passes);
+  for (const std::uint16_t tenant : telemetry_.Tenants()) {
+    const auto counters = telemetry_.Tenant(tenant);
+    const std::string prefix = "telemetry.tenant" + std::to_string(tenant) + ".";
+    registry.GetCounter(prefix + "packets").Set(counters.packets);
+    registry.GetCounter(prefix + "bytes").Set(counters.bytes);
+    registry.GetCounter(prefix + "drops").Set(counters.drops);
+    registry.GetCounter(prefix + "recirculated_packets").Set(counters.recirculated_packets);
+    registry.GetCounter(prefix + "passes").Set(counters.total_passes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(*control_mutex_);
+    registry.GetCounter("system.tenants").Set(admissions_.size());
+  }
+}
+
 AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc) {
+  std::lock_guard<std::mutex> lock(*control_mutex_);
   AdmitResult result;
   if (admissions_.contains(sfc.tenant)) {
     result.reason = "tenant already admitted";
@@ -98,6 +135,7 @@ AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc) {
 }
 
 bool SfpSystem::RemoveTenant(dataplane::TenantId tenant) {
+  std::lock_guard<std::mutex> lock(*control_mutex_);
   if (!admissions_.contains(tenant)) return false;
   data_plane_.DeallocateSfc(tenant);
   admissions_.erase(tenant);
@@ -105,6 +143,7 @@ bool SfpSystem::RemoveTenant(dataplane::TenantId tenant) {
 }
 
 SfpStats SfpSystem::Stats() const {
+  std::lock_guard<std::mutex> lock(*control_mutex_);
   SfpStats stats;
   stats.tenants = static_cast<int>(admissions_.size());
   for (const auto& [tenant, admission] : admissions_) {

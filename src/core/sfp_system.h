@@ -10,7 +10,8 @@
 //      NFs with (tenant, pass) match prefixes and REC recirculation
 //      marks; departure releases rules, memory and backplane bandwidth.
 //   3. `Process` serves tenant packets through the virtualized
-//      pipeline.
+//      pipeline; `ProcessBatch` serves whole batches flow-sharded
+//      across a worker pool (DESIGN.md, "Batched execution").
 //
 // Admission enforces the backplane-capacity constraint (eq. 26):
 // a tenant whose folded chain would push sum(passes x T) past the chip
@@ -18,8 +19,11 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/metrics.h"
 #include "controlplane/approx_solver.h"
 #include "dataplane/data_plane.h"
 #include "dataplane/telemetry.h"
@@ -75,6 +79,19 @@ class SfpSystem {
     return result;
   }
 
+  /// Batched serve path: processes the whole batch through the
+  /// flow-sharded worker pool, then records telemetry in input order on
+  /// the calling thread, so telemetry is identical to a scalar Process
+  /// loop. Concurrent AdmitTenant/RemoveTenant from another thread is
+  /// safe; traffic itself must come from one thread at a time (or via
+  /// this batch API, which parallelizes internally).
+  std::vector<switchsim::ProcessResult> ProcessBatch(
+      std::span<const net::Packet> packets, const switchsim::BatchOptions& options = {});
+
+  /// Snapshots pipeline counters and per-tenant telemetry into
+  /// `registry` (names documented in docs/METRICS.md).
+  void ExportMetrics(common::metrics::Registry& registry) const;
+
   SfpStats Stats() const;
 
   /// Per-tenant packet/byte/drop/latency counters.
@@ -97,6 +114,10 @@ class SfpSystem {
   };
   std::map<dataplane::TenantId, Admission> admissions_;
   dataplane::TelemetryCollector telemetry_;
+  /// Serializes control-plane mutations (AdmitTenant/RemoveTenant/
+  /// Stats) against each other, so they can run concurrently with the
+  /// serve path. Held by pointer to keep SfpSystem movable.
+  std::unique_ptr<std::mutex> control_mutex_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace sfp::core

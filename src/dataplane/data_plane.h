@@ -104,6 +104,15 @@ class DataPlane {
     return pipeline_.Process(packet);
   }
 
+  /// Batched serve path: shards the batch by flow across a worker pool
+  /// (see switchsim::Pipeline::ProcessBatch). Safe to run while another
+  /// thread admits or removes tenants; physical-NF installation must
+  /// stay quiesced.
+  std::vector<switchsim::ProcessResult> ProcessBatch(
+      std::span<const net::Packet> packets, const switchsim::BatchOptions& options = {}) {
+    return pipeline_.ProcessBatch(packets, options);
+  }
+
   switchsim::Pipeline& pipeline() { return pipeline_; }
   const switchsim::Pipeline& pipeline() const { return pipeline_; }
 

@@ -24,6 +24,7 @@ void RateLimiter::BindActions(switchsim::MatchActionTable& table) {
       [this](net::Packet& packet, switchsim::PacketMeta& meta,
              const switchsim::ActionArgs& args) {
         SFP_CHECK_EQ(args.size(), 1u);
+        std::lock_guard<std::mutex> lock(mutex_);
         SFP_CHECK_LT(args[0], buckets_.size());
         Bucket& bucket = buckets_[static_cast<std::size_t>(args[0])];
         // Refill since the last packet, capped at the burst capacity.
@@ -48,6 +49,7 @@ std::uint64_t RateLimiter::AddBucket(double rate_mbps, double burst_kb) {
   bucket.rate_bits_per_ns = rate_mbps * 1e6 / 1e9;
   bucket.capacity_bits = burst_kb * 8e3;
   bucket.tokens_bits = bucket.capacity_bits;  // start full
+  std::lock_guard<std::mutex> lock(mutex_);
   buckets_.push_back(bucket);
   return buckets_.size() - 1;
 }

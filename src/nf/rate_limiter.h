@@ -5,7 +5,14 @@
 // the identified token bucket and drops when the bucket is empty.
 // Bucket state is per-NF-instance (switch register memory); time comes
 // from PacketMeta::time_ns set by the traffic source.
+//
+// Buckets are shared across flows, so policing under the batched path
+// is serialized by a per-instance mutex: totals are conserved, but
+// which packet of two concurrent flows empties a shared bucket depends
+// on worker interleaving (the documented batched-vs-scalar exception).
 #pragma once
+
+#include <mutex>
 
 #include "nf/nf.h"
 
@@ -24,7 +31,10 @@ class RateLimiter : public NetworkFunction {
   /// Police rule for a source prefix against the given bucket.
   static NfRule Police(std::uint32_t src_ip, std::uint32_t mask, std::uint64_t limiter_id);
 
-  std::uint64_t drops() const { return drops_; }
+  std::uint64_t drops() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return drops_;
+  }
 
  private:
   struct Bucket {
@@ -33,6 +43,7 @@ class RateLimiter : public NetworkFunction {
     double tokens_bits = 0.0;
     double last_ns = 0.0;
   };
+  mutable std::mutex mutex_;  // guards buckets_ and drops_
   std::vector<Bucket> buckets_;
   std::uint64_t drops_ = 0;
 };

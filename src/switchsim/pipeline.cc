@@ -90,11 +90,13 @@ const Stage& Pipeline::stage(int k) const {
   return stages_[static_cast<std::size_t>(k)];
 }
 
-ProcessResult Pipeline::Process(const net::Packet& packet) {
+ProcessResult Pipeline::Process(const net::Packet& packet) { return ProcessOne(packet); }
+
+ProcessResult Pipeline::ProcessOne(const net::Packet& packet) {
   ProcessResult result;
   result.packet = packet;
   result.meta.tenant_id = packet.TenantId();
-  ++packets_;
+  packets_.Add(1);
 
   for (;;) {
     result.meta.recirculate = false;
@@ -112,11 +114,11 @@ ProcessResult Pipeline::Process(const net::Packet& packet) {
       if (result.meta.dropped) break;
     }
     if (result.meta.dropped) {
-      ++drops_;
+      drops_.Add(1);
       break;
     }
     if (!result.meta.recirculate || result.passes >= config_.max_passes) break;
-    ++recirculations_;
+    recirculations_.Add(1);
     ++result.passes;
     ++result.meta.pass;
   }
@@ -124,6 +126,66 @@ ProcessResult Pipeline::Process(const net::Packet& packet) {
   result.latency_ns = config_.timing.LatencyNs(result.active_stages, result.idle_stages,
                                                result.passes);
   return result;
+}
+
+namespace {
+
+/// Shard choice for a packet: flow-affine (5-tuple hash) with the
+/// tenant mixed in so flow-less traffic still spreads by tenant.
+std::size_t FlowShard(const net::Packet& packet, std::size_t shards) {
+  std::uint64_t hash = packet.Tuple().Hash();
+  hash ^= (static_cast<std::uint64_t>(packet.TenantId()) + 1) * 0x9e3779b97f4a7c15ULL;
+  return hash % shards;
+}
+
+}  // namespace
+
+std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> packets,
+                                                  const BatchOptions& options) {
+  std::vector<ProcessResult> results(packets.size());
+  if (packets.empty()) return results;
+  batches_.Add(1);
+
+  const int shards =
+      options.num_threads > 0 ? options.num_threads : common::DefaultParallelism();
+  if (shards <= 1 || static_cast<int>(packets.size()) < options.min_parallel_batch) {
+    for (std::size_t i = 0; i < packets.size(); ++i) results[i] = ProcessOne(packets[i]);
+    return results;
+  }
+
+  // Bucket packet indices by flow shard. Each shard keeps its indices
+  // in batch order, so per-flow order survives the fan-out; writing
+  // results[i] re-establishes input order on the way back.
+  std::vector<std::vector<std::uint32_t>> shard_indices(static_cast<std::size_t>(shards));
+  for (auto& indices : shard_indices) {
+    indices.reserve(packets.size() / static_cast<std::size_t>(shards) + 1);
+  }
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    shard_indices[FlowShard(packets[i], static_cast<std::size_t>(shards))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  auto& pool = options.pool != nullptr ? *options.pool : common::WorkerPool::Shared();
+  pool.ParallelFor(shards, [&](int shard) {
+    for (const std::uint32_t index : shard_indices[static_cast<std::size_t>(shard)]) {
+      results[index] = ProcessOne(packets[index]);
+    }
+  });
+  return results;
+}
+
+void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
+  registry.GetCounter("pipeline.packets").Set(packets_.Value());
+  registry.GetCounter("pipeline.drops").Set(drops_.Value());
+  registry.GetCounter("pipeline.recirculations").Set(recirculations_.Value());
+  registry.GetCounter("pipeline.batches").Set(batches_.Value());
+  for (const auto& stage : stages_) {
+    const std::string prefix = "pipeline.stage" + std::to_string(stage.index()) + ".";
+    for (const auto& table : stage.tables()) {
+      registry.GetCounter(prefix + table->name() + ".hits").Set(table->hit_count());
+      registry.GetCounter(prefix + table->name() + ".misses").Set(table->miss_count());
+    }
+  }
 }
 
 ProcessResult Pipeline::ProcessBytes(std::span<const std::uint8_t> bytes) {

@@ -7,9 +7,12 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/worker_pool.h"
 #include "switchsim/table.h"
 #include "switchsim/timing.h"
 #include "switchsim/types.h"
@@ -76,6 +79,17 @@ struct ProcessResult {
   bool parse_error = false;
 };
 
+/// Options for the batched processing path.
+struct BatchOptions {
+  /// Worker shards to split the batch into; 0 = common::DefaultParallelism().
+  int num_threads = 0;
+  /// Batches smaller than this run inline on the caller (sharding
+  /// overhead would dominate).
+  int min_parallel_batch = 64;
+  /// Pool to run on; nullptr = the process-wide shared pool.
+  common::WorkerPool* pool = nullptr;
+};
+
 /// The switch pipeline.
 class Pipeline {
  public:
@@ -86,6 +100,18 @@ class Pipeline {
   /// tag; pass starts at 0.
   ProcessResult Process(const net::Packet& packet);
 
+  /// Batched counterpart of Process: shards `packets` by flow hash
+  /// (5-tuple + tenant) across a worker pool and returns one result per
+  /// input, in input order. A flow's packets always land in the same
+  /// shard and are served in their batch order, so per-flow order is
+  /// preserved and results are bit-identical to calling Process in a
+  /// loop (cross-flow NF state such as shared rate-limiter buckets is
+  /// the one exception — see docs/METRICS.md and DESIGN.md). Tables may
+  /// be mutated concurrently (tenant admission/departure); packet
+  /// results then reflect each table's state at lookup time.
+  std::vector<ProcessResult> ProcessBatch(std::span<const net::Packet> packets,
+                                          const BatchOptions& options = {});
+
   /// Parses raw bytes first (exercising the wire path), then Process().
   ProcessResult ProcessBytes(std::span<const std::uint8_t> bytes);
 
@@ -95,9 +121,15 @@ class Pipeline {
   const SwitchConfig& config() const { return config_; }
 
   /// Aggregate counters.
-  std::uint64_t packets_processed() const { return packets_; }
-  std::uint64_t packets_dropped() const { return drops_; }
-  std::uint64_t recirculations() const { return recirculations_; }
+  std::uint64_t packets_processed() const { return packets_.Value(); }
+  std::uint64_t packets_dropped() const { return drops_.Value(); }
+  std::uint64_t recirculations() const { return recirculations_.Value(); }
+  std::uint64_t batches_processed() const { return batches_.Value(); }
+
+  /// Snapshots the pipeline's counters (packets, drops, recirculations,
+  /// batches, per-stage/per-table hits and misses) into `registry`
+  /// under the names documented in docs/METRICS.md.
+  void ExportMetrics(common::metrics::Registry& registry) const;
 
   /// Total blocks used across stages (utilization numerator of Fig. 6).
   int TotalBlocksUsed() const;
@@ -105,11 +137,16 @@ class Pipeline {
   std::int64_t TotalEntriesUsed() const;
 
  private:
+  /// Scalar serve path shared by Process and the batch workers; only
+  /// touches shared state through atomics and the tables' shared locks.
+  ProcessResult ProcessOne(const net::Packet& packet);
+
   SwitchConfig config_;
   std::vector<Stage> stages_;
-  std::uint64_t packets_ = 0;
-  std::uint64_t drops_ = 0;
-  std::uint64_t recirculations_ = 0;
+  common::metrics::RelaxedCounter packets_;
+  common::metrics::RelaxedCounter drops_;
+  common::metrics::RelaxedCounter recirculations_;
+  common::metrics::RelaxedCounter batches_;
 };
 
 }  // namespace sfp::switchsim

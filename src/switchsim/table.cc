@@ -10,12 +10,14 @@ MatchActionTable::MatchActionTable(std::string name, std::vector<MatchFieldSpec>
     : name_(std::move(name)), key_(std::move(key)) {}
 
 ActionId MatchActionTable::RegisterAction(std::string name, ActionFn fn) {
+  std::unique_lock lock(entries_mutex_);
   action_names_.push_back(std::move(name));
   actions_.push_back(std::move(fn));
   return static_cast<ActionId>(actions_.size() - 1);
 }
 
 void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
+  std::unique_lock lock(entries_mutex_);
   SFP_CHECK_GE(action, 0);
   SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
   default_action_ = {action, std::move(args)};
@@ -24,6 +26,7 @@ void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
 EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId action,
                                        ActionArgs args, int priority,
                                        std::uint16_t owner_tenant) {
+  std::unique_lock lock(entries_mutex_);
   SFP_CHECK_MSG(matches.size() == key_.size(), "entry key arity mismatch");
   SFP_CHECK_GE(action, 0);
   SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
@@ -39,6 +42,7 @@ EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId
 }
 
 bool MatchActionTable::RemoveEntry(EntryHandle handle) {
+  std::unique_lock lock(entries_mutex_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [handle](const TableEntry& e) { return e.handle == handle; });
   if (it == entries_.end()) return false;
@@ -47,13 +51,25 @@ bool MatchActionTable::RemoveEntry(EntryHandle handle) {
 }
 
 std::size_t MatchActionTable::RemoveTenantEntries(std::uint16_t tenant) {
+  std::unique_lock lock(entries_mutex_);
   const std::size_t before = entries_.size();
   std::erase_if(entries_, [tenant](const TableEntry& e) { return e.owner_tenant == tenant; });
   return before - entries_.size();
 }
 
+std::size_t MatchActionTable::num_entries() const {
+  std::shared_lock lock(entries_mutex_);
+  return entries_.size();
+}
+
 const TableEntry* MatchActionTable::Lookup(const net::Packet& packet,
                                            const PacketMeta& meta) const {
+  std::shared_lock lock(entries_mutex_);
+  return LookupLocked(packet, meta);
+}
+
+const TableEntry* MatchActionTable::LookupLocked(const net::Packet& packet,
+                                                 const PacketMeta& meta) const {
   // Extract key field values once.
   std::uint64_t values[16];
   SFP_CHECK_LE(key_.size(), 16u);
@@ -83,13 +99,16 @@ const TableEntry* MatchActionTable::Lookup(const net::Packet& packet,
 }
 
 bool MatchActionTable::Apply(net::Packet& packet, PacketMeta& meta) {
-  const TableEntry* entry = Lookup(packet, meta);
+  // Held across the action so the winning entry's args cannot be
+  // removed mid-execution by a concurrent tenant departure.
+  std::shared_lock lock(entries_mutex_);
+  const TableEntry* entry = LookupLocked(packet, meta);
   if (entry != nullptr) {
-    ++hits_;
+    hits_.Add(1);
     actions_[static_cast<std::size_t>(entry->action)](packet, meta, entry->args);
     return true;
   }
-  ++misses_;
+  misses_.Add(1);
   if (default_action_) {
     actions_[static_cast<std::size_t>(default_action_->first)](packet, meta,
                                                                default_action_->second);

@@ -7,14 +7,23 @@
 // the earliest-installed entry. A miss applies the default action
 // (SFP's physical NFs default to "No-Op": forward to the next stage,
 // §IV).
+//
+// Concurrency: Apply/Lookup take a shared lock and the hit/miss
+// counters are relaxed atomics, so many packets can traverse the table
+// in parallel (the batched path of Pipeline::ProcessBatch) while entry
+// installation/removal — tenant admission and departure — takes the
+// lock exclusively, mirroring a switch ASIC's lock-free lookups with
+// serialized control-plane writes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "switchsim/types.h"
 
 namespace sfp::switchsim {
@@ -69,6 +78,8 @@ class MatchActionTable {
   std::size_t RemoveTenantEntries(std::uint16_t tenant);
 
   /// Returns the winning entry for the packet, or nullptr on miss.
+  /// The pointer is only stable until the next entry mutation; under
+  /// concurrency prefer Apply, which holds the entry lock throughout.
   const TableEntry* Lookup(const net::Packet& packet, const PacketMeta& meta) const;
 
   /// Lookup + action execution (default action on miss). Returns true
@@ -77,26 +88,35 @@ class MatchActionTable {
 
   const std::string& name() const { return name_; }
   const std::vector<MatchFieldSpec>& key() const { return key_; }
-  std::size_t num_entries() const { return entries_.size(); }
+  std::size_t num_entries() const;
+  /// Direct entry access for inspection/P4 emission; not synchronized —
+  /// callers must not mutate the table concurrently.
   const std::vector<TableEntry>& entries() const { return entries_; }
   const std::vector<std::string>& action_names() const { return action_names_; }
 
   /// True if any key field needs TCAM (ternary/range).
   bool NeedsTcam() const;
 
-  std::uint64_t hit_count() const { return hits_; }
-  std::uint64_t miss_count() const { return misses_; }
+  std::uint64_t hit_count() const { return hits_.Value(); }
+  std::uint64_t miss_count() const { return misses_.Value(); }
 
  private:
+  const TableEntry* LookupLocked(const net::Packet& packet, const PacketMeta& meta) const;
+
   std::string name_;
   std::vector<MatchFieldSpec> key_;
   std::vector<std::string> action_names_;
   std::vector<ActionFn> actions_;
   std::optional<std::pair<ActionId, ActionArgs>> default_action_;
+  /// Guards entries_ (and default_action_/actions_ registration):
+  /// packet lookups take it shared, so batch workers proceed in
+  /// parallel; entry add/remove (tenant admission/departure) takes it
+  /// exclusive.
+  mutable std::shared_mutex entries_mutex_;
   std::vector<TableEntry> entries_;
   EntryHandle next_handle_ = 1;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  common::metrics::RelaxedCounter hits_;
+  common::metrics::RelaxedCounter misses_;
 };
 
 }  // namespace sfp::switchsim

@@ -1,0 +1,179 @@
+// Unit tests for sfp::common::metrics — counters, histograms, the
+// registry's create-on-first-use semantics, and the JSON exporter whose
+// schema docs/METRICS.md documents.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace sfp::common::metrics {
+namespace {
+
+TEST(CounterTest, IncrementAndSet) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Set(7);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), 40000u);
+}
+
+TEST(RelaxedCounterTest, CopyPreservesValue) {
+  RelaxedCounter counter;
+  counter.Add(5);
+  RelaxedCounter copy = counter;
+  copy.Add(1);
+  EXPECT_EQ(counter.Value(), 5u);
+  EXPECT_EQ(copy.Value(), 6u);
+}
+
+TEST(HistogramTest, BucketsObservationsAgainstBounds) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (le 1)
+  histogram.Observe(1.0);    // bucket 0 (le is inclusive)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(100.0);  // bucket 2
+  histogram.Observe(1e6);    // overflow bucket
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 1e6);
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);  // +inf overflow
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroStats) {
+  Histogram histogram({1.0});
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllLand) {
+  Histogram histogram(ExponentialBounds(1.0, 2.0, 10));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &histogram] {
+      for (int i = 0; i < 5000; ++i) histogram.Observe(static_cast<double>(t + 1));
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(), 20000u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 5000.0 * (1 + 2 + 3 + 4));
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 4.0);
+}
+
+TEST(ExponentialBoundsTest, GeometricSeries) {
+  const auto bounds = ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(RegistryTest, GetCounterReturnsStableReference) {
+  Registry registry;
+  Counter& a = registry.GetCounter("a");
+  a.Increment(3);
+  Counter& again = registry.GetCounter("a");
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(again.Value(), 3u);
+  EXPECT_EQ(registry.Counters().size(), 1u);
+}
+
+TEST(RegistryTest, GetHistogramKeepsFirstBounds) {
+  Registry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram& again = registry.GetHistogram("h", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotsCarryAllSeries) {
+  Registry registry;
+  registry.GetCounter("c1").Increment(5);
+  registry.GetCounter("c2").Increment(6);
+  registry.GetHistogram("h1", {10.0}).Observe(3.0);
+  const auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  const auto histograms = registry.Histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].name, "h1");
+  EXPECT_EQ(histograms[0].count, 1u);
+  ASSERT_EQ(histograms[0].bucket_counts.size(), 2u);  // 1 bound + overflow
+  EXPECT_EQ(histograms[0].bucket_counts[0], 1u);
+}
+
+TEST(JsonTest, EscapesControlCharsAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
+}
+
+TEST(JsonTest, NumberClampsNonFinite) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+}
+
+TEST(JsonTest, RegistryToJsonIsWellFormed) {
+  Registry registry;
+  registry.GetCounter("pipeline.packets").Set(12);
+  auto& histogram = registry.GetHistogram("lat", {1.0, 2.0});
+  histogram.Observe(1.5);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.packets\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+inf\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check; the CI
+  // validator parses the full file with Python's json module).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(JsonTest, WriteJsonRoundTripsThroughFile) {
+  Registry registry;
+  registry.GetCounter("n").Set(1);
+  const auto path = std::filesystem::temp_directory_path() / "sfp_metrics_test.json";
+  {
+    std::ofstream out(path);
+    registry.WriteJson(out);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), registry.ToJson());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sfp::common::metrics

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the sfp.bench.v1 schema.
+
+The schema is documented in docs/METRICS.md. CI runs this over the
+files the benchmark binaries emit (SFP_BENCH_JSON_DIR); it uses only
+the standard library so it works on any runner.
+
+Usage: tools/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+Exits nonzero and prints one line per problem if any file is invalid.
+"""
+import json
+import sys
+
+SCHEMA = "sfp.bench.v1"
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_table(errors, path, table_id, table):
+    where = f"tables[{table_id!r}]"
+    if not isinstance(table, dict):
+        return fail(errors, path, f"{where} is not an object")
+    columns = table.get("columns")
+    rows = table.get("rows")
+    if not isinstance(columns, list) or not all(isinstance(c, str) for c in columns):
+        return fail(errors, path, f"{where}.columns must be a list of strings")
+    if not columns:
+        fail(errors, path, f"{where}.columns is empty")
+    if not isinstance(rows, list):
+        return fail(errors, path, f"{where}.rows must be a list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or not all(isinstance(c, str) for c in row):
+            fail(errors, path, f"{where}.rows[{i}] must be a list of strings")
+        elif len(row) != len(columns):
+            fail(errors, path,
+                 f"{where}.rows[{i}] has {len(row)} cells, expected {len(columns)}")
+
+
+def check_histogram(errors, path, name, histogram):
+    where = f"metrics.histograms[{name!r}]"
+    for key, kind in (("count", int), ("sum", (int, float)),
+                      ("min", (int, float)), ("max", (int, float))):
+        if not isinstance(histogram.get(key), kind):
+            fail(errors, path, f"{where}.{key} missing or wrong type")
+    buckets = histogram.get("buckets")
+    if not isinstance(buckets, list):
+        return fail(errors, path, f"{where}.buckets must be a list")
+    total = 0
+    for i, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict):
+            fail(errors, path, f"{where}.buckets[{i}] is not an object")
+            continue
+        le = bucket.get("le")
+        if not (isinstance(le, (int, float)) or le == "+inf"):
+            fail(errors, path, f"{where}.buckets[{i}].le must be a number or \"+inf\"")
+        if i == len(buckets) - 1 and le != "+inf":
+            fail(errors, path, f"{where} last bucket must have le == \"+inf\"")
+        if not isinstance(bucket.get("count"), int):
+            fail(errors, path, f"{where}.buckets[{i}].count must be an integer")
+        else:
+            total += bucket["count"]
+    if isinstance(histogram.get("count"), int) and total != histogram["count"]:
+        fail(errors, path,
+             f"{where} bucket counts sum to {total}, count says {histogram['count']}")
+
+
+def check_file(errors, path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(errors, path, f"cannot parse: {error}")
+    if not isinstance(doc, dict):
+        return fail(errors, path, "top level is not an object")
+
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key, kind in (("bench", str), ("caption", str), ("unix_time_s", (int, float)),
+                      ("seeds", int)):
+        if not isinstance(doc.get(key), kind):
+            fail(errors, path, f"{key!r} missing or wrong type")
+
+    notes = doc.get("notes")
+    if not isinstance(notes, list) or not all(isinstance(n, str) for n in notes):
+        fail(errors, path, "'notes' must be a list of strings")
+
+    tables = doc.get("tables")
+    if not isinstance(tables, dict) or not tables:
+        fail(errors, path, "'tables' must be a non-empty object")
+    else:
+        for table_id, table in tables.items():
+            check_table(errors, path, table_id, table)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(errors, path, "'metrics' must be an object")
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        fail(errors, path, "metrics.counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                fail(errors, path,
+                     f"metrics.counters[{name!r}] must be a non-negative integer")
+    histograms = metrics.get("histograms")
+    if not isinstance(histograms, dict):
+        fail(errors, path, "metrics.histograms must be an object")
+    else:
+        for name, histogram in histograms.items():
+            if not isinstance(histogram, dict):
+                fail(errors, path, f"metrics.histograms[{name!r}] is not an object")
+            else:
+                check_histogram(errors, path, name, histogram)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        before = len(errors)
+        check_file(errors, path)
+        status = "FAIL" if len(errors) > before else "ok"
+        print(f"{status}: {path}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
