@@ -1,0 +1,145 @@
+#include "common/faultinject.h"
+
+namespace sfp::common::faultinject {
+namespace {
+
+/// Stable 64-bit FNV-1a over the point name, so every point derives the
+/// same RNG stream for a given plan seed on every platform.
+std::uint64_t Fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+const char* TriggerName(Trigger trigger) {
+  switch (trigger) {
+    case Trigger::kNever: return "never";
+    case Trigger::kAlways: return "always";
+    case Trigger::kProbability: return "probability";
+    case Trigger::kNth: return "nth";
+    case Trigger::kEveryNth: return "every-nth";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::Always(std::string point, std::uint64_t max_fires) {
+  FaultSpec spec;
+  spec.point = std::move(point);
+  spec.trigger = Trigger::kAlways;
+  spec.max_fires = max_fires;
+  return spec;
+}
+
+FaultSpec FaultSpec::Probability(std::string point, double p) {
+  FaultSpec spec;
+  spec.point = std::move(point);
+  spec.trigger = Trigger::kProbability;
+  spec.probability = p;
+  return spec;
+}
+
+FaultSpec FaultSpec::Nth(std::string point, std::uint64_t n) {
+  FaultSpec spec;
+  spec.point = std::move(point);
+  spec.trigger = Trigger::kNth;
+  spec.n = n;
+  return spec;
+}
+
+FaultSpec FaultSpec::EveryNth(std::string point, std::uint64_t n) {
+  FaultSpec spec;
+  spec.point = std::move(point);
+  spec.trigger = Trigger::kEveryNth;
+  spec.n = n;
+  return spec;
+}
+
+std::atomic<bool> Registry::armed_flag_{false};
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+void Registry::Arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = plan.seed;
+  plan_ = plan.faults;
+  points_.clear();
+  armed_flag_.store(true, std::memory_order_relaxed);
+}
+
+void Registry::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_flag_.store(false, std::memory_order_relaxed);
+  plan_.clear();
+  points_.clear();
+}
+
+Registry::PointState& Registry::FindOrCreate(const std::string& point) {
+  auto it = points_.find(point);
+  if (it != points_.end()) return it->second;
+  PointState state;
+  for (const FaultSpec& spec : plan_) {
+    if (spec.point == point) {
+      state.spec = spec;
+      break;
+    }
+  }
+  state.spec.point = point;  // unlisted points keep Trigger::kNever
+  state.rng = Rng(seed_ ^ Fnv1a(point));
+  return points_.emplace(point, std::move(state)).first->second;
+}
+
+bool Registry::ShouldFail(const char* point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_flag_.load(std::memory_order_relaxed)) return false;
+  PointState& state = FindOrCreate(point);
+  const std::uint64_t hit = ++state.stats.hits;
+
+  bool fire = false;
+  switch (state.spec.trigger) {
+    case Trigger::kNever:
+      break;
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kProbability:
+      // Draw even when already capped, so hit #k's decision never
+      // depends on the cap.
+      fire = state.rng.Bernoulli(state.spec.probability);
+      break;
+    case Trigger::kNth:
+      fire = hit == state.spec.n;
+      break;
+    case Trigger::kEveryNth:
+      fire = state.spec.n > 0 && hit % state.spec.n == 0;
+      break;
+  }
+  if (fire && state.stats.fires >= state.spec.max_fires) fire = false;
+  if (fire) {
+    ++state.stats.fires;
+    state.stats.fired_hits.push_back(hit);
+  }
+  return fire;
+}
+
+PointStats Registry::Stats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it != points_.end() ? it->second.stats : PointStats{};
+}
+
+std::map<std::string, PointStats> Registry::AllStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, PointStats> stats;
+  for (const auto& [name, state] : points_) stats[name] = state.stats;
+  return stats;
+}
+
+}  // namespace sfp::common::faultinject

@@ -1,0 +1,143 @@
+// Deterministic, seed-driven fault injection (the chaos-testing
+// substrate of the robustness work).
+//
+// A fault *point* is a named site in the code — e.g.
+// "switchsim.table.add_entry" or "dataplane.install_rule" — guarded by
+// the SFP_FAULT(name) macro. Production code asks "should this
+// operation fail now?" and implements its real degradation path
+// (unwind, retry, fall back) when the answer is yes. A *plan* arms the
+// process-wide registry with trigger rules per point: always, never,
+// fire with probability p, fire on exactly the nth hit, or fire every
+// nth hit, each optionally capped by max_fires.
+//
+// Determinism: every point derives its own RNG stream from
+// (plan seed, FNV-1a(point name)) and keeps its own hit counter, so
+// whether hit #k of a point fires is a pure function of the plan — the
+// same seed reproduces the same fault sequence even when points are
+// exercised from multiple threads (per-point decisions are serialized;
+// only the interleaving *across* points may vary). The registry records
+// which hit indices fired so tests can assert byte-for-byte replay.
+//
+// Zero cost when disabled: SFP_FAULT first checks a process-wide
+// relaxed atomic flag; with no plan armed the macro is a single relaxed
+// load and a branch, so fault points may sit on serve paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sfp::common::faultinject {
+
+/// When a fault point fires.
+enum class Trigger : std::uint8_t {
+  kNever = 0,     // never fires (default for unlisted points)
+  kAlways,        // fires on every hit
+  kProbability,   // fires on each hit with probability `probability`
+  kNth,           // fires on exactly hit number `n` (1-based)
+  kEveryNth,      // fires on every hit whose index is a multiple of `n`
+};
+
+const char* TriggerName(Trigger trigger);
+
+/// Trigger rule for one fault point.
+struct FaultSpec {
+  std::string point;
+  Trigger trigger = Trigger::kNever;
+  double probability = 0.0;                     // kProbability
+  std::uint64_t n = 0;                          // kNth / kEveryNth
+  std::uint64_t max_fires = ~std::uint64_t{0};  // cap on total fires
+
+  static FaultSpec Always(std::string point, std::uint64_t max_fires = ~std::uint64_t{0});
+  static FaultSpec Probability(std::string point, double p);
+  static FaultSpec Nth(std::string point, std::uint64_t n);
+  static FaultSpec EveryNth(std::string point, std::uint64_t n);
+};
+
+/// A full fault plan: the seed plus one rule per targeted point.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+};
+
+/// Observed state of one fault point (for assertions and replay
+/// checks). `fired_hits` lists the 1-based hit indices that fired, in
+/// firing order — deterministic for a given plan.
+struct PointStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::vector<std::uint64_t> fired_hits;
+};
+
+/// The process-wide fault registry. Thread-safe; all decision state is
+/// behind one mutex (only reached when a plan is armed).
+class Registry {
+ public:
+  static Registry& Instance();
+
+  /// Installs `plan` and enables fault evaluation. Replaces any
+  /// previous plan and resets all counters.
+  void Arm(const FaultPlan& plan);
+
+  /// Clears the plan, all counters and the fired log, and disables
+  /// fault evaluation (SFP_FAULT back to one relaxed load).
+  void Disarm();
+
+  bool armed() const { return armed_flag_.load(std::memory_order_relaxed); }
+
+  /// Decides whether the current hit of `point` fails. Records the hit
+  /// either way. Called via SFP_FAULT only while armed.
+  bool ShouldFail(const char* point);
+
+  /// Stats for one point (zeros if never hit).
+  PointStats Stats(const std::string& point) const;
+
+  /// Stats for every point hit since Arm(), keyed by name. Comparing
+  /// two runs' maps checks deterministic replay.
+  std::map<std::string, PointStats> AllStats() const;
+
+  /// Fast armed check for the SFP_FAULT macro.
+  static bool FastArmed() { return armed_flag_.load(std::memory_order_relaxed); }
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  struct PointState {
+    FaultSpec spec;
+    Rng rng{0};
+    PointStats stats;
+  };
+
+  PointState& FindOrCreate(const std::string& point);
+
+  static std::atomic<bool> armed_flag_;
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 1;
+  std::vector<FaultSpec> plan_;
+  std::map<std::string, PointState> points_;
+};
+
+/// RAII helper: arms `plan` on construction, disarms on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) { Registry::Instance().Arm(plan); }
+  ~ScopedFaultPlan() { Registry::Instance().Disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace sfp::common::faultinject
+
+/// True if the named fault point should fail now. One relaxed atomic
+/// load when no plan is armed.
+#define SFP_FAULT(point)                                \
+  (::sfp::common::faultinject::Registry::FastArmed() && \
+   ::sfp::common::faultinject::Registry::Instance().ShouldFail(point))

@@ -42,6 +42,32 @@ class RelaxedCounter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Relaxed atomic double with the same copy semantics as
+/// RelaxedCounter (copies snapshot the value). Used for shared
+/// virtual-time clocks such as the pipeline's recirculation port.
+class RelaxedDouble {
+ public:
+  RelaxedDouble() = default;
+  explicit RelaxedDouble(double value) : value_(value) {}
+  RelaxedDouble(const RelaxedDouble& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  RelaxedDouble& operator=(const RelaxedDouble& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// CAS primitive for read-modify-write updates (e.g. advancing a
+  /// virtual clock to max(now, old) + service).
+  bool CompareExchange(double& expected, double desired) {
+    return value_.compare_exchange_weak(expected, desired, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// A named monotonic counter owned by a Registry.
 class Counter {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/faultinject.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "lp/simplex.h"
@@ -34,8 +35,24 @@ ApproxReport SolveApprox(const PlacementInstance& instance, const ApproxOptions&
   Stopwatch watch;
   Rng rng(options.seed);
 
+  // Deadline exhaustion — the real wall clock or the injected fault —
+  // ends the sweep gracefully with whatever has verified so far.
+  auto deadline_hit = [&options, &watch, &report]() {
+    if (report.deadline_exceeded) return true;
+    if (SFP_FAULT("controlplane.solver_deadline") ||
+        (options.deadline_seconds > 0.0 &&
+         watch.ElapsedSeconds() > options.deadline_seconds)) {
+      report.deadline_exceeded = true;
+      SFP_LOG_WARN << "solver deadline exhausted after " << watch.ElapsedSeconds()
+                   << " s; returning best-so-far (verified=" << report.ok << ")";
+      return true;
+    }
+    return false;
+  };
+
   const int first_passes = options.only_max_passes ? options.model.max_passes : 1;
   for (int passes = first_passes; passes <= options.model.max_passes; ++passes) {
+    if (deadline_hit()) break;
     ModelOptions model_options = options.model;
     model_options.max_passes = passes;
     PlacementModel pm = BuildPlacementModel(instance, model_options);
@@ -57,6 +74,7 @@ ApproxReport SolveApprox(const PlacementInstance& instance, const ApproxOptions&
     std::set<int> stripped = model_options.excluded;
     int consecutive_failures = 0;
     for (int attempt = 0; attempt < options.rounding_attempts; ++attempt) {
+      if (deadline_hit()) break;
       ++report.roundings;
       auto candidate = StructuredRound(instance, pm, lp.values, rng, stripped);
       bool accepted = false;

@@ -27,6 +27,12 @@ struct ApproxOptions {
   /// bench sweeps).
   bool only_max_passes = false;
   std::uint64_t seed = 1;
+  /// Wall-clock budget in seconds; 0 disables. When the budget (or the
+  /// "controlplane.solver_deadline" fault point) trips mid-sweep the
+  /// solver stops early and returns the best verified solution found so
+  /// far — ok stays false if nothing verified — with
+  /// deadline_exceeded set so callers can degrade (greedy fallback).
+  double deadline_seconds = 0.0;
 };
 
 struct ApproxReport {
@@ -41,6 +47,8 @@ struct ApproxReport {
   int stripped_sfcs = 0;
   /// LP-relaxation optimum at the largest r (an upper bound on the IP).
   double lp_bound = 0.0;
+  /// The deadline (or its fault point) cut the sweep short.
+  bool deadline_exceeded = false;
 };
 
 /// Runs Algorithm 1.

@@ -1,8 +1,41 @@
 #include "core/sfp_system.h"
 
+#include <thread>
+
 #include "common/logging.h"
+#include "controlplane/greedy_solver.h"
 
 namespace sfp::core {
+
+const char* AdmitCodeName(AdmitCode code) {
+  switch (code) {
+    case AdmitCode::kOk:
+      return "ok";
+    case AdmitCode::kAlreadyAdmitted:
+      return "already-admitted";
+    case AdmitCode::kAllocationFailed:
+      return "allocation-failed";
+    case AdmitCode::kBackplaneExceeded:
+      return "backplane-exceeded";
+    case AdmitCode::kInstallFault:
+      return "install-fault";
+  }
+  return "unknown";
+}
+
+const char* ProvisionPathName(ProvisionPath path) {
+  switch (path) {
+    case ProvisionPath::kApprox:
+      return "approx";
+    case ProvisionPath::kGreedy:
+      return "greedy";
+    case ProvisionPath::kStatic:
+      return "static";
+    case ProvisionPath::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 SfpSystem::SfpSystem(switchsim::SwitchConfig config) : data_plane_(config) {}
 
@@ -16,8 +49,36 @@ controlplane::SfcSpec SfpSystem::ToSpec(const dataplane::Sfc& sfc) {
   return spec;
 }
 
+namespace {
+
+/// Installs the solver's physical layout onto the data plane.
+int InstallSolution(dataplane::DataPlane& data_plane,
+                    const controlplane::PlacementInstance& instance,
+                    const controlplane::PlacementSolution& solution) {
+  int installed = 0;
+  for (int i = 0; i < instance.num_types; ++i) {
+    for (int s = 0; s < instance.sw.stages; ++s) {
+      if (!solution.physical[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      if (data_plane.InstallPhysicalNf(s, static_cast<nf::NfType>(i))) ++installed;
+    }
+  }
+  return installed;
+}
+
+}  // namespace
+
 int SfpSystem::ProvisionPhysical(const std::vector<dataplane::Sfc>& expected,
                                  const controlplane::ApproxOptions& options) {
+  return ProvisionPhysicalWithReport(expected, options).installed;
+}
+
+ProvisionReport SfpSystem::ProvisionPhysicalWithReport(
+    const std::vector<dataplane::Sfc>& expected,
+    const controlplane::ApproxOptions& options) {
+  ProvisionReport report;
+
   controlplane::PlacementInstance instance;
   const auto& config = data_plane_.pipeline().config();
   instance.sw.stages = config.num_stages;
@@ -27,30 +88,56 @@ int SfpSystem::ProvisionPhysical(const std::vector<dataplane::Sfc>& expected,
   instance.num_types = nf::kNumNfTypes;
   for (const auto& sfc : expected) instance.sfcs.push_back(ToSpec(sfc));
 
-  const auto report = controlplane::SolveApprox(instance, options);
-  if (!report.ok) {
-    SFP_LOG_WARN << "physical provisioning found no verified placement; "
-                    "falling back to one NF of each type per stage round-robin";
-    int installed = 0;
-    for (int i = 0; i < nf::kNumNfTypes; ++i) {
-      if (data_plane_.InstallPhysicalNf(i % config.num_stages, static_cast<nf::NfType>(i))) {
-        ++installed;
-      }
+  // Tier 1: LP relaxation + randomized rounding (§V-B).
+  const auto approx = controlplane::SolveApprox(instance, options);
+  report.solver_deadline_exceeded = approx.deadline_exceeded;
+  if (approx.ok) {
+    report.installed = InstallSolution(data_plane_, instance, approx.solution);
+    if (report.installed > 0) {
+      report.ok = true;
+      report.path = ProvisionPath::kApprox;
+      SFP_LOG_INFO << "provisioned " << report.installed << " physical NFs (approx)";
+      return report;
     }
-    return installed;
+  }
+  SFP_LOG_WARN << "approx provisioning "
+               << (approx.deadline_exceeded ? "exhausted its deadline" : "failed")
+               << " without a usable placement; degrading to greedy";
+
+  // Tier 2: Algorithm 2 greedy over the same instance.
+  controlplane::GreedyOptions greedy_options;
+  greedy_options.max_passes = options.model.max_passes;
+  greedy_options.memory_model = options.model.memory_model;
+  const auto greedy = controlplane::SolveGreedy(instance, greedy_options);
+  report.installed = InstallSolution(data_plane_, instance, greedy.solution);
+  if (report.installed > 0) {
+    report.ok = true;
+    report.path = ProvisionPath::kGreedy;
+    SFP_LOG_INFO << "provisioned " << report.installed << " physical NFs (greedy fallback)";
+    return report;
+  }
+  SFP_LOG_WARN << "greedy provisioning placed nothing; degrading to the static layout";
+
+  // Tier 3: one NF of each type, round-robin over stages — always
+  // serves single-NF chains even when no solver produced a placement.
+  for (int i = 0; i < nf::kNumNfTypes; ++i) {
+    if (data_plane_.InstallPhysicalNf(i % config.num_stages, static_cast<nf::NfType>(i))) {
+      ++report.installed;
+    }
+  }
+  if (report.installed > 0) {
+    report.ok = true;
+    report.path = ProvisionPath::kStatic;
+    SFP_LOG_WARN << "provisioned " << report.installed << " physical NFs (static layout)";
+    return report;
   }
 
-  int installed = 0;
-  for (int i = 0; i < instance.num_types; ++i) {
-    for (int s = 0; s < instance.sw.stages; ++s) {
-      if (!report.solution.physical[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)]) {
-        continue;
-      }
-      if (data_plane_.InstallPhysicalNf(s, static_cast<nf::NfType>(i))) ++installed;
-    }
-  }
-  SFP_LOG_INFO << "provisioned " << installed << " physical NFs";
-  return installed;
+  report.path = ProvisionPath::kFailed;
+  report.error = "no provisioning path installed any physical NF (approx "
+                 + std::string(approx.deadline_exceeded ? "deadline-exceeded" : "failed")
+                 + ", greedy empty, static install rejected)";
+  SFP_LOG_ERROR << report.error;
+  return report;
 }
 
 int SfpSystem::ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& layout) {
@@ -67,8 +154,7 @@ std::vector<switchsim::ProcessResult> SfpSystem::ProcessBatch(
     std::span<const net::Packet> packets, const switchsim::BatchOptions& options) {
   auto results = data_plane_.ProcessBatch(packets, options);
   // Telemetry aggregation is sequential (input order) on this thread:
-  // identical to a scalar Process loop, and the collector needs no
-  // locking.
+  // identical to a scalar Process loop.
   for (std::size_t i = 0; i < packets.size(); ++i) {
     telemetry_.Record(packets[i].WireBytes(), results[i]);
   }
@@ -93,24 +179,54 @@ void SfpSystem::ExportMetrics(common::metrics::Registry& registry) const {
     registry.GetCounter(prefix + "recirculated_packets").Set(counters.recirculated_packets);
     registry.GetCounter(prefix + "passes").Set(counters.total_passes);
   }
+  registry.GetCounter("system.admit.admitted").Set(admits_ok_.Value());
+  registry.GetCounter("system.admit.rejected.already_admitted").Set(rejects_already_.Value());
+  registry.GetCounter("system.admit.rejected.allocation_failed").Set(rejects_alloc_.Value());
+  registry.GetCounter("system.admit.rejected.backplane_exceeded")
+      .Set(rejects_backplane_.Value());
+  registry.GetCounter("system.admit.rejected.install_fault").Set(rejects_install_.Value());
+  registry.GetCounter("system.admit.install_retries").Set(install_retries_.Value());
   {
     std::lock_guard<std::mutex> lock(*control_mutex_);
     registry.GetCounter("system.tenants").Set(admissions_.size());
   }
 }
 
-AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc) {
+AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions& options) {
   std::lock_guard<std::mutex> lock(*control_mutex_);
   AdmitResult result;
   if (admissions_.contains(sfc.tenant)) {
+    result.code = AdmitCode::kAlreadyAdmitted;
     result.reason = "tenant already admitted";
+    rejects_already_.Add();
     return result;
   }
 
-  // §IV allocation onto the shared pipeline.
-  const auto allocation = data_plane_.AllocateSfc(sfc);
+  // §IV allocation onto the shared pipeline. Transient faults (rule
+  // installs failing mid-allocation; AllocateSfc has already unwound
+  // the partial install) are retried with exponential backoff;
+  // deterministic rejections (no placement, empty chain) are not.
+  const int max_attempts = std::max(1, options.max_attempts);
+  dataplane::AllocationResult allocation;
+  auto backoff = options.initial_backoff;
+  for (result.attempts = 1; result.attempts <= max_attempts; ++result.attempts) {
+    allocation = data_plane_.AllocateSfc(sfc);
+    if (allocation.ok || !allocation.transient()) break;
+    if (result.attempts == max_attempts) break;
+    install_retries_.Add();
+    SFP_LOG_WARN << "tenant " << sfc.tenant << " hit a transient install fault (attempt "
+                 << result.attempts << "/" << max_attempts << "): " << allocation.error;
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+  }
+  result.attempts = std::min(result.attempts, max_attempts);
   if (!allocation.ok) {
+    result.code = allocation.transient() ? AdmitCode::kInstallFault
+                                         : AdmitCode::kAllocationFailed;
     result.reason = allocation.error;
+    (allocation.transient() ? rejects_install_ : rejects_alloc_).Add();
     return result;
   }
 
@@ -123,14 +239,18 @@ AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc) {
   }
   if (used + charge > data_plane_.pipeline().config().backplane_gbps + 1e-9) {
     data_plane_.DeallocateSfc(sfc.tenant);
+    result.code = AdmitCode::kBackplaneExceeded;
     result.reason = "backplane capacity exceeded";
+    rejects_backplane_.Add();
     return result;
   }
 
   admissions_[sfc.tenant] = {sfc.bandwidth_gbps, allocation.passes};
   result.admitted = true;
+  result.code = AdmitCode::kOk;
   result.passes = allocation.passes;
   result.backplane_gbps = charge;
+  admits_ok_.Add();
   return result;
 }
 
@@ -139,6 +259,7 @@ bool SfpSystem::RemoveTenant(dataplane::TenantId tenant) {
   if (!admissions_.contains(tenant)) return false;
   data_plane_.DeallocateSfc(tenant);
   admissions_.erase(tenant);
+  telemetry_.MarkDeparted(tenant);
   return true;
 }
 

@@ -4,11 +4,15 @@
 //
 //   1. `ProvisionPhysical` runs the §V placement over an expected
 //      workload (or an explicit layout) and pre-installs the physical
-//      NFs on the switch pipeline — the boot-time step of §IV.
+//      NFs on the switch pipeline — the boot-time step of §IV. The
+//      solver path degrades gracefully (LP+rounding → greedy →
+//      static layout → structured error; see ProvisionReport).
 //   2. `AdmitTenant` / `RemoveTenant` manage logical SFCs at runtime
 //      (§V-E): admission copies tenant rules onto the shared physical
 //      NFs with (tenant, pass) match prefixes and REC recirculation
-//      marks; departure releases rules, memory and backplane bandwidth.
+//      marks, retrying transient install faults with bounded backoff;
+//      departure releases rules, memory and backplane bandwidth and
+//      applies the telemetry retention policy.
 //   3. `Process` serves tenant packets through the virtualized
 //      pipeline; `ProcessBatch` serves whole batches flow-sharded
 //      across a worker pool (DESIGN.md, "Batched execution").
@@ -18,6 +22,7 @@
 // capacity is rejected even when switch memory would suffice.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,12 +35,65 @@
 
 namespace sfp::core {
 
+/// Failure class of an admission attempt, so callers (and the chaos
+/// harness) can branch without string matching.
+enum class AdmitCode : std::uint8_t {
+  kOk = 0,
+  /// The tenant already holds an admitted SFC.
+  kAlreadyAdmitted,
+  /// No feasible placement (shape/memory/recirculation budget) —
+  /// deterministic; retrying the same SFC cannot help.
+  kAllocationFailed,
+  /// eq. 26: admitting would push sum(passes x T) past the backplane.
+  kBackplaneExceeded,
+  /// Transient rule-install faults persisted through every retry.
+  kInstallFault,
+};
+
+const char* AdmitCodeName(AdmitCode code);
+
 /// Result of an admission attempt.
 struct AdmitResult {
   bool admitted = false;
-  std::string reason;           // set when rejected
+  AdmitCode code = AdmitCode::kOk;
+  std::string reason;           // set when rejected (for humans)
   int passes = 0;               // R_l + 1 when admitted
   double backplane_gbps = 0.0;  // capacity charged (passes * T)
+  int attempts = 0;             // allocation attempts (>1 = retried faults)
+};
+
+/// Retry policy for transient install faults during admission.
+struct AdmitOptions {
+  /// Total allocation attempts (1 = no retry).
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles each further retry. Zero
+  /// disables sleeping (tests / chaos harness).
+  std::chrono::microseconds initial_backoff{50};
+};
+
+/// Which solver ultimately produced the physical layout.
+enum class ProvisionPath : std::uint8_t {
+  /// §V-B LP relaxation + randomized rounding (the intended path).
+  kApprox = 0,
+  /// Algorithm 2 greedy — used when the approx solver fails or blows
+  /// its deadline.
+  kGreedy,
+  /// Static one-NF-of-each-type round-robin layout — last resort.
+  kStatic,
+  /// Even the static layout installed nothing.
+  kFailed,
+};
+
+const char* ProvisionPathName(ProvisionPath path);
+
+/// Outcome of the boot-time provisioning degradation chain.
+struct ProvisionReport {
+  bool ok = false;
+  ProvisionPath path = ProvisionPath::kFailed;
+  int installed = 0;
+  std::string error;  // set when !ok
+  /// The approx solver hit its deadline (wall clock or injected).
+  bool solver_deadline_exceeded = false;
 };
 
 /// System-wide counters.
@@ -54,19 +112,30 @@ class SfpSystem {
 
   /// Boot-time physical provisioning from an expected workload: solves
   /// the §V placement (LP + rounding) on the abstract instance derived
-  /// from `expected` and installs the chosen physical NFs. Returns the
-  /// number of physical NFs installed.
+  /// from `expected` and installs the chosen physical NFs, degrading to
+  /// the greedy solver and then a static layout when a solver fails or
+  /// exhausts its deadline. Returns the number of physical NFs
+  /// installed.
   int ProvisionPhysical(const std::vector<dataplane::Sfc>& expected,
                         const controlplane::ApproxOptions& options = {});
+
+  /// Same degradation chain with the full report (which path won, what
+  /// failed). Prefer this in robustness-aware callers.
+  ProvisionReport ProvisionPhysicalWithReport(
+      const std::vector<dataplane::Sfc>& expected,
+      const controlplane::ApproxOptions& options = {});
 
   /// Installs an explicit physical layout: one NF of each listed type
   /// per stage. Returns the number installed.
   int ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& layout);
 
   /// Admits a tenant SFC (§IV allocation + eq. 26 admission control).
-  AdmitResult AdmitTenant(const dataplane::Sfc& sfc);
+  /// Transient install faults are retried per `options`; the result
+  /// carries the structured reject code.
+  AdmitResult AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions& options = {});
 
-  /// Removes a tenant and releases its resources. Returns false if the
+  /// Removes a tenant, releases its resources, and applies the
+  /// telemetry retention policy to its series. Returns false if the
   /// tenant is unknown.
   bool RemoveTenant(dataplane::TenantId tenant);
 
@@ -88,8 +157,9 @@ class SfpSystem {
   std::vector<switchsim::ProcessResult> ProcessBatch(
       std::span<const net::Packet> packets, const switchsim::BatchOptions& options = {});
 
-  /// Snapshots pipeline counters and per-tenant telemetry into
-  /// `registry` (names documented in docs/METRICS.md).
+  /// Snapshots pipeline counters, per-tenant telemetry, and the
+  /// admission/reject taxonomy into `registry` (names documented in
+  /// docs/METRICS.md).
   void ExportMetrics(common::metrics::Registry& registry) const;
 
   SfpStats Stats() const;
@@ -114,6 +184,13 @@ class SfpSystem {
   };
   std::map<dataplane::TenantId, Admission> admissions_;
   dataplane::TelemetryCollector telemetry_;
+  /// Admission outcome taxonomy (exported as system.admit.*).
+  common::metrics::RelaxedCounter admits_ok_;
+  common::metrics::RelaxedCounter rejects_already_;
+  common::metrics::RelaxedCounter rejects_alloc_;
+  common::metrics::RelaxedCounter rejects_backplane_;
+  common::metrics::RelaxedCounter rejects_install_;
+  common::metrics::RelaxedCounter install_retries_;
   /// Serializes control-plane mutations (AdmitTenant/RemoveTenant/
   /// Stats) against each other, so they can run concurrently with the
   /// serve path. Held by pointer to keep SfpSystem movable.

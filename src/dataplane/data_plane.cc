@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/faultinject.h"
 #include "common/logging.h"
 
 namespace sfp::dataplane {
@@ -13,6 +14,22 @@ using switchsim::FieldId;
 using switchsim::FieldMatch;
 using switchsim::MatchFieldSpec;
 using switchsim::MatchKind;
+
+const char* AllocCodeName(AllocCode code) {
+  switch (code) {
+    case AllocCode::kOk:
+      return "ok";
+    case AllocCode::kEmptyChain:
+      return "empty-chain";
+    case AllocCode::kAlreadyAllocated:
+      return "already-allocated";
+    case AllocCode::kNoPlacement:
+      return "no-placement";
+    case AllocCode::kInstallFault:
+      return "install-fault";
+  }
+  return "unknown";
+}
 
 DataPlane::DataPlane(switchsim::SwitchConfig config) : pipeline_(config) {}
 
@@ -78,10 +95,12 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   const int pass_limit = max_passes.value_or(pipeline_.config().max_passes);
 
   if (sfc.chain.empty()) {
+    result.code = AllocCode::kEmptyChain;
     result.error = "empty chain";
     return result;
   }
   if (allocations_.contains(sfc.tenant)) {
+    result.code = AllocCode::kAlreadyAllocated;
     result.error = "tenant already allocated";
     return result;
   }
@@ -119,6 +138,7 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
       ++pass;
       cursor = 0;
       if (pass >= pass_limit) {
+        result.code = AllocCode::kNoPlacement;
         result.error = "cannot place NF '" + std::string(nf::NfFullName(logical.type)) +
                        "' within the recirculation budget";
         return result;
@@ -129,6 +149,17 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   }
 
   // ---- install: copy rules with the (tenant, pass) prefix ------------
+  // A rule install can fail transiently under fault injection
+  // ("dataplane.install_rule" here, "switchsim.table.add_entry" inside
+  // the table). On failure every entry installed so far is unwound so
+  // the data plane is left exactly as before the call.
+  auto unwind_install = [this, &sfc, &result](const char* where) {
+    for (auto& slot : slots_) slot.table->RemoveTenantEntries(sfc.tenant);
+    result.placements.clear();
+    result.code = AllocCode::kInstallFault;
+    result.error = std::string("transient rule-install failure (") + where + ")";
+  };
+
   const int total_passes = plan.back().placement.pass + 1;
   for (std::size_t j = 0; j < plan.size(); ++j) {
     const auto& step = plan[j];
@@ -146,8 +177,13 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
                                          FieldMatch::Exact(
                                              static_cast<std::uint64_t>(step.placement.pass))};
       for (const auto& m : rule.matches) matches.push_back(m);
-      step.slot->table->AddEntry(std::move(matches), it->second, rule.args, rule.priority,
-                                 sfc.tenant);
+      if (SFP_FAULT("dataplane.install_rule") ||
+          step.slot->table->AddEntry(std::move(matches), it->second, rule.args,
+                                     rule.priority,
+                                     sfc.tenant) == switchsim::kInvalidEntryHandle) {
+        unwind_install(nf::NfFullName(logical.type));
+        return result;
+      }
     }
     // Tenant catch-all: No-Op (or recirculating No-Op) at the lowest
     // priority so configured rules always win.
@@ -159,8 +195,12 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
     for (std::size_t f = 0; f < step.slot->nf->KeySpec().size(); ++f) {
       matches.push_back(FieldMatch::Any());
     }
-    step.slot->table->AddEntry(std::move(matches), catch_all, {}, /*priority=*/-1000,
-                               sfc.tenant);
+    if (SFP_FAULT("dataplane.install_rule") ||
+        step.slot->table->AddEntry(std::move(matches), catch_all, {}, /*priority=*/-1000,
+                                   sfc.tenant) == switchsim::kInvalidEntryHandle) {
+      unwind_install("catch-all");
+      return result;
+    }
     result.placements.push_back(step.placement);
   }
 
@@ -183,23 +223,41 @@ DataPlane::BatchResult DataPlane::ApplyAtomic(const std::vector<UpdateOp>& ops) 
   BatchResult result;
   std::vector<int> completed;  // indices of ops applied so far
 
-  auto undo = [this, &ops, &completed]() {
+  auto undo = [this, &ops, &completed, &result]() {
     for (auto it = completed.rbegin(); it != completed.rend(); ++it) {
       const UpdateOp& op = ops[static_cast<std::size_t>(*it)];
       if (op.kind == UpdateOp::Kind::kAdmit) {
         DeallocateSfc(op.sfc.tenant);
-      } else {
-        // The SFC fit before the batch and all later ops are already
-        // undone, so re-allocation into the restored resources must
-        // succeed (possibly at a different feasible placement).
-        const auto restored = AllocateSfc(op.sfc);
-        SFP_CHECK_MSG(restored.ok, "atomic-update rollback failed to restore an SFC");
+        continue;
+      }
+      // The SFC fit before the batch and all later ops are already
+      // undone, so re-allocation into the restored resources succeeds
+      // (possibly at a different feasible placement) — unless a second
+      // fault hits the restore itself. Transient install faults are
+      // retried a bounded number of times; a persistent failure is
+      // reported as a consistency divergence rather than aborting.
+      AllocationResult restored;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        restored = AllocateSfc(op.sfc);
+        if (restored.ok || !restored.transient()) break;
+      }
+      if (!restored.ok) {
+        SFP_LOG_ERROR << "atomic-update rollback failed to restore tenant "
+                      << op.sfc.tenant << ": " << restored.error;
+        result.consistency = BatchResult::Consistency::kDiverged;
+        result.lost_tenants.push_back(op.sfc.tenant);
       }
     }
   };
 
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const UpdateOp& op = ops[i];
+    if (SFP_FAULT("dataplane.apply_op")) {
+      undo();
+      result.failed_op = static_cast<int>(i);
+      result.error = "injected fault before op";
+      return result;
+    }
     if (op.kind == UpdateOp::Kind::kAdmit) {
       const auto allocation = AllocateSfc(op.sfc);
       if (!allocation.ok) {

@@ -35,15 +35,34 @@ struct NfPlacement {
   int pass = 0;
 };
 
+/// Failure class of AllocateSfc, so callers can branch without string
+/// matching. kInstallFault is the one *transient* class: the placement
+/// was feasible but a rule install failed mid-flight (only possible
+/// under fault injection) — retrying is sensible.
+enum class AllocCode : std::uint8_t {
+  kOk = 0,
+  kEmptyChain,
+  kAlreadyAllocated,
+  kNoPlacement,
+  kInstallFault,
+};
+
+const char* AllocCodeName(AllocCode code);
+
 /// Result of AllocateSfc.
 struct AllocationResult {
   bool ok = false;
+  AllocCode code = AllocCode::kOk;
   /// Reason when !ok.
   std::string error;
   /// Per-logical-NF placement, parallel to the chain.
   std::vector<NfPlacement> placements;
   /// Total passes the tenant's traffic makes (R_l + 1).
   int passes = 0;
+
+  /// True when retrying the same call may succeed (injected transient
+  /// install failure rather than a deterministic capacity/shape miss).
+  bool transient() const { return code == AllocCode::kInstallFault; }
 };
 
 /// The SFP data plane: a switch pipeline plus the virtualization layer.
@@ -82,10 +101,20 @@ class DataPlane {
 
   /// Result of ApplyAtomic.
   struct BatchResult {
+    /// Rollback verdict. kConsistent: the data plane serves exactly as
+    /// before the batch (the all-or-nothing guarantee held). kDiverged:
+    /// a second fault hit *during rollback* and one or more removed
+    /// SFCs could not be restored — `lost_tenants` lists them; their
+    /// rules are fully absent (never partially installed).
+    enum class Consistency : std::uint8_t { kConsistent = 0, kDiverged };
+
     bool ok = false;
     /// Index of the op that failed (-1 when ok) and why.
     int failed_op = -1;
     std::string error;
+    Consistency consistency = Consistency::kConsistent;
+    /// Tenants whose SFCs were lost to a rollback double-fault.
+    std::vector<TenantId> lost_tenants;
   };
 
   /// Applies a batch of admissions/removals with all-or-nothing
@@ -93,7 +122,12 @@ class DataPlane {
   /// order; if any fails, every completed op is rolled back in reverse
   /// (re-allocating removed SFCs — their rules are reinstalled, though
   /// possibly at a different feasible placement) and the data plane is
-  /// left functionally unchanged.
+  /// left functionally unchanged. Rollback is double-fault-safe: a
+  /// fault while restoring a removed SFC is retried a bounded number of
+  /// times and, if it persists, reported as Consistency::kDiverged with
+  /// the lost tenants, instead of aborting or silently diverging.
+  /// Fault points: "dataplane.apply_op" fails op i before it runs;
+  /// install faults inside ops surface through AllocateSfc.
   BatchResult ApplyAtomic(const std::vector<UpdateOp>& ops);
 
   /// True if the tenant currently has an allocated SFC.

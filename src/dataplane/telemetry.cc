@@ -6,7 +6,10 @@ namespace sfp::dataplane {
 
 void TelemetryCollector::Record(std::uint32_t wire_bytes,
                                 const switchsim::ProcessResult& result) {
-  TenantCounters& counters = per_tenant_[result.meta.tenant_id];
+  std::lock_guard<std::mutex> lock(*mutex_);
+  Series& series = per_tenant_[result.meta.tenant_id];
+  series.departed = false;  // traffic revives a departed series
+  TenantCounters& counters = series.counters;
   ++counters.packets;
   counters.bytes += wire_bytes;
   if (result.meta.dropped) ++counters.drops;
@@ -17,20 +20,33 @@ void TelemetryCollector::Record(std::uint32_t wire_bytes,
 }
 
 TenantCounters TelemetryCollector::Tenant(std::uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   const auto it = per_tenant_.find(tenant);
-  return it != per_tenant_.end() ? it->second : TenantCounters{};
+  return it != per_tenant_.end() ? it->second.counters : TenantCounters{};
 }
 
 std::vector<std::uint16_t> TelemetryCollector::Tenants() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   std::vector<std::uint16_t> tenants;
   tenants.reserve(per_tenant_.size());
-  for (const auto& [tenant, counters] : per_tenant_) tenants.push_back(tenant);
+  for (const auto& [tenant, series] : per_tenant_) tenants.push_back(tenant);
+  return tenants;
+}
+
+std::vector<std::uint16_t> TelemetryCollector::DepartedTenants() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::vector<std::uint16_t> tenants;
+  for (const auto& [tenant, series] : per_tenant_) {
+    if (series.departed) tenants.push_back(tenant);
+  }
   return tenants;
 }
 
 TenantCounters TelemetryCollector::Total() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   TenantCounters total;
-  for (const auto& [tenant, counters] : per_tenant_) {
+  for (const auto& [tenant, series] : per_tenant_) {
+    const TenantCounters& counters = series.counters;
     total.packets += counters.packets;
     total.bytes += counters.bytes;
     total.drops += counters.drops;
@@ -40,6 +56,59 @@ TenantCounters TelemetryCollector::Total() const {
     total.max_latency_ns = std::max(total.max_latency_ns, counters.max_latency_ns);
   }
   return total;
+}
+
+void TelemetryCollector::SetRetention(TelemetryRetention policy,
+                                      std::size_t max_departed_series) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  retention_ = policy;
+  max_departed_series_ = max_departed_series;
+  EvictExcessDepartedLocked();
+}
+
+void TelemetryCollector::MarkDeparted(std::uint16_t tenant) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const auto it = per_tenant_.find(tenant);
+  if (it == per_tenant_.end()) return;
+  if (retention_ == TelemetryRetention::kPurgeOnDeparture) {
+    per_tenant_.erase(it);
+    return;
+  }
+  it->second.departed = true;
+  it->second.departed_seq = ++departure_seq_;
+  EvictExcessDepartedLocked();
+}
+
+bool TelemetryCollector::IsDeparted(std::uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const auto it = per_tenant_.find(tenant);
+  return it != per_tenant_.end() && it->second.departed;
+}
+
+void TelemetryCollector::Reset() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  per_tenant_.clear();
+  departure_seq_ = 0;
+}
+
+void TelemetryCollector::EvictExcessDepartedLocked() {
+  std::size_t departed = 0;
+  for (const auto& [tenant, series] : per_tenant_) {
+    if (series.departed) ++departed;
+  }
+  while (departed > max_departed_series_) {
+    // Evict the oldest departure.
+    auto oldest = per_tenant_.end();
+    for (auto it = per_tenant_.begin(); it != per_tenant_.end(); ++it) {
+      if (!it->second.departed) continue;
+      if (oldest == per_tenant_.end() ||
+          it->second.departed_seq < oldest->second.departed_seq) {
+        oldest = it;
+      }
+    }
+    per_tenant_.erase(oldest);
+    --departed;
+  }
 }
 
 }  // namespace sfp::dataplane

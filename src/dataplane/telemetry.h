@@ -5,10 +5,21 @@
 // latency aggregates. The collector is fed by the owner of the
 // pipeline (SfpSystem::Process records every result) and is cheap
 // enough for per-packet use.
+//
+// Retention: under long-running tenant churn the per-tenant map would
+// grow without bound, so departures are subject to an explicit policy
+// (SetRetention): either purge the series immediately, or — the
+// default — keep it marked "departed" for post-mortem reads, bounded
+// by a cap beyond which the oldest departed series are evicted.
+//
+// Thread safety: all methods take an internal mutex, so a control
+// thread may MarkDeparted/read while the serve thread records.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "switchsim/pipeline.h"
@@ -34,27 +45,67 @@ struct TenantCounters {
   }
 };
 
+/// What happens to a tenant's series when it departs.
+enum class TelemetryRetention : std::uint8_t {
+  /// Keep the series, marked departed, until the departed-series cap
+  /// forces eviction of the oldest (default).
+  kKeepDeparted = 0,
+  /// Drop the series as soon as the tenant departs.
+  kPurgeOnDeparture,
+};
+
 /// Aggregating collector keyed by tenant ID.
 class TelemetryCollector {
  public:
   /// Records one processed packet (its original wire size plus the
-  /// pipeline's result).
+  /// pipeline's result). A departed tenant that sends again is revived
+  /// (unmarked).
   void Record(std::uint32_t wire_bytes, const switchsim::ProcessResult& result);
 
-  /// Counters for `tenant` (zeros if never seen).
+  /// Counters for `tenant` (zeros if never seen or evicted).
   TenantCounters Tenant(std::uint16_t tenant) const;
 
-  /// All tenants seen, ascending by ID.
+  /// All tenants with a live series (active and retained-departed),
+  /// ascending by ID.
   std::vector<std::uint16_t> Tenants() const;
 
-  /// Aggregate over every tenant.
+  /// Tenants currently marked departed (subset of Tenants()).
+  std::vector<std::uint16_t> DepartedTenants() const;
+
+  /// Aggregate over every retained tenant.
   TenantCounters Total() const;
 
+  /// Configures the departure policy. `max_departed_series` bounds how
+  /// many departed series kKeepDeparted retains before evicting the
+  /// oldest-departed.
+  void SetRetention(TelemetryRetention policy, std::size_t max_departed_series = 1024);
+
+  /// Applies the retention policy to `tenant`'s series (call on
+  /// tenant departure). Unknown tenants are a no-op.
+  void MarkDeparted(std::uint16_t tenant);
+
+  bool IsDeparted(std::uint16_t tenant) const;
+
   /// Drops all state (e.g. per measurement interval).
-  void Reset() { per_tenant_.clear(); }
+  void Reset();
 
  private:
-  std::map<std::uint16_t, TenantCounters> per_tenant_;
+  struct Series {
+    TenantCounters counters;
+    bool departed = false;
+    /// Departure order for oldest-first eviction.
+    std::uint64_t departed_seq = 0;
+  };
+
+  void EvictExcessDepartedLocked();
+
+  /// By pointer so the collector stays movable (SfpSystem holds it by
+  /// value and is itself movable).
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  TelemetryRetention retention_ = TelemetryRetention::kKeepDeparted;
+  std::size_t max_departed_series_ = 1024;
+  std::uint64_t departure_seq_ = 0;
+  std::map<std::uint16_t, Series> per_tenant_;
 };
 
 }  // namespace sfp::dataplane

@@ -41,6 +41,11 @@ struct Packet {
   std::optional<UdpHeader> udp;
   /// L4 payload length in bytes.
   std::uint32_t payload_bytes = 0;
+  /// Ingress timestamp in nanoseconds assigned by the traffic source
+  /// (0 = unstamped). Not part of the wire format; the pipeline copies
+  /// it into PacketMeta::time_ns for time-aware NFs (rate limiter) and
+  /// the recirculation-port overload model.
+  double ingress_time_ns = 0.0;
 
   /// Total frame length on the wire.
   std::uint32_t WireBytes() const;

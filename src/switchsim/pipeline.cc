@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/faultinject.h"
 #include "common/units.h"
 
 namespace sfp::switchsim {
@@ -92,11 +93,65 @@ const Stage& Pipeline::stage(int k) const {
 
 ProcessResult Pipeline::Process(const net::Packet& packet) { return ProcessOne(packet); }
 
+void Pipeline::RecordDrop(DropReason reason) {
+  drops_.Add(1);
+  switch (reason) {
+    case DropReason::kNone:
+    case DropReason::kNfAction:
+      drops_nf_.Add(1);
+      break;
+    case DropReason::kRecirculationGuard:
+      drops_guard_.Add(1);
+      break;
+    case DropReason::kRecirculationOverload:
+      drops_overload_.Add(1);
+      break;
+    case DropReason::kInjectedFault:
+      drops_injected_.Add(1);
+      break;
+  }
+}
+
+std::uint64_t Pipeline::packets_dropped_by(DropReason reason) const {
+  switch (reason) {
+    case DropReason::kNone:
+      return 0;
+    case DropReason::kNfAction:
+      return drops_nf_.Value();
+    case DropReason::kRecirculationGuard:
+      return drops_guard_.Value();
+    case DropReason::kRecirculationOverload:
+      return drops_overload_.Value();
+    case DropReason::kInjectedFault:
+      return drops_injected_.Value();
+  }
+  return 0;
+}
+
+bool Pipeline::AdmitRecirculation(double now_ns, double service_ns) {
+  if (config_.recirculation_gbps <= 0.0) return true;
+  double busy = recirc_busy_until_ns_.Value();
+  for (;;) {
+    const double start_ns = std::max(now_ns, busy);
+    if (start_ns - now_ns > config_.recirculation_queue_ns) return false;
+    if (recirc_busy_until_ns_.CompareExchange(busy, start_ns + service_ns)) return true;
+  }
+}
+
 ProcessResult Pipeline::ProcessOne(const net::Packet& packet) {
   ProcessResult result;
   result.packet = packet;
   result.meta.tenant_id = packet.TenantId();
+  result.meta.time_ns = packet.ingress_time_ns;
   packets_.Add(1);
+
+  if (SFP_FAULT("switchsim.pipeline.serve")) {
+    result.meta.dropped = true;
+    result.meta.drop_reason = DropReason::kInjectedFault;
+    RecordDrop(result.meta.drop_reason);
+    result.latency_ns = config_.timing.LatencyNs(0, 0, result.passes);
+    return result;
+  }
 
   for (;;) {
     result.meta.recirculate = false;
@@ -114,10 +169,35 @@ ProcessResult Pipeline::ProcessOne(const net::Packet& packet) {
       if (result.meta.dropped) break;
     }
     if (result.meta.dropped) {
-      drops_.Add(1);
+      if (result.meta.drop_reason == DropReason::kNone) {
+        result.meta.drop_reason = DropReason::kNfAction;
+      }
+      RecordDrop(result.meta.drop_reason);
       break;
     }
-    if (!result.meta.recirculate || result.passes >= config_.max_passes) break;
+    if (!result.meta.recirculate) break;
+    if (result.passes >= config_.max_passes) {
+      // A packet still asking to recirculate at the pass limit cannot
+      // complete its chain; optionally fail stop instead of forwarding
+      // a half-processed packet.
+      if (config_.drop_on_recirculation_guard) {
+        result.meta.dropped = true;
+        result.meta.drop_reason = DropReason::kRecirculationGuard;
+        RecordDrop(result.meta.drop_reason);
+      }
+      break;
+    }
+    // Recirculated traffic competes for the finite recirculation port.
+    const double service_ns =
+        config_.recirculation_gbps > 0.0
+            ? static_cast<double>(packet.WireBytes()) * 8.0 / config_.recirculation_gbps
+            : 0.0;
+    if (!AdmitRecirculation(result.meta.time_ns, service_ns)) {
+      result.meta.dropped = true;
+      result.meta.drop_reason = DropReason::kRecirculationOverload;
+      RecordDrop(result.meta.drop_reason);
+      break;
+    }
     recirculations_.Add(1);
     ++result.passes;
     ++result.meta.pass;
@@ -177,6 +257,10 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
 void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.packets").Set(packets_.Value());
   registry.GetCounter("pipeline.drops").Set(drops_.Value());
+  registry.GetCounter("pipeline.drops.nf_action").Set(drops_nf_.Value());
+  registry.GetCounter("pipeline.drops.recirculation_guard").Set(drops_guard_.Value());
+  registry.GetCounter("pipeline.drops.recirculation_overload").Set(drops_overload_.Value());
+  registry.GetCounter("pipeline.drops.injected_fault").Set(drops_injected_.Value());
   registry.GetCounter("pipeline.recirculations").Set(recirculations_.Value());
   registry.GetCounter("pipeline.batches").Set(batches_.Value());
   for (const auto& stage : stages_) {

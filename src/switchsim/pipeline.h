@@ -29,6 +29,22 @@ struct SwitchConfig {
   double backplane_gbps = 400.0;
   /// Safety bound on recirculation loops.
   int max_passes = 8;
+  /// Recirculation-port overload model. When > 0 the recirculation
+  /// path is a finite port of this rate: each recirculating packet
+  /// occupies the port for wire_bits / rate nanoseconds of virtual
+  /// time (anchored at PacketMeta::time_ns, i.e. the packet's ingress
+  /// timestamp), and a packet whose pass would have to queue more than
+  /// `recirculation_queue_ns` behind earlier recirculations is dropped
+  /// with DropReason::kRecirculationOverload instead. 0 keeps the
+  /// seed's behaviour: recirculation is free and never drops.
+  double recirculation_gbps = 0.0;
+  /// Maximum tolerated recirculation-port backlog (virtual ns).
+  double recirculation_queue_ns = 2000.0;
+  /// Harden the max_passes guard: drop a packet that still requests
+  /// recirculation at the pass limit (reason kRecirculationGuard)
+  /// instead of letting it exit with a truncated chain. Off by default
+  /// to preserve the historical truncation semantics.
+  bool drop_on_recirculation_guard = false;
   TimingModel timing;
 };
 
@@ -123,6 +139,8 @@ class Pipeline {
   /// Aggregate counters.
   std::uint64_t packets_processed() const { return packets_.Value(); }
   std::uint64_t packets_dropped() const { return drops_.Value(); }
+  /// Drops attributed to one reason (kNone returns 0).
+  std::uint64_t packets_dropped_by(DropReason reason) const;
   std::uint64_t recirculations() const { return recirculations_.Value(); }
   std::uint64_t batches_processed() const { return batches_.Value(); }
 
@@ -141,12 +159,26 @@ class Pipeline {
   /// touches shared state through atomics and the tables' shared locks.
   ProcessResult ProcessOne(const net::Packet& packet);
 
+  /// Charges one recirculation pass to the finite recirculation port;
+  /// false = the port's backlog bound is exceeded (overload drop).
+  /// Always true when the model is disabled (recirculation_gbps <= 0).
+  bool AdmitRecirculation(double now_ns, double service_ns);
+
+  /// Bumps the total and the per-reason drop counter.
+  void RecordDrop(DropReason reason);
+
   SwitchConfig config_;
   std::vector<Stage> stages_;
   common::metrics::RelaxedCounter packets_;
   common::metrics::RelaxedCounter drops_;
+  common::metrics::RelaxedCounter drops_nf_;
+  common::metrics::RelaxedCounter drops_guard_;
+  common::metrics::RelaxedCounter drops_overload_;
+  common::metrics::RelaxedCounter drops_injected_;
   common::metrics::RelaxedCounter recirculations_;
   common::metrics::RelaxedCounter batches_;
+  /// Virtual time at which the recirculation port next frees up.
+  common::metrics::RelaxedDouble recirc_busy_until_ns_;
 };
 
 }  // namespace sfp::switchsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/faultinject.h"
 
 namespace sfp::switchsim {
 
@@ -26,6 +27,7 @@ void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
 EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId action,
                                        ActionArgs args, int priority,
                                        std::uint16_t owner_tenant) {
+  if (SFP_FAULT("switchsim.table.add_entry")) return kInvalidEntryHandle;
   std::unique_lock lock(entries_mutex_);
   SFP_CHECK_MSG(matches.size() == key_.size(), "entry key arity mismatch");
   SFP_CHECK_GE(action, 0);

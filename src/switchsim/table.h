@@ -40,6 +40,11 @@ using ActionId = std::int32_t;
 /// Entry handle, unique within one table for its lifetime.
 using EntryHandle = std::uint64_t;
 
+/// Returned by AddEntry when the install fails (only possible under an
+/// armed "switchsim.table.add_entry" fault plan; real inserts cannot
+/// fail — memory admission is the stages' job).
+inline constexpr EntryHandle kInvalidEntryHandle = 0;
+
 /// One installed rule.
 struct TableEntry {
   std::vector<FieldMatch> matches;  // parallel to the table's key spec
@@ -65,8 +70,10 @@ class MatchActionTable {
   /// true no-op.
   void SetDefaultAction(ActionId action, ActionArgs args = {});
 
-  /// Installs an entry; returns its handle. `matches` must have one
-  /// pattern per key field and `action` must be registered.
+  /// Installs an entry; returns its handle, or kInvalidEntryHandle when
+  /// the "switchsim.table.add_entry" fault point fires (injected
+  /// transient install failure). `matches` must have one pattern per
+  /// key field and `action` must be registered.
   EntryHandle AddEntry(std::vector<FieldMatch> matches, ActionId action,
                        ActionArgs args = {}, int priority = 0,
                        std::uint16_t owner_tenant = 0);

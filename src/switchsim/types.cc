@@ -30,6 +30,22 @@ const char* FieldName(FieldId field) {
   return "unknown";
 }
 
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kNfAction:
+      return "nf-action";
+    case DropReason::kRecirculationGuard:
+      return "recirculation-guard";
+    case DropReason::kRecirculationOverload:
+      return "recirculation-overload";
+    case DropReason::kInjectedFault:
+      return "injected-fault";
+  }
+  return "unknown";
+}
+
 FieldMatch FieldMatch::Any() {
   FieldMatch m;
   m.mask = 0;          // ternary: matches everything

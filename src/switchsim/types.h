@@ -64,6 +64,27 @@ struct FieldMatch {
   static FieldMatch Range(std::uint64_t lo, std::uint64_t hi);
 };
 
+/// Why a packet was dropped. NF actions that drop (firewall deny,
+/// rate-limit, ...) leave the reason at kNone and the pipeline
+/// normalizes it to kNfAction; the other reasons are set by the
+/// pipeline itself.
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  /// An NF action dropped the packet (deny rule, rate limit, ...).
+  kNfAction,
+  /// The packet requested recirculation past the max_passes guard and
+  /// SwitchConfig::drop_on_recirculation_guard is set.
+  kRecirculationGuard,
+  /// The recirculation-port overload model rejected the pass (offered
+  /// recirculation bandwidth above the port's capacity).
+  kRecirculationOverload,
+  /// The "switchsim.pipeline.serve" fault point fired (chaos testing).
+  kInjectedFault,
+};
+
+/// Human-readable drop reason ("nf-action", "recirculation-guard", ...).
+const char* DropReasonName(DropReason reason);
+
 /// Per-packet metadata carried through the pipeline (the paper's packet
 /// metadata: recirculation pass, plus scratch written by NFs).
 struct PacketMeta {
@@ -74,6 +95,9 @@ struct PacketMeta {
   /// Classifier output (0 = unclassified).
   std::uint8_t flow_class = 0;
   bool dropped = false;
+  /// Why the packet was dropped (kNone while dropped is false; set by
+  /// the pipeline — kNfAction when an NF action dropped it).
+  DropReason drop_reason = DropReason::kNone;
   /// Set by an action to request recirculation at end of pipeline.
   bool recirculate = false;
   /// Egress port selected by the router (-1 = unset).

@@ -1,0 +1,326 @@
+// Graceful-degradation tests: admission retry/backoff + structured
+// reject taxonomy, the provisioning degradation chain (approx → greedy
+// → static), solver deadline exhaustion, the recirculation-port
+// overload model end-to-end, and telemetry retention on departure.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/faultinject.h"
+#include "core/sfp_system.h"
+#include "nf/firewall.h"
+#include "nf/router.h"
+
+namespace sfp::core {
+namespace {
+
+using common::faultinject::FaultSpec;
+using common::faultinject::ScopedFaultPlan;
+using dataplane::Sfc;
+using net::Ipv4Address;
+using net::MakeTcpPacket;
+using nf::NfConfig;
+using nf::NfType;
+using switchsim::FieldMatch;
+
+NfConfig Fw(std::uint16_t blocked_port) {
+  NfConfig config;
+  config.type = NfType::kFirewall;
+  config.rules.push_back(nf::Firewall::Deny(FieldMatch::Any(), FieldMatch::Any(),
+                                            FieldMatch::Any(),
+                                            FieldMatch::Range(blocked_port, blocked_port),
+                                            FieldMatch::Any()));
+  return config;
+}
+
+NfConfig Rt() {
+  NfConfig config;
+  config.type = NfType::kRouter;
+  config.rules.push_back(nf::Router::Route(0, 0, 1));
+  return config;
+}
+
+Sfc OneFw(dataplane::TenantId tenant, std::uint16_t port, double gbps = 5.0) {
+  Sfc sfc;
+  sfc.tenant = tenant;
+  sfc.bandwidth_gbps = gbps;
+  sfc.chain = {Fw(port)};
+  return sfc;
+}
+
+AdmitOptions NoBackoff(int max_attempts = 3) {
+  AdmitOptions options;
+  options.max_attempts = max_attempts;
+  options.initial_backoff = std::chrono::microseconds{0};
+  return options;
+}
+
+TEST(AdmitRetryTest, TransientInstallFaultIsRetriedToSuccess) {
+  SfpSystem system;
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}}), 0);
+
+  AdmitResult result;
+  {
+    // Exactly one install fails; the second allocation attempt succeeds.
+    ScopedFaultPlan plan(
+        {.seed = 1,
+         .faults = {FaultSpec::Always("dataplane.install_rule", /*max_fires=*/1)}});
+    result = system.AdmitTenant(OneFw(1, 443), NoBackoff());
+  }
+  EXPECT_TRUE(result.admitted) << result.reason;
+  EXPECT_EQ(result.code, AdmitCode::kOk);
+  EXPECT_EQ(result.attempts, 2);
+
+  common::metrics::Registry registry;
+  system.ExportMetrics(registry);
+  EXPECT_EQ(registry.GetCounter("system.admit.admitted").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("system.admit.install_retries").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("system.admit.rejected.install_fault").Value(), 0u);
+
+  // The retried admission serves traffic normally.
+  auto out = system.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                          Ipv4Address::Of(2, 2, 2, 2), 9, 443, 64));
+  EXPECT_TRUE(out.meta.dropped);
+}
+
+TEST(AdmitRetryTest, PersistentInstallFaultExhaustsRetries) {
+  SfpSystem system;
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}}), 0);
+
+  AdmitResult result;
+  {
+    ScopedFaultPlan plan(
+        {.seed = 1, .faults = {FaultSpec::Always("dataplane.install_rule")}});
+    result = system.AdmitTenant(OneFw(1, 443), NoBackoff(/*max_attempts=*/4));
+  }
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.code, AdmitCode::kInstallFault);
+  EXPECT_EQ(result.attempts, 4);
+  EXPECT_NE(result.reason.find("transient rule-install failure"), std::string::npos);
+  EXPECT_STREQ(AdmitCodeName(result.code), "install-fault");
+
+  common::metrics::Registry registry;
+  system.ExportMetrics(registry);
+  EXPECT_EQ(registry.GetCounter("system.admit.rejected.install_fault").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("system.admit.install_retries").Value(), 3u);
+  // Nothing leaked onto the switch.
+  EXPECT_EQ(system.Stats().tenants, 0);
+  EXPECT_EQ(system.Stats().entries_used, 0);
+}
+
+TEST(AdmitRetryTest, DeterministicRejectionsAreNotRetried) {
+  SfpSystem system;
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}}), 0);
+
+  // No router NF provisioned: placement is impossible, so the admit
+  // must fail in one attempt even with retries configured.
+  Sfc sfc;
+  sfc.tenant = 1;
+  sfc.bandwidth_gbps = 5.0;
+  sfc.chain = {Rt()};
+  const auto result = system.AdmitTenant(sfc, NoBackoff(/*max_attempts=*/5));
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.code, AdmitCode::kAllocationFailed);
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(AdmitRejectTaxonomyTest, CodesCoverEveryRejectPath) {
+  auto config = switchsim::SwitchConfig{};
+  config.backplane_gbps = 10.0;
+  SfpSystem system(config);
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}}), 0);
+
+  ASSERT_EQ(system.AdmitTenant(OneFw(1, 80, 10.0)).code, AdmitCode::kOk);
+  EXPECT_EQ(system.AdmitTenant(OneFw(1, 80, 1.0)).code, AdmitCode::kAlreadyAdmitted);
+  // 10 Gbps backplane is fully charged by tenant 1.
+  EXPECT_EQ(system.AdmitTenant(OneFw(2, 80, 5.0)).code, AdmitCode::kBackplaneExceeded);
+
+  common::metrics::Registry registry;
+  system.ExportMetrics(registry);
+  EXPECT_EQ(registry.GetCounter("system.admit.admitted").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("system.admit.rejected.already_admitted").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("system.admit.rejected.backplane_exceeded").Value(), 1u);
+  EXPECT_STREQ(AdmitCodeName(AdmitCode::kBackplaneExceeded), "backplane-exceeded");
+}
+
+TEST(ProvisionDegradationTest, ApproxPathWinsWhenHealthy) {
+  SfpSystem system;
+  const auto report = system.ProvisionPhysicalWithReport({OneFw(1, 80)});
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.path, ProvisionPath::kApprox);
+  EXPECT_GT(report.installed, 0);
+  EXPECT_FALSE(report.solver_deadline_exceeded);
+}
+
+TEST(ProvisionDegradationTest, InjectedSolverDeadlineFallsBackToGreedy) {
+  SfpSystem system;
+  ProvisionReport report;
+  {
+    ScopedFaultPlan plan(
+        {.seed = 1, .faults = {FaultSpec::Always("controlplane.solver_deadline")}});
+    report = system.ProvisionPhysicalWithReport({OneFw(1, 80)});
+  }
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.path, ProvisionPath::kGreedy);
+  EXPECT_TRUE(report.solver_deadline_exceeded);
+  EXPECT_GT(report.installed, 0);
+
+  // The degraded provisioning still serves tenants end to end.
+  const auto admit = system.AdmitTenant(OneFw(7, 443));
+  ASSERT_TRUE(admit.admitted) << admit.reason;
+  auto out = system.Process(MakeTcpPacket(7, Ipv4Address::Of(1, 1, 1, 1),
+                                          Ipv4Address::Of(2, 2, 2, 2), 9, 443, 64));
+  EXPECT_TRUE(out.meta.dropped);
+}
+
+TEST(ProvisionDegradationTest, WallClockDeadlineStopsTheSweep) {
+  controlplane::PlacementInstance instance;
+  instance.sw.stages = 4;
+  instance.sw.blocks_per_stage = 4;
+  instance.sw.entries_per_block = 100;
+  instance.sw.capacity_gbps = 100.0;
+  instance.num_types = nf::kNumNfTypes;
+  instance.sfcs.push_back(SfpSystem::ToSpec(OneFw(1, 80)));
+
+  controlplane::ApproxOptions options;
+  options.deadline_seconds = 1e-12;  // expires before the first LP
+  const auto report = controlplane::SolveApprox(instance, options);
+  EXPECT_TRUE(report.deadline_exceeded);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.lp_solves, 0);
+}
+
+TEST(ProvisionDegradationTest, StaticLayoutIsTheLastResort) {
+  // Two stages, every NF type pre-installed at stage 0. The injected
+  // deadline kills the approx tier; greedy proposes each type at stage
+  // 0 (duplicates: installs nothing); the static round-robin tier
+  // finally lands the odd types at stage 1.
+  auto config = switchsim::SwitchConfig{};
+  config.num_stages = 2;
+  SfpSystem system(config);
+  std::vector<nf::NfType> all_types;
+  for (int i = 0; i < nf::kNumNfTypes; ++i) all_types.push_back(static_cast<nf::NfType>(i));
+  ASSERT_EQ(system.ProvisionPhysical({all_types, {}}), nf::kNumNfTypes);
+
+  ProvisionReport report;
+  {
+    ScopedFaultPlan plan(
+        {.seed = 1, .faults = {FaultSpec::Always("controlplane.solver_deadline")}});
+    report = system.ProvisionPhysicalWithReport({});
+  }
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.path, ProvisionPath::kStatic);
+  EXPECT_GT(report.installed, 0);
+  EXPECT_STREQ(ProvisionPathName(report.path), "static");
+}
+
+TEST(RecirculationOverloadTest, OverBudgetTenantDropsWhileOthersServe) {
+  // Finite recirculation port: folding tenant 1 offers far more than
+  // the port rate at t=0, single-pass tenant 2 must be unaffected.
+  auto config = switchsim::SwitchConfig{};
+  config.recirculation_gbps = 0.01;     // ~100 us per 128B packet
+  config.recirculation_queue_ns = 2000;  // tolerates no second packet
+  SfpSystem system(config);
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall},
+                                      {NfType::kRouter}}),
+            0);
+
+  // Tenant 1 folds: router then firewall, placed Rt@stage1 pass0 /
+  // Fw@stage0 pass1 -> 2 passes.
+  Sfc folding;
+  folding.tenant = 1;
+  folding.bandwidth_gbps = 5.0;
+  folding.chain = {Rt(), Fw(9999)};
+  auto admit = system.AdmitTenant(folding);
+  ASSERT_TRUE(admit.admitted) << admit.reason;
+  ASSERT_EQ(admit.passes, 2);
+  ASSERT_EQ(system.AdmitTenant(OneFw(2, 9999)).code, AdmitCode::kOk);
+
+  constexpr int kPackets = 10;
+  int t1_served = 0, t1_overload_drops = 0;
+  for (int i = 0; i < kPackets; ++i) {
+    // All packets share ingress time 0: only the first fits the port.
+    auto out = system.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                            Ipv4Address::Of(2, 2, 2, 2), 9, 80, 128));
+    if (out.meta.dropped) {
+      EXPECT_EQ(out.meta.drop_reason, switchsim::DropReason::kRecirculationOverload);
+      ++t1_overload_drops;
+    } else {
+      EXPECT_EQ(out.passes, 2);
+      ++t1_served;
+    }
+  }
+  EXPECT_EQ(t1_served, 1);
+  EXPECT_EQ(t1_overload_drops, kPackets - 1);
+
+  for (int i = 0; i < kPackets; ++i) {
+    auto out = system.Process(MakeTcpPacket(2, Ipv4Address::Of(1, 1, 1, 1),
+                                            Ipv4Address::Of(2, 2, 2, 2), 9, 80, 128));
+    EXPECT_FALSE(out.meta.dropped);
+    EXPECT_EQ(out.passes, 1);
+  }
+
+  // The per-reason breakdown is observable in the exported metrics.
+  common::metrics::Registry registry;
+  system.ExportMetrics(registry);
+  EXPECT_EQ(registry.GetCounter("pipeline.drops.recirculation_overload").Value(),
+            static_cast<std::uint64_t>(t1_overload_drops));
+  EXPECT_EQ(registry.GetCounter("pipeline.drops.nf_action").Value(), 0u);
+  EXPECT_EQ(system.Telemetry().Tenant(2).drops, 0u);
+  EXPECT_EQ(system.Telemetry().Tenant(1).drops,
+            static_cast<std::uint64_t>(t1_overload_drops));
+}
+
+TEST(RecirculationOverloadTest, SpacedArrivalsAllFitThePort) {
+  auto config = switchsim::SwitchConfig{};
+  config.recirculation_gbps = 0.01;
+  config.recirculation_queue_ns = 2000;
+  SfpSystem system(config);
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}, {NfType::kRouter}}), 0);
+  Sfc folding;
+  folding.tenant = 1;
+  folding.bandwidth_gbps = 5.0;
+  folding.chain = {Rt(), Fw(9999)};
+  ASSERT_TRUE(system.AdmitTenant(folding).admitted);
+
+  // One ~128B packet occupies the 0.01 Gbps port for ~118 us; spacing
+  // arrivals 200 us apart leaves the port idle each time.
+  for (int i = 0; i < 10; ++i) {
+    auto packet = MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                Ipv4Address::Of(2, 2, 2, 2), 9, 80, 128);
+    packet.ingress_time_ns = i * 200000.0;
+    auto out = system.Process(packet);
+    EXPECT_FALSE(out.meta.dropped);
+    EXPECT_EQ(out.passes, 2);
+  }
+  EXPECT_EQ(system.data_plane().pipeline().packets_dropped_by(
+                switchsim::DropReason::kRecirculationOverload),
+            0u);
+}
+
+TEST(TelemetryRetentionTest, DepartedSeriesFollowSystemPolicy) {
+  SfpSystem system;
+  ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall}}), 0);
+  ASSERT_TRUE(system.AdmitTenant(OneFw(1, 443)).admitted);
+  (void)system.Process(MakeTcpPacket(1, Ipv4Address::Of(1, 1, 1, 1),
+                                     Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  ASSERT_EQ(system.Telemetry().Tenant(1).packets, 1u);
+
+  // Default policy: the series survives departure, marked departed.
+  ASSERT_TRUE(system.RemoveTenant(1));
+  EXPECT_EQ(system.Telemetry().Tenant(1).packets, 1u);
+  EXPECT_TRUE(system.Telemetry().IsDeparted(1));
+
+  // Purge-on-departure: the series disappears with the tenant.
+  system.Telemetry().SetRetention(dataplane::TelemetryRetention::kPurgeOnDeparture);
+  ASSERT_TRUE(system.AdmitTenant(OneFw(2, 443)).admitted);
+  (void)system.Process(MakeTcpPacket(2, Ipv4Address::Of(1, 1, 1, 1),
+                                     Ipv4Address::Of(2, 2, 2, 2), 9, 80, 64));
+  ASSERT_TRUE(system.RemoveTenant(2));
+  EXPECT_EQ(system.Telemetry().Tenant(2).packets, 0u);
+  EXPECT_FALSE(system.Telemetry().IsDeparted(2));
+}
+
+}  // namespace
+}  // namespace sfp::core

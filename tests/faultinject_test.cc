@@ -1,0 +1,175 @@
+// Tests for the deterministic fault-injection registry.
+#include "common/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sfp::common::faultinject {
+namespace {
+
+// Every test disarms on exit (ScopedFaultPlan), so the process-wide
+// registry never leaks plans across tests.
+
+TEST(FaultInjectTest, DisarmedCostsOneLoad) {
+  ASSERT_FALSE(Registry::Instance().armed());
+  // With no plan armed the macro must not even record hits.
+  EXPECT_FALSE(SFP_FAULT("some.point"));
+  EXPECT_EQ(Registry::Instance().Stats("some.point").hits, 0u);
+}
+
+TEST(FaultInjectTest, AlwaysFiresEveryHit) {
+  ScopedFaultPlan plan({.seed = 7, .faults = {FaultSpec::Always("p.always")}});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(SFP_FAULT("p.always"));
+  // Unlisted points never fire but are still counted.
+  EXPECT_FALSE(SFP_FAULT("p.other"));
+  const auto stats = Registry::Instance().Stats("p.always");
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.fires, 5u);
+  EXPECT_EQ(stats.fired_hits, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(Registry::Instance().Stats("p.other").hits, 1u);
+  EXPECT_EQ(Registry::Instance().Stats("p.other").fires, 0u);
+}
+
+TEST(FaultInjectTest, NthFiresExactlyOnce) {
+  ScopedFaultPlan plan({.seed = 7, .faults = {FaultSpec::Nth("p.nth", 3)}});
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(SFP_FAULT("p.nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+}
+
+TEST(FaultInjectTest, EveryNthFiresPeriodically) {
+  ScopedFaultPlan plan({.seed = 7, .faults = {FaultSpec::EveryNth("p.every", 2)}});
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(SFP_FAULT("p.every"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST(FaultInjectTest, MaxFiresCapsAlways) {
+  ScopedFaultPlan plan({.seed = 7, .faults = {FaultSpec::Always("p.capped", /*max_fires=*/2)}});
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) fires += SFP_FAULT("p.capped") ? 1 : 0;
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(Registry::Instance().Stats("p.capped").fired_hits,
+            (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(FaultInjectTest, ProbabilityZeroAndOneAreDegenerate) {
+  ScopedFaultPlan plan({.seed = 7,
+                        .faults = {FaultSpec::Probability("p.zero", 0.0),
+                                   FaultSpec::Probability("p.one", 1.0)}});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(SFP_FAULT("p.zero"));
+    EXPECT_TRUE(SFP_FAULT("p.one"));
+  }
+}
+
+TEST(FaultInjectTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    ScopedFaultPlan plan({.seed = seed, .faults = {FaultSpec::Probability("p.coin", 0.5)}});
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(SFP_FAULT("p.coin"));
+    return fired;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-200 false-failure odds
+  // Roughly half fire.
+  const auto fires = static_cast<int>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 60);
+  EXPECT_LT(fires, 140);
+}
+
+TEST(FaultInjectTest, PointsHaveIndependentStreams) {
+  ScopedFaultPlan plan({.seed = 9,
+                        .faults = {FaultSpec::Probability("p.a", 0.5),
+                                   FaultSpec::Probability("p.b", 0.5)}});
+  std::vector<bool> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(SFP_FAULT("p.a"));
+    b.push_back(SFP_FAULT("p.b"));
+  }
+  EXPECT_NE(a, b);  // distinct FNV-forked streams
+}
+
+TEST(FaultInjectTest, InterleavingDoesNotChangePerPointDecisions) {
+  // Decision for hit #k of a point depends only on (plan, k), not on
+  // what other points did in between — the chaos harness relies on
+  // this for cross-thread determinism.
+  auto run_a_only = []() {
+    ScopedFaultPlan plan({.seed = 11, .faults = {FaultSpec::Probability("p.a", 0.3)}});
+    std::vector<bool> fired;
+    for (int i = 0; i < 50; ++i) fired.push_back(SFP_FAULT("p.a"));
+    return fired;
+  };
+  auto run_interleaved = []() {
+    ScopedFaultPlan plan({.seed = 11,
+                          .faults = {FaultSpec::Probability("p.a", 0.3),
+                                     FaultSpec::Probability("p.b", 0.9)}});
+    std::vector<bool> fired;
+    for (int i = 0; i < 50; ++i) {
+      (void)SFP_FAULT("p.b");
+      fired.push_back(SFP_FAULT("p.a"));
+      (void)SFP_FAULT("p.b");
+    }
+    return fired;
+  };
+  EXPECT_EQ(run_a_only(), run_interleaved());
+}
+
+TEST(FaultInjectTest, ArmResetsStateAndDisarmStops) {
+  Registry& registry = Registry::Instance();
+  {
+    ScopedFaultPlan plan({.seed = 1, .faults = {FaultSpec::Always("p.x")}});
+    EXPECT_TRUE(SFP_FAULT("p.x"));
+    EXPECT_EQ(registry.Stats("p.x").hits, 1u);
+    // Re-arming resets counters.
+    registry.Arm({.seed = 1, .faults = {FaultSpec::Always("p.x")}});
+    EXPECT_EQ(registry.Stats("p.x").hits, 0u);
+    EXPECT_TRUE(SFP_FAULT("p.x"));
+  }
+  EXPECT_FALSE(registry.armed());
+  EXPECT_FALSE(SFP_FAULT("p.x"));
+  EXPECT_TRUE(registry.AllStats().empty());
+}
+
+TEST(FaultInjectTest, AllStatsSnapshotsEveryPoint) {
+  ScopedFaultPlan plan({.seed = 3,
+                        .faults = {FaultSpec::Always("p.a"), FaultSpec::Nth("p.b", 2)}});
+  (void)SFP_FAULT("p.a");
+  (void)SFP_FAULT("p.b");
+  (void)SFP_FAULT("p.b");
+  const auto all = Registry::Instance().AllStats();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("p.a").fires, 1u);
+  EXPECT_EQ(all.at("p.b").hits, 2u);
+  EXPECT_EQ(all.at("p.b").fired_hits, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(FaultInjectTest, ConcurrentHitsAreSerializedAndCounted) {
+  ScopedFaultPlan plan({.seed = 5, .faults = {FaultSpec::EveryNth("p.mt", 3)}});
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 1000;
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fires] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (SFP_FAULT("p.mt")) fires.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = Registry::Instance().Stats("p.mt");
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_EQ(stats.fires, static_cast<std::uint64_t>(kThreads * kHitsPerThread / 3));
+  EXPECT_EQ(stats.fires, static_cast<std::uint64_t>(fires.load()));
+}
+
+}  // namespace
+}  // namespace sfp::common::faultinject

@@ -59,5 +59,69 @@ TEST(TelemetryTest, TotalAggregatesAndResetClears) {
   EXPECT_EQ(collector.Total().packets, 0u);
 }
 
+TEST(TelemetryRetentionTest, KeepDepartedRetainsSeriesForPostMortem) {
+  TelemetryCollector collector;
+  collector.Record(100, Result(1, false, 1, 300));
+  collector.MarkDeparted(1);
+  EXPECT_TRUE(collector.IsDeparted(1));
+  EXPECT_EQ(collector.Tenant(1).packets, 1u);
+  EXPECT_EQ(collector.DepartedTenants(), (std::vector<std::uint16_t>{1}));
+  // Departed series still count toward the aggregate.
+  EXPECT_EQ(collector.Total().packets, 1u);
+}
+
+TEST(TelemetryRetentionTest, PurgeOnDepartureDropsSeriesImmediately) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kPurgeOnDeparture);
+  collector.Record(100, Result(1, false, 1, 300));
+  collector.Record(100, Result(2, false, 1, 300));
+  collector.MarkDeparted(1);
+  EXPECT_FALSE(collector.IsDeparted(1));
+  EXPECT_EQ(collector.Tenant(1).packets, 0u);
+  EXPECT_EQ(collector.Tenants(), (std::vector<std::uint16_t>{2}));
+  // Unknown tenants are a no-op.
+  collector.MarkDeparted(42);
+  EXPECT_EQ(collector.Tenants(), (std::vector<std::uint16_t>{2}));
+}
+
+TEST(TelemetryRetentionTest, DepartedCapEvictsOldestFirst) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kKeepDeparted, /*max_departed_series=*/2);
+  for (std::uint16_t tenant = 1; tenant <= 4; ++tenant) {
+    collector.Record(100, Result(tenant, false, 1, 300));
+  }
+  collector.MarkDeparted(1);
+  collector.MarkDeparted(2);
+  collector.MarkDeparted(3);  // evicts 1 (oldest departure)
+  EXPECT_EQ(collector.DepartedTenants(), (std::vector<std::uint16_t>{2, 3}));
+  EXPECT_EQ(collector.Tenant(1).packets, 0u);
+  collector.MarkDeparted(4);  // evicts 2
+  EXPECT_EQ(collector.DepartedTenants(), (std::vector<std::uint16_t>{3, 4}));
+  // Active tenants are never evicted; only the map's departed series
+  // are bounded, so churn cannot grow memory without limit.
+}
+
+TEST(TelemetryRetentionTest, TrafficRevivesDepartedSeries) {
+  TelemetryCollector collector;
+  collector.Record(100, Result(1, false, 1, 300));
+  collector.MarkDeparted(1);
+  ASSERT_TRUE(collector.IsDeparted(1));
+  // The tenant comes back: the series unmarks and keeps accumulating.
+  collector.Record(100, Result(1, false, 1, 300));
+  EXPECT_FALSE(collector.IsDeparted(1));
+  EXPECT_EQ(collector.Tenant(1).packets, 2u);
+}
+
+TEST(TelemetryRetentionTest, LoweringCapEvictsImmediately) {
+  TelemetryCollector collector;
+  for (std::uint16_t tenant = 1; tenant <= 3; ++tenant) {
+    collector.Record(100, Result(tenant, false, 1, 300));
+    collector.MarkDeparted(tenant);
+  }
+  ASSERT_EQ(collector.DepartedTenants().size(), 3u);
+  collector.SetRetention(TelemetryRetention::kKeepDeparted, /*max_departed_series=*/1);
+  EXPECT_EQ(collector.DepartedTenants(), (std::vector<std::uint16_t>{3}));
+}
+
 }  // namespace
 }  // namespace sfp::dataplane
