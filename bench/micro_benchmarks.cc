@@ -67,6 +67,48 @@ void BM_PipelineProcessBatch4Nf(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineProcessBatch4Nf)->Arg(1)->Arg(2)->Arg(4);
 
+// Serve-path cost as a function of *admitted tenants*. Every tenant
+// installs the same small rule set, so with the exact-key lookup index
+// the per-packet cost must stay flat (within 2x) from 10 to 1000
+// tenants — the linear scan it replaced degraded proportionally.
+void BM_PipelineServeVsTenants(benchmark::State& state) {
+  const int tenants = static_cast<int>(state.range(0));
+  switchsim::SwitchConfig config;
+  config.backplane_gbps = 100000.0;  // admission capacity is not under test
+  core::SfpSystem system{config};
+  system.ProvisionPhysical({{nf::NfType::kFirewall, nf::NfType::kRateLimiter},
+                            {nf::NfType::kLoadBalancer, nf::NfType::kNat},
+                            {nf::NfType::kClassifier},
+                            {nf::NfType::kRouter}});
+  Rng rng(7);
+  for (int t = 1; t <= tenants; ++t) {
+    auto sfc = workload::GenerateConcreteSfc(t, 4, 0.05, rng, /*rules_per_nf=*/8);
+    if (!system.AdmitTenant(sfc).admitted) {
+      state.SkipWithError("admission failed");
+      return;
+    }
+  }
+  // Serve a fixed-size sample of tenants so the measured packet mix is
+  // the same at every scale; only the installed-rule population grows.
+  std::vector<net::Packet> probes;
+  for (int i = 0; i < 16; ++i) {
+    const int t = 1 + (i * std::max(1, tenants / 16)) % tenants;
+    probes.push_back(net::MakeTcpPacket(
+        static_cast<std::uint16_t>(t), net::Ipv4Address::Of(10, 1, 2, 3),
+        net::Ipv4Address::Of(10, 0, 0, 100), static_cast<std::uint16_t>(1024 + i), 80,
+        128));
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.Process(probes[next]));
+    next = (next + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tenants"] = tenants;
+  state.counters["entries"] = static_cast<double>(system.Stats().entries_used);
+}
+BENCHMARK(BM_PipelineServeVsTenants)->Arg(10)->Arg(100)->Arg(1000);
+
 void BM_TableLookup(benchmark::State& state) {
   const int entries = static_cast<int>(state.range(0));
   nf::Firewall fw;

@@ -153,6 +153,10 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   // ("dataplane.install_rule" here, "switchsim.table.add_entry" inside
   // the table). On failure every entry installed so far is unwound so
   // the data plane is left exactly as before the call.
+  // Unwind sweeps every physical table, but tables holding none of
+  // this tenant's rules are a no-op remove and keep their lookup epoch,
+  // so in-flight workers' memoized decisions for other tenants stay
+  // valid (flow_cache.h invalidation contract).
   auto unwind_install = [this, &sfc, &result](const char* where) {
     for (auto& slot : slots_) slot.table->RemoveTenantEntries(sfc.tenant);
     result.placements.clear();
@@ -214,6 +218,10 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
 
 std::size_t DataPlane::DeallocateSfc(TenantId tenant) {
   std::size_t removed = 0;
+  // Each per-table removal bumps that table's lookup epoch (only where
+  // rules were actually removed), which invalidates exactly the flow
+  // decision caches that could name the departed tenant's entries; the
+  // serve path may keep running concurrently throughout.
   for (auto& slot : slots_) removed += slot.table->RemoveTenantEntries(tenant);
   allocations_.erase(tenant);
   return removed;

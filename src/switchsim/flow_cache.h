@@ -1,0 +1,125 @@
+// Per-worker flow decision cache for the batched serve path.
+//
+// ProcessBatch shards a batch by flow across workers; within a shard,
+// packets of the same flow present the same key tuple to every table
+// they traverse, so the resolved match-action decision — which entry
+// won (or that the lookup missed) — repeats packet after packet. The
+// cache memoizes that decision per (table, key tuple) in a small
+// direct-mapped slot array owned by ONE worker, so it needs no
+// synchronization of its own.
+//
+// Correctness contract (see DESIGN.md, "Lookup index & flow cache"):
+// a decision is stamped with the table's mutation epoch at resolve
+// time and is only replayed while the epoch is unchanged. Every
+// control-plane mutation (AddEntry / RemoveEntry / RemoveTenantEntries
+// / SetDefaultAction) bumps the epoch, so tenant admission and
+// departure invalidate exactly the affected table's memoized
+// decisions. Validation and replay happen inside
+// MatchActionTable::Apply while it holds the table's shared lock, so a
+// replayed entry cannot be freed mid-action by a concurrent departure.
+// Replayed decisions are bit-identical to fresh lookups: the same
+// entry fires with the same args, and hit/miss/default counters
+// advance exactly as on the uncached path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switchsim/table.h"
+
+namespace sfp::switchsim {
+
+/// A direct-mapped memoization cache, owned by a single batch worker.
+class FlowDecisionCache {
+ public:
+  /// One memoized decision.
+  struct Decision {
+    const MatchActionTable* table = nullptr;  // nullptr = empty slot
+    std::uint64_t epoch = 0;
+    std::uint32_t num_values = 0;
+    /// true: entries_[entry_index] (with `handle`) won the lookup;
+    /// false: the lookup missed (default action applies).
+    bool hit = false;
+    std::size_t entry_index = 0;
+    EntryHandle handle = 0;
+    std::uint64_t values[kMaxKeyFields] = {};
+  };
+
+  static constexpr std::size_t kDefaultSlots = 2048;
+
+  /// `slots` is rounded up to a power of two (minimum 16).
+  explicit FlowDecisionCache(std::size_t slots = kDefaultSlots) {
+    std::size_t size = 16;
+    while (size < slots) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  /// Returns the memoized decision for (table, key tuple) if it is
+  /// still valid at `epoch`, else nullptr. Counts a cache hit or miss.
+  const Decision* Find(const MatchActionTable* table, const std::uint64_t* values,
+                       std::size_t num_values, std::uint64_t epoch) {
+    const Decision& slot = slots_[SlotIndex(table, values, num_values)];
+    if (slot.table == table && slot.epoch == epoch && Matches(slot, values, num_values)) {
+      ++hits_;
+      return &slot;
+    }
+    ++misses_;
+    return nullptr;
+  }
+
+  /// Memoizes a freshly resolved decision. `entry` is the winning
+  /// entry (nullptr on lookup miss); `entry_index` its position in the
+  /// table's entry vector at resolve time. Counts an eviction when a
+  /// live decision for a *different* (table, key tuple) is displaced
+  /// (an epoch-stale refill of the same tuple is not an eviction).
+  void Store(const MatchActionTable* table, const std::uint64_t* values,
+             std::size_t num_values, std::uint64_t epoch, const TableEntry* entry,
+             std::size_t entry_index) {
+    Decision& slot = slots_[SlotIndex(table, values, num_values)];
+    if (slot.table != nullptr && !(slot.table == table && Matches(slot, values, num_values))) {
+      ++evictions_;
+    }
+    slot.table = table;
+    slot.epoch = epoch;
+    slot.num_values = static_cast<std::uint32_t>(num_values);
+    slot.hit = entry != nullptr;
+    slot.entry_index = entry_index;
+    slot.handle = entry != nullptr ? entry->handle : kInvalidEntryHandle;
+    for (std::size_t i = 0; i < num_values; ++i) slot.values[i] = values[i];
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t num_slots() const { return slots_.size(); }
+
+ private:
+  static bool Matches(const Decision& slot, const std::uint64_t* values,
+                      std::size_t num_values) {
+    if (slot.num_values != num_values) return false;
+    for (std::size_t i = 0; i < num_values; ++i) {
+      if (slot.values[i] != values[i]) return false;
+    }
+    return true;
+  }
+
+  std::size_t SlotIndex(const MatchActionTable* table, const std::uint64_t* values,
+                        std::size_t num_values) const {
+    std::uint64_t h = reinterpret_cast<std::uintptr_t>(table);
+    for (std::size_t i = 0; i < num_values; ++i) {
+      h ^= values[i] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  std::vector<Decision> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace sfp::switchsim

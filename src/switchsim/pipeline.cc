@@ -138,7 +138,7 @@ bool Pipeline::AdmitRecirculation(double now_ns, double service_ns) {
   }
 }
 
-ProcessResult Pipeline::ProcessOne(const net::Packet& packet) {
+ProcessResult Pipeline::ProcessOne(const net::Packet& packet, FlowDecisionCache* cache) {
   ProcessResult result;
   result.packet = packet;
   result.meta.tenant_id = packet.TenantId();
@@ -158,7 +158,7 @@ ProcessResult Pipeline::ProcessOne(const net::Packet& packet) {
     for (auto& stage : stages_) {
       bool active = false;
       for (auto& table : stage.tables()) {
-        active |= table->Apply(result.packet, result.meta);
+        active |= table->Apply(result.packet, result.meta, cache);
         if (result.meta.dropped) break;
       }
       if (active) {
@@ -228,8 +228,22 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
 
   const int shards =
       options.num_threads > 0 ? options.num_threads : common::DefaultParallelism();
+  // Each worker owns a private flow decision cache for the duration of
+  // the call; caches are merged into pipeline.cache.* afterwards.
+  const bool use_cache = options.flow_cache_slots > 0;
+  auto merge_cache = [this](const FlowDecisionCache& cache) {
+    cache_hits_.Add(cache.hits());
+    cache_misses_.Add(cache.misses());
+    cache_evictions_.Add(cache.evictions());
+  };
   if (shards <= 1 || static_cast<int>(packets.size()) < options.min_parallel_batch) {
-    for (std::size_t i = 0; i < packets.size(); ++i) results[i] = ProcessOne(packets[i]);
+    FlowDecisionCache cache(use_cache ? static_cast<std::size_t>(options.flow_cache_slots)
+                                      : 16);
+    FlowDecisionCache* cache_ptr = use_cache ? &cache : nullptr;
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      results[i] = ProcessOne(packets[i], cache_ptr);
+    }
+    if (use_cache) merge_cache(cache);
     return results;
   }
 
@@ -247,9 +261,13 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
 
   auto& pool = options.pool != nullptr ? *options.pool : common::WorkerPool::Shared();
   pool.ParallelFor(shards, [&](int shard) {
+    FlowDecisionCache cache(use_cache ? static_cast<std::size_t>(options.flow_cache_slots)
+                                      : 16);
+    FlowDecisionCache* cache_ptr = use_cache ? &cache : nullptr;
     for (const std::uint32_t index : shard_indices[static_cast<std::size_t>(shard)]) {
-      results[index] = ProcessOne(packets[index]);
+      results[index] = ProcessOne(packets[index], cache_ptr);
     }
+    if (use_cache) merge_cache(cache);
   });
   return results;
 }
@@ -263,11 +281,16 @@ void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.drops.injected_fault").Set(drops_injected_.Value());
   registry.GetCounter("pipeline.recirculations").Set(recirculations_.Value());
   registry.GetCounter("pipeline.batches").Set(batches_.Value());
+  registry.GetCounter("pipeline.cache.hits").Set(cache_hits_.Value());
+  registry.GetCounter("pipeline.cache.misses").Set(cache_misses_.Value());
+  registry.GetCounter("pipeline.cache.evictions").Set(cache_evictions_.Value());
   for (const auto& stage : stages_) {
     const std::string prefix = "pipeline.stage" + std::to_string(stage.index()) + ".";
     for (const auto& table : stage.tables()) {
       registry.GetCounter(prefix + table->name() + ".hits").Set(table->hit_count());
       registry.GetCounter(prefix + table->name() + ".misses").Set(table->miss_count());
+      registry.GetCounter(prefix + table->name() + ".default_hits")
+          .Set(table->default_hit_count());
     }
   }
 }

@@ -13,6 +13,7 @@
 
 #include "common/metrics.h"
 #include "common/worker_pool.h"
+#include "switchsim/flow_cache.h"
 #include "switchsim/table.h"
 #include "switchsim/timing.h"
 #include "switchsim/types.h"
@@ -104,6 +105,10 @@ struct BatchOptions {
   int min_parallel_batch = 64;
   /// Pool to run on; nullptr = the process-wide shared pool.
   common::WorkerPool* pool = nullptr;
+  /// Slots of each worker's flow decision cache (rounded up to a power
+  /// of two); <= 0 disables memoization. Results are bit-identical
+  /// either way — the cache only skips re-resolving lookups.
+  int flow_cache_slots = static_cast<int>(FlowDecisionCache::kDefaultSlots);
 };
 
 /// The switch pipeline.
@@ -143,6 +148,11 @@ class Pipeline {
   std::uint64_t packets_dropped_by(DropReason reason) const;
   std::uint64_t recirculations() const { return recirculations_.Value(); }
   std::uint64_t batches_processed() const { return batches_.Value(); }
+  /// Flow-decision-cache totals aggregated over all batch workers
+  /// (exported as pipeline.cache.*).
+  std::uint64_t flow_cache_hits() const { return cache_hits_.Value(); }
+  std::uint64_t flow_cache_misses() const { return cache_misses_.Value(); }
+  std::uint64_t flow_cache_evictions() const { return cache_evictions_.Value(); }
 
   /// Snapshots the pipeline's counters (packets, drops, recirculations,
   /// batches, per-stage/per-table hits and misses) into `registry`
@@ -157,7 +167,9 @@ class Pipeline {
  private:
   /// Scalar serve path shared by Process and the batch workers; only
   /// touches shared state through atomics and the tables' shared locks.
-  ProcessResult ProcessOne(const net::Packet& packet);
+  /// `cache` is the calling worker's private flow decision cache
+  /// (nullptr on the scalar path).
+  ProcessResult ProcessOne(const net::Packet& packet, FlowDecisionCache* cache = nullptr);
 
   /// Charges one recirculation pass to the finite recirculation port;
   /// false = the port's backlog bound is exceeded (overload drop).
@@ -177,6 +189,9 @@ class Pipeline {
   common::metrics::RelaxedCounter drops_injected_;
   common::metrics::RelaxedCounter recirculations_;
   common::metrics::RelaxedCounter batches_;
+  common::metrics::RelaxedCounter cache_hits_;
+  common::metrics::RelaxedCounter cache_misses_;
+  common::metrics::RelaxedCounter cache_evictions_;
   /// Virtual time at which the recirculation port next frees up.
   common::metrics::RelaxedDouble recirc_busy_until_ns_;
 };

@@ -4,11 +4,40 @@
 
 #include "common/check.h"
 #include "common/faultinject.h"
+#include "switchsim/flow_cache.h"
 
 namespace sfp::switchsim {
 
+namespace {
+
+/// splitmix64 finalizer — mixes one word into an accumulating hash.
+std::uint64_t MixWord(std::uint64_t h, std::uint64_t word) {
+  h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+std::size_t MatchActionTable::ExactKeyHash::operator()(
+    const std::vector<std::uint64_t>& key) const {
+  std::uint64_t h = 0x94d049bb133111ebULL;
+  for (const std::uint64_t word : key) h = MixWord(h, word);
+  return static_cast<std::size_t>(h);
+}
+
 MatchActionTable::MatchActionTable(std::string name, std::vector<MatchFieldSpec> key)
-    : name_(std::move(name)), key_(std::move(key)) {}
+    : name_(std::move(name)), key_(std::move(key)) {
+  SFP_CHECK_LE(key_.size(), kMaxKeyFields);
+  for (std::size_t f = 0; f < key_.size(); ++f) {
+    if (key_[f].kind == MatchKind::kExact) {
+      exact_fields_.push_back(f);
+    } else {
+      nonexact_fields_.push_back(f);
+    }
+  }
+}
 
 ActionId MatchActionTable::RegisterAction(std::string name, ActionFn fn) {
   std::unique_lock lock(entries_mutex_);
@@ -22,6 +51,71 @@ void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
   SFP_CHECK_GE(action, 0);
   SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
   default_action_ = {action, std::move(args)};
+  epoch_.Add(1);  // memoized miss decisions must re-resolve
+}
+
+bool MatchActionTable::IsPureEntry(const TableEntry& entry) const {
+  for (const std::size_t f : nonexact_fields_) {
+    const FieldMatch& m = entry.matches[f];
+    switch (key_[f].kind) {
+      case MatchKind::kTernary:
+        if (m.mask != 0) return false;
+        break;
+      case MatchKind::kLpm:
+        if (m.prefix_len > 0) return false;
+        break;
+      case MatchKind::kRange:
+        if (m.lo != 0 || m.hi != ~0ULL) return false;
+        break;
+      case MatchKind::kExact:
+        break;  // unreachable: exact fields are not in nonexact_fields_
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> MatchActionTable::ExactKeyOf(const TableEntry& entry) const {
+  std::vector<std::uint64_t> key;
+  key.reserve(exact_fields_.size());
+  for (const std::size_t f : exact_fields_) key.push_back(entry.matches[f].value);
+  return key;
+}
+
+int MatchActionTable::PrefixScore(const TableEntry& entry) const {
+  int score = 0;
+  for (std::size_t f = 0; f < key_.size(); ++f) {
+    if (key_[f].kind == MatchKind::kLpm) score += entry.matches[f].prefix_len;
+  }
+  return score;
+}
+
+void MatchActionTable::IndexEntryLocked(std::size_t index) {
+  const TableEntry& entry = entries_[index];
+  Bucket& bucket = index_[ExactKeyOf(entry)];
+  if (IsPureEntry(entry)) {
+    // The pure tier's winner is fully determined at install time:
+    // pure entries share a prefix score of 0, so only (priority,
+    // earliest handle) discriminate. Insertion happens in ascending
+    // handle order (both incrementally and during rebuild), so a
+    // strict priority improvement is the only way to displace the
+    // incumbent.
+    if (bucket.pure == Bucket::npos ||
+        entry.priority > entries_[bucket.pure].priority) {
+      bucket.pure = index;
+    }
+    return;
+  }
+  // Spill stays sorted by (priority desc, handle asc); the new entry
+  // carries the largest handle, so it slots after its priority peers.
+  const auto pos = std::upper_bound(
+      bucket.spill.begin(), bucket.spill.end(), entry.priority,
+      [this](int priority, std::size_t i) { return entries_[i].priority < priority; });
+  bucket.spill.insert(pos, index);
+}
+
+void MatchActionTable::RebuildIndexLocked() {
+  index_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) IndexEntryLocked(i);
 }
 
 EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId action,
@@ -40,6 +134,8 @@ EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId
   entry.owner_tenant = owner_tenant;
   entry.handle = next_handle_++;
   entries_.push_back(std::move(entry));
+  IndexEntryLocked(entries_.size() - 1);
+  epoch_.Add(1);
   return entries_.back().handle;
 }
 
@@ -49,6 +145,10 @@ bool MatchActionTable::RemoveEntry(EntryHandle handle) {
                          [handle](const TableEntry& e) { return e.handle == handle; });
   if (it == entries_.end()) return false;
   entries_.erase(it);
+  // Removal shifts entry indices, so the index is rebuilt wholesale;
+  // tenant departure is the control-plane slow path.
+  RebuildIndexLocked();
+  epoch_.Add(1);
   return true;
 }
 
@@ -56,7 +156,15 @@ std::size_t MatchActionTable::RemoveTenantEntries(std::uint16_t tenant) {
   std::unique_lock lock(entries_mutex_);
   const std::size_t before = entries_.size();
   std::erase_if(entries_, [tenant](const TableEntry& e) { return e.owner_tenant == tenant; });
-  return before - entries_.size();
+  const std::size_t removed = before - entries_.size();
+  if (removed > 0) {
+    RebuildIndexLocked();
+    // No epoch bump when nothing was removed: departures of tenants
+    // with no rules in this table must not invalidate everyone's
+    // cached decisions.
+    epoch_.Add(1);
+  }
+  return removed;
 }
 
 std::size_t MatchActionTable::num_entries() const {
@@ -64,21 +172,77 @@ std::size_t MatchActionTable::num_entries() const {
   return entries_.size();
 }
 
-const TableEntry* MatchActionTable::Lookup(const net::Packet& packet,
-                                           const PacketMeta& meta) const {
-  std::shared_lock lock(entries_mutex_);
-  return LookupLocked(packet, meta);
-}
-
-const TableEntry* MatchActionTable::LookupLocked(const net::Packet& packet,
-                                                 const PacketMeta& meta) const {
-  // Extract key field values once.
-  std::uint64_t values[16];
-  SFP_CHECK_LE(key_.size(), 16u);
+void MatchActionTable::ExtractKey(const net::Packet& packet, const PacketMeta& meta,
+                                  std::uint64_t* values) const {
   for (std::size_t f = 0; f < key_.size(); ++f) {
     values[f] = GetField(packet, meta, key_[f].field);
   }
+}
 
+const TableEntry* MatchActionTable::Lookup(const net::Packet& packet,
+                                           const PacketMeta& meta) const {
+  std::shared_lock lock(entries_mutex_);
+  std::uint64_t values[kMaxKeyFields];
+  ExtractKey(packet, meta, values);
+  return LookupIndexedLocked(values);
+}
+
+const TableEntry* MatchActionTable::LookupReference(const net::Packet& packet,
+                                                    const PacketMeta& meta) const {
+  std::shared_lock lock(entries_mutex_);
+  std::uint64_t values[kMaxKeyFields];
+  ExtractKey(packet, meta, values);
+  return LookupReferenceLocked(values);
+}
+
+const TableEntry* MatchActionTable::LookupIndexedLocked(const std::uint64_t* values) const {
+  std::vector<std::uint64_t> key;
+  key.reserve(exact_fields_.size());
+  for (const std::size_t f : exact_fields_) key.push_back(values[f]);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  const Bucket& bucket = it->second;
+
+  const TableEntry* best = nullptr;
+  int best_priority = 0;
+  int best_prefix = -1;
+  EntryHandle best_handle = 0;
+  if (bucket.pure != Bucket::npos) {
+    best = &entries_[bucket.pure];
+    best_priority = best->priority;
+    best_prefix = PrefixScore(*best);
+    best_handle = best->handle;
+  }
+  for (const std::size_t index : bucket.spill) {
+    const TableEntry& entry = entries_[index];
+    // Spill is priority-sorted: once the candidate's priority falls
+    // below the best match, nothing later can outrank it (equal
+    // priority can still win on LPM prefix, so only strictly-lower
+    // priorities are skipped).
+    if (best != nullptr && entry.priority < best_priority) break;
+    bool match = true;
+    for (const std::size_t f : nonexact_fields_) {
+      if (!FieldMatches(entry.matches[f], key_[f].kind, values[f])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    const int prefix = PrefixScore(entry);
+    if (best == nullptr || entry.priority > best_priority ||
+        (entry.priority == best_priority &&
+         (prefix > best_prefix ||
+          (prefix == best_prefix && entry.handle < best_handle)))) {
+      best = &entry;
+      best_priority = entry.priority;
+      best_prefix = prefix;
+      best_handle = entry.handle;
+    }
+  }
+  return best;
+}
+
+const TableEntry* MatchActionTable::LookupReferenceLocked(const std::uint64_t* values) const {
   const TableEntry* best = nullptr;
   int best_priority = 0;
   int best_prefix = -1;
@@ -100,11 +264,42 @@ const TableEntry* MatchActionTable::LookupLocked(const net::Packet& packet,
   return best;
 }
 
-bool MatchActionTable::Apply(net::Packet& packet, PacketMeta& meta) {
+bool MatchActionTable::Apply(net::Packet& packet, PacketMeta& meta,
+                             FlowDecisionCache* cache) {
   // Held across the action so the winning entry's args cannot be
-  // removed mid-execution by a concurrent tenant departure.
+  // removed mid-execution by a concurrent tenant departure. The epoch
+  // is read under the same lock, so a cached decision validated here
+  // cannot refer to an entry a concurrent departure is freeing.
   std::shared_lock lock(entries_mutex_);
-  const TableEntry* entry = LookupLocked(packet, meta);
+  std::uint64_t values[kMaxKeyFields];
+  ExtractKey(packet, meta, values);
+
+  const TableEntry* entry = nullptr;
+  bool resolved = false;
+  if (cache != nullptr) {
+    const std::uint64_t epoch = epoch_.Value();
+    if (const auto* decision = cache->Find(this, values, key_.size(), epoch)) {
+      if (decision->hit) {
+        // Epoch equality means no mutation since the decision was
+        // stored, so the memoized index still names the same entry;
+        // the handle check makes that assumption explicit.
+        SFP_CHECK_LT(decision->entry_index, entries_.size());
+        entry = &entries_[decision->entry_index];
+        SFP_CHECK_EQ(entry->handle, decision->handle);
+      }
+      resolved = true;
+    }
+    if (!resolved) {
+      entry = LookupIndexedLocked(values);
+      cache->Store(this, values, key_.size(), epoch, entry,
+                   entry != nullptr
+                       ? static_cast<std::size_t>(entry - entries_.data())
+                       : 0);
+      resolved = true;
+    }
+  }
+  if (!resolved) entry = LookupIndexedLocked(values);
+
   if (entry != nullptr) {
     hits_.Add(1);
     actions_[static_cast<std::size_t>(entry->action)](packet, meta, entry->args);
@@ -112,6 +307,7 @@ bool MatchActionTable::Apply(net::Packet& packet, PacketMeta& meta) {
   }
   misses_.Add(1);
   if (default_action_) {
+    default_hits_.Add(1);
     actions_[static_cast<std::size_t>(default_action_->first)](packet, meta,
                                                                default_action_->second);
   }

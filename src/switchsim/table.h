@@ -8,12 +8,29 @@
 // (SFP's physical NFs default to "No-Op": forward to the next stage,
 // §IV).
 //
+// Lookup is indexed, mirroring how the rules land in Tofino SRAM/TCAM
+// (§IV, Fig. 4): every entry's exact-kind key fields form a concrete
+// value tuple (SFP prefixes every physical NF key with the exact
+// tenant-ID and recirculation-pass fields), so entries are bucketed in
+// a hash map keyed by that tuple. Within a bucket, entries whose
+// remaining (ternary/LPM/range) fields are all wildcards form the
+// "pure" hash tier — their winner is precomputed, making the common
+// SFP lookup O(1) — while the rest sit in a priority-sorted spill list
+// that is scanned only for the packet's own bucket and abandoned as
+// soon as no remaining spill entry can outrank the best candidate.
+// Lookup cost is therefore independent of how many *other* tenants
+// hold rules in the table. The pre-index linear scan is kept as
+// LookupReference for the randomized equivalence suite.
+//
 // Concurrency: Apply/Lookup take a shared lock and the hit/miss
 // counters are relaxed atomics, so many packets can traverse the table
 // in parallel (the batched path of Pipeline::ProcessBatch) while entry
 // installation/removal — tenant admission and departure — takes the
 // lock exclusively, mirroring a switch ASIC's lock-free lookups with
-// serialized control-plane writes.
+// serialized control-plane writes. Every mutation bumps a per-table
+// epoch counter; the flow decision cache (flow_cache.h) uses it to
+// invalidate memoized decisions when the control plane changes the
+// table.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +38,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -37,13 +55,20 @@ using ActionFn = std::function<void(net::Packet&, PacketMeta&, const ActionArgs&
 /// Identifier of a registered action within one table.
 using ActionId = std::int32_t;
 
-/// Entry handle, unique within one table for its lifetime.
+/// Entry handle, unique within one table for its lifetime. Handles are
+/// issued in install order, so "earliest installed" == smallest handle.
 using EntryHandle = std::uint64_t;
 
 /// Returned by AddEntry when the install fails (only possible under an
 /// armed "switchsim.table.add_entry" fault plan; real inserts cannot
 /// fail — memory admission is the stages' job).
 inline constexpr EntryHandle kInvalidEntryHandle = 0;
+
+/// Upper bound on key fields per table (fits every NF key plus the
+/// (tenant, pass) prefix with room to spare).
+inline constexpr std::size_t kMaxKeyFields = 16;
+
+class FlowDecisionCache;
 
 /// One installed rule.
 struct TableEntry {
@@ -89,9 +114,19 @@ class MatchActionTable {
   /// concurrency prefer Apply, which holds the entry lock throughout.
   const TableEntry* Lookup(const net::Packet& packet, const PacketMeta& meta) const;
 
+  /// Reference implementation: the original linear scan over all
+  /// entries in install order. Semantically identical to Lookup by
+  /// construction; kept (and exercised by the randomized equivalence
+  /// suite) as the oracle the indexed path is proven against.
+  const TableEntry* LookupReference(const net::Packet& packet,
+                                    const PacketMeta& meta) const;
+
   /// Lookup + action execution (default action on miss). Returns true
-  /// if an installed entry was hit.
-  bool Apply(net::Packet& packet, PacketMeta& meta);
+  /// if an installed entry was hit. When `cache` is non-null the
+  /// resolved decision is memoized per (table, key tuple) and replayed
+  /// while the table's epoch is unchanged (see flow_cache.h); results
+  /// and counters are bit-identical either way.
+  bool Apply(net::Packet& packet, PacketMeta& meta, FlowDecisionCache* cache = nullptr);
 
   const std::string& name() const { return name_; }
   const std::vector<MatchFieldSpec>& key() const { return key_; }
@@ -106,24 +141,72 @@ class MatchActionTable {
 
   std::uint64_t hit_count() const { return hits_.Value(); }
   std::uint64_t miss_count() const { return misses_.Value(); }
+  /// Misses that executed the default action (the "default no-op"
+  /// served the packet, as opposed to a true no-rule miss). Disjoint
+  /// accounting: every Apply is a hit, a default hit, or a bare miss;
+  /// default_hit_count() <= miss_count().
+  std::uint64_t default_hit_count() const { return default_hits_.Value(); }
+
+  /// Mutation epoch: bumped by every AddEntry/RemoveEntry/
+  /// RemoveTenantEntries/SetDefaultAction that changes the table.
+  /// Cached decisions stamped with an older epoch are invalid.
+  std::uint64_t epoch() const { return epoch_.Value(); }
 
  private:
-  const TableEntry* LookupLocked(const net::Packet& packet, const PacketMeta& meta) const;
+  /// Per exact-key-tuple bucket of the lookup index. Values index
+  /// entries_; they are maintained incrementally on AddEntry and
+  /// rebuilt wholesale on removal (control-plane slow path).
+  struct Bucket {
+    /// Winning "pure" entry (all non-exact fields wildcard): highest
+    /// priority, earliest handle. npos = none.
+    std::size_t pure = npos;
+    /// Entries with at least one concrete ternary/LPM/range field,
+    /// sorted by (priority desc, handle asc).
+    std::vector<std::size_t> spill;
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  };
+
+  struct ExactKeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const;
+  };
+
+  const TableEntry* LookupIndexedLocked(const std::uint64_t* values) const;
+  const TableEntry* LookupReferenceLocked(const std::uint64_t* values) const;
+  void ExtractKey(const net::Packet& packet, const PacketMeta& meta,
+                  std::uint64_t* values) const;
+  /// True if `entry` qualifies for the pure hash tier (every non-exact
+  /// key field is a full wildcard).
+  bool IsPureEntry(const TableEntry& entry) const;
+  std::vector<std::uint64_t> ExactKeyOf(const TableEntry& entry) const;
+  /// Adds entries_[index] to the index (incremental insert).
+  void IndexEntryLocked(std::size_t index);
+  /// Rebuilds the whole index from entries_ (after removals).
+  void RebuildIndexLocked();
+  /// Sum of LPM prefix lengths of `entry` restricted to fields that
+  /// match — the tie-break score of the documented semantics.
+  int PrefixScore(const TableEntry& entry) const;
 
   std::string name_;
   std::vector<MatchFieldSpec> key_;
+  /// Indices into key_ of the exact-kind fields (the index key).
+  std::vector<std::size_t> exact_fields_;
+  /// Indices into key_ of the remaining (ternary/LPM/range) fields.
+  std::vector<std::size_t> nonexact_fields_;
   std::vector<std::string> action_names_;
   std::vector<ActionFn> actions_;
   std::optional<std::pair<ActionId, ActionArgs>> default_action_;
-  /// Guards entries_ (and default_action_/actions_ registration):
-  /// packet lookups take it shared, so batch workers proceed in
-  /// parallel; entry add/remove (tenant admission/departure) takes it
-  /// exclusive.
+  /// Guards entries_, index_ (and default_action_/actions_
+  /// registration): packet lookups take it shared, so batch workers
+  /// proceed in parallel; entry add/remove (tenant admission and
+  /// departure) takes it exclusive.
   mutable std::shared_mutex entries_mutex_;
   std::vector<TableEntry> entries_;
+  std::unordered_map<std::vector<std::uint64_t>, Bucket, ExactKeyHash> index_;
   EntryHandle next_handle_ = 1;
   common::metrics::RelaxedCounter hits_;
   common::metrics::RelaxedCounter misses_;
+  common::metrics::RelaxedCounter default_hits_;
+  common::metrics::RelaxedCounter epoch_;
 };
 
 }  // namespace sfp::switchsim
