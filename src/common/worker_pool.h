@@ -1,5 +1,7 @@
 // Small persistent worker pool used by the batched packet-processing
-// path (switchsim::Pipeline::ProcessBatch).
+// path (switchsim::Pipeline::ProcessBatch) and the parallel
+// branch & bound tree search (lp::MipSolver with deterministic off,
+// which runs one long-lived worker task per index).
 //
 // ParallelFor(count, task) runs task(0..count-1) across the pool's
 // threads *and* the calling thread, returning once every index has

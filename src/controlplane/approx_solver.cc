@@ -57,7 +57,7 @@ ApproxReport SolveApprox(const PlacementInstance& instance, const ApproxOptions&
     model_options.max_passes = passes;
     PlacementModel pm = BuildPlacementModel(instance, model_options);
 
-    lp::Simplex simplex(pm.model);
+    lp::Simplex simplex(pm.model, options.simplex);
     const lp::Solution lp = simplex.Solve();
     ++report.lp_solves;
     if (lp.status != lp::SolveStatus::kOptimal) {

@@ -11,6 +11,7 @@
 
 #include "controlplane/model_builder.h"
 #include "controlplane/verifier.h"
+#include "lp/simplex.h"
 
 namespace sfp::controlplane {
 
@@ -33,6 +34,9 @@ struct ApproxOptions {
   /// far — ok stays false if nothing verified — with
   /// deadline_exceeded set so callers can degrade (greedy fallback).
   double deadline_seconds = 0.0;
+  /// LP-engine knobs (e.g. `simplex.use_dense_inverse` to benchmark the
+  /// legacy dense kernels against the sparse LU default).
+  lp::SimplexOptions simplex;
 };
 
 struct ApproxReport {

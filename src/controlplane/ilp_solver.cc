@@ -1,5 +1,8 @@
 #include "controlplane/ilp_solver.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace sfp::controlplane {
@@ -10,6 +13,9 @@ SolverReport SolveIlp(const PlacementInstance& instance, const IlpOptions& optio
   lp::MipOptions mip_options;
   mip_options.time_limit_seconds = options.time_limit_seconds;
   mip_options.relative_gap = options.relative_gap;
+  mip_options.deterministic = options.deterministic;
+  mip_options.num_workers = options.num_workers;
+  mip_options.simplex = options.simplex;
   mip_options.heuristic_period = options.use_rounding_heuristic ? options.heuristic_period : 0;
   if (options.use_rounding_heuristic) {
     // Once the physical layout (x) and chain selection (y) are
@@ -58,7 +64,7 @@ SolverReport SolveIlp(const PlacementInstance& instance, const IlpOptions& optio
     // rounding draws on it, seeding branch & bound with an incumbent of
     // roughly SFP-Appro quality so the exact solver never trails the
     // approximation it is supposed to dominate.
-    lp::Simplex root(pm.model);
+    lp::Simplex root(pm.model, options.simplex);
     const lp::Solution root_lp = root.Solve();
     if (root_lp.status == lp::SolveStatus::kOptimal) {
       PlacementSolution best;
@@ -90,7 +96,12 @@ SolverReport SolveIlp(const PlacementInstance& instance, const IlpOptions& optio
   report.seconds = result.seconds;
   report.best_bound = result.best_bound;
   report.nodes = result.nodes_explored;
+  report.nodes_dropped = result.nodes_dropped;
+  report.pivots = result.simplex_pivots;
+  report.refactorizations = result.refactorizations;
+  report.ftran_nnz = result.ftran_nnz;
   report.incumbent_trace = result.incumbent_trace;
+  report.gap_trace = result.gap_trace;
   if (result.solution.feasible()) {
     report.solution = ExtractSolution(instance, pm, result.solution.values);
     report.objective = report.solution.ObjectiveWeighted(instance);
@@ -108,6 +119,29 @@ SolverReport SolveIlp(const PlacementInstance& instance, const IlpOptions& optio
     report.solution.chains.resize(instance.sfcs.size());
   }
   return report;
+}
+
+void ExportSolverMetrics(const SolverReport& report, common::metrics::Registry& registry,
+                         const std::string& prefix) {
+  auto set = [&registry, &prefix](const char* key, std::int64_t value) {
+    registry.GetCounter(prefix + key).Set(
+        value > 0 ? static_cast<std::uint64_t>(value) : 0);
+  };
+  set(".nodes", report.nodes);
+  set(".nodes_dropped", report.nodes_dropped);
+  set(".pivots", report.pivots);
+  set(".refactorizations", report.refactorizations);
+  set(".ftran_nnz", report.ftran_nnz);
+  set(".incumbents", static_cast<std::int64_t>(report.incumbent_trace.size()));
+  // Gap-over-time: the relative gap (%) at each incumbent improvement.
+  // The histogram's count/min/max summarize how the gap closed.
+  auto& gap = registry.GetHistogram(prefix + ".gap_pct",
+                                    {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  for (const lp::GapEvent& event : report.gap_trace) {
+    if (!std::isfinite(event.bound) || !std::isfinite(event.objective)) continue;
+    const double denom = std::max(1e-9, std::abs(event.objective));
+    gap.Observe(100.0 * std::abs(event.bound - event.objective) / denom);
+  }
 }
 
 }  // namespace sfp::controlplane

@@ -1,8 +1,10 @@
 // SFP-IP: exact joint placement via branch & bound (§V-A).
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "controlplane/model_builder.h"
 #include "controlplane/verifier.h"
 #include "lp/mip.h"
@@ -27,6 +29,14 @@ struct IlpOptions {
   /// Fig. 9's warm-up series turns this off.
   bool root_burst = true;
   std::uint64_t seed = 1;
+  /// Serial fixed-order tree search (reproducible traces). Turn off to
+  /// search with `num_workers` parallel workers (see lp::MipOptions).
+  bool deterministic = true;
+  /// Parallel workers when `deterministic` is off (0 = auto).
+  int num_workers = 0;
+  /// LP-engine knobs, e.g. `simplex.use_dense_inverse` to benchmark the
+  /// legacy dense kernels against the sparse LU default.
+  lp::SimplexOptions simplex;
 };
 
 /// Common report shape across the placement solvers.
@@ -39,11 +49,29 @@ struct SolverReport {
   /// Dual bound from B&B (== objective at optimality).
   double best_bound = 0.0;
   std::int64_t nodes = 0;
+  /// Nodes whose LP hit the iteration cap (bounds folded into
+  /// `best_bound`; see lp::MipResult::nodes_dropped).
+  std::int64_t nodes_dropped = 0;
+  /// Simplex work across the whole tree (all workers).
+  std::int64_t pivots = 0;
+  std::int64_t refactorizations = 0;
+  std::int64_t ftran_nnz = 0;
   /// Incumbent improvements over time (Fig. 9's series).
   std::vector<lp::IncumbentEvent> incumbent_trace;
+  /// (incumbent, dual bound) at each improvement — the gap-over-time
+  /// trace exported through common::metrics.
+  std::vector<lp::GapEvent> gap_trace;
 };
 
 /// Solves the placement IP exactly (up to the time limit).
 SolverReport SolveIlp(const PlacementInstance& instance, const IlpOptions& options = {});
+
+/// Publishes a report's solver counters into `registry` under
+/// `prefix` ("solver" → solver.nodes, solver.pivots,
+/// solver.refactorizations, solver.ftran_nnz, solver.nodes_dropped,
+/// solver.incumbents; see docs/METRICS.md). Values are Set, not
+/// incremented, so re-exporting overwrites.
+void ExportSolverMetrics(const SolverReport& report, common::metrics::Registry& registry,
+                         const std::string& prefix = "solver");
 
 }  // namespace sfp::controlplane

@@ -1,0 +1,207 @@
+#include "lp/basis_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sfp::lp {
+namespace {
+
+/// Entries smaller than this are dropped from the factor; keeps noise
+/// fill out of the triangular solves without affecting accuracy at the
+/// simplex's 1e-7 tolerances.
+constexpr double kDropTol = 1e-13;
+/// Relative pivot-stability threshold: a pivot must be at least this
+/// fraction of the column's largest eliminated entry.
+constexpr double kPivotThreshold = 0.1;
+/// Below this absolute magnitude the column is considered singular.
+constexpr double kSingularTol = 1e-11;
+/// Update pivots smaller than this force a refactorization.
+constexpr double kUpdateTol = 1e-9;
+
+}  // namespace
+
+bool BasisLu::Factorize(const std::vector<SparseColumn>& cols) {
+  m_ = static_cast<std::int32_t>(cols.size());
+  const std::size_t m = static_cast<std::size_t>(m_);
+  etas_.clear();
+  lcols_.assign(m, {});
+  ucols_.assign(m, {});
+  udiag_.assign(m, 0.0);
+  pivot_row_.assign(m, -1);
+
+  // Markowitz-flavoured static ordering: eliminate sparse columns
+  // first, and keep per-row counts to prefer pivots in sparse rows.
+  col_order_.resize(m);
+  std::iota(col_order_.begin(), col_order_.end(), 0);
+  std::stable_sort(col_order_.begin(), col_order_.end(),
+                   [&cols](std::int32_t a, std::int32_t b) {
+                     return cols[static_cast<std::size_t>(a)].rows.size() <
+                            cols[static_cast<std::size_t>(b)].rows.size();
+                   });
+  std::vector<std::int32_t> row_count(m, 0);
+  for (const SparseColumn& col : cols) {
+    for (std::int32_t r : col.rows) ++row_count[static_cast<std::size_t>(r)];
+  }
+
+  // row_pos[orig_row] = elimination step at which the row was pivoted,
+  // or -1 while still active.
+  std::vector<std::int32_t> row_pos(m, -1);
+  std::vector<double> work(m, 0.0);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const SparseColumn& col = cols[static_cast<std::size_t>(col_order_[k])];
+    for (std::size_t t = 0; t < col.rows.size(); ++t) {
+      work[static_cast<std::size_t>(col.rows[t])] = col.vals[t];
+    }
+
+    // Left-looking elimination through the previous pivots in order.
+    // Skipping structurally/numerically zero multipliers keeps the work
+    // proportional to the column's fill rather than k.
+    std::vector<Entry>& ucol = ucols_[k];
+    for (std::size_t t = 0; t < k; ++t) {
+      const double ut = work[static_cast<std::size_t>(pivot_row_[t])];
+      if (ut == 0.0) continue;
+      work[static_cast<std::size_t>(pivot_row_[t])] = 0.0;
+      if (std::abs(ut) > kDropTol) {
+        ucol.push_back({static_cast<std::int32_t>(t), ut});
+      }
+      for (const Entry& e : lcols_[t]) {
+        work[static_cast<std::size_t>(e.pos)] -= e.val * ut;  // pos = orig row here
+      }
+    }
+
+    // Threshold pivoting among the still-active rows: require relative
+    // stability, then prefer the sparsest original row (Markowitz tie
+    // break), then magnitude.
+    double amax = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (row_pos[r] < 0) amax = std::max(amax, std::abs(work[r]));
+    }
+    if (amax < kSingularTol) return false;
+    std::int32_t pivot = -1;
+    std::int32_t best_count = 0;
+    double best_mag = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (row_pos[r] >= 0) continue;
+      const double mag = std::abs(work[r]);
+      if (mag < kPivotThreshold * amax) continue;
+      const std::int32_t count = row_count[r];
+      if (pivot < 0 || count < best_count || (count == best_count && mag > best_mag)) {
+        pivot = static_cast<std::int32_t>(r);
+        best_count = count;
+        best_mag = mag;
+      }
+    }
+
+    const double diag = work[static_cast<std::size_t>(pivot)];
+    work[static_cast<std::size_t>(pivot)] = 0.0;
+    pivot_row_[k] = pivot;
+    row_pos[static_cast<std::size_t>(pivot)] = static_cast<std::int32_t>(k);
+    udiag_[k] = diag;
+
+    std::vector<Entry>& lcol = lcols_[k];
+    for (std::size_t r = 0; r < m; ++r) {
+      if (work[r] == 0.0) continue;
+      if (row_pos[r] < 0 && std::abs(work[r]) > kDropTol) {
+        // Stored by original row for now; remapped to pivot positions
+        // below once every row has one.
+        lcol.push_back({static_cast<std::int32_t>(r), work[r] / diag});
+      }
+      work[r] = 0.0;
+    }
+  }
+
+  // Remap L entries from original rows to pivot positions so the
+  // triangular solves run entirely in position space.
+  for (std::size_t k = 0; k < m; ++k) {
+    for (Entry& e : lcols_[k]) e.pos = row_pos[static_cast<std::size_t>(e.pos)];
+  }
+  return true;
+}
+
+void BasisLu::Ftran(std::vector<double>& x) const {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  // Apply the row permutation: position k reads original row pivot_row_[k].
+  std::vector<double> tmp(m);
+  for (std::size_t k = 0; k < m; ++k) tmp[k] = x[static_cast<std::size_t>(pivot_row_[k])];
+
+  // Forward solve L z = P b; zero positions contribute nothing.
+  for (std::size_t k = 0; k < m; ++k) {
+    const double v = tmp[k];
+    if (v == 0.0) continue;
+    for (const Entry& e : lcols_[k]) tmp[static_cast<std::size_t>(e.pos)] -= e.val * v;
+  }
+  // Backward solve U t = z.
+  for (std::size_t k = m; k-- > 0;) {
+    double v = tmp[k];
+    if (v == 0.0) continue;
+    v /= udiag_[k];
+    tmp[k] = v;
+    for (const Entry& e : ucols_[k]) tmp[static_cast<std::size_t>(e.pos)] -= e.val * v;
+  }
+  // Undo the column ordering: step k solved basis position col_order_[k].
+  for (std::size_t k = 0; k < m; ++k) x[static_cast<std::size_t>(col_order_[k])] = tmp[k];
+
+  // Product-form etas, oldest first.
+  for (const Eta& eta : etas_) {
+    const std::size_t p = static_cast<std::size_t>(eta.p);
+    const double t = x[p] * eta.inv_pivot;
+    x[p] = t;
+    if (t == 0.0) continue;
+    for (const Entry& e : eta.off) x[static_cast<std::size_t>(e.pos)] -= e.val * t;
+  }
+}
+
+void BasisLu::Btran(std::vector<double>& y) const {
+  const std::size_t m = static_cast<std::size_t>(m_);
+  // Transposed etas, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const std::size_t p = static_cast<std::size_t>(it->p);
+    double acc = y[p];
+    for (const Entry& e : it->off) acc -= y[static_cast<std::size_t>(e.pos)] * e.val;
+    y[p] = acc * it->inv_pivot;
+  }
+
+  std::vector<double> tmp(m);
+  for (std::size_t k = 0; k < m; ++k) tmp[k] = y[static_cast<std::size_t>(col_order_[k])];
+
+  // Solve U' w = c: forward over columns, each a dot with prior w.
+  std::vector<double> w(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    double acc = tmp[k];
+    for (const Entry& e : ucols_[k]) acc -= e.val * w[static_cast<std::size_t>(e.pos)];
+    w[k] = acc / udiag_[k];
+  }
+  // Solve L' z = w: backward over columns.
+  for (std::size_t k = m; k-- > 0;) {
+    double acc = w[k];
+    for (const Entry& e : lcols_[k]) acc -= e.val * w[static_cast<std::size_t>(e.pos)];
+    w[k] = acc;
+  }
+  for (std::size_t k = 0; k < m; ++k) y[static_cast<std::size_t>(pivot_row_[k])] = w[k];
+}
+
+bool BasisLu::Update(std::int32_t p, const std::vector<double>& w) {
+  const double pivot = w[static_cast<std::size_t>(p)];
+  if (std::abs(pivot) < kUpdateTol) return false;
+  Eta eta;
+  eta.p = p;
+  eta.inv_pivot = 1.0 / pivot;
+  for (std::int32_t i = 0; i < m_; ++i) {
+    if (i == p) continue;
+    const double v = w[static_cast<std::size_t>(i)];
+    if (std::abs(v) > kDropTol) eta.off.push_back({i, v});
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+std::int64_t BasisLu::fill() const {
+  std::int64_t total = m_;  // diagonal
+  for (const auto& col : lcols_) total += static_cast<std::int64_t>(col.size());
+  for (const auto& col : ucols_) total += static_cast<std::int64_t>(col.size());
+  return total;
+}
+
+}  // namespace sfp::lp

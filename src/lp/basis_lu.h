@@ -1,0 +1,86 @@
+// Sparse LU factorization of a simplex basis with a product-form eta
+// file for pivot updates.
+//
+// The factorization is a left-looking sparse LU (Gilbert–Peierls shape)
+// with Markowitz-flavoured pivoting: columns are ordered by ascending
+// nonzero count before elimination, and within a column the pivot is
+// chosen among entries passing a relative stability threshold as the
+// one sitting in the sparsest original row — balancing fill-in against
+// numerical stability the way Markowitz ordering does, without the
+// full dynamic count bookkeeping.
+//
+// After Factorize(), Ftran solves B x = b and Btran solves B' y = c as
+// a pair of triangular solves that skip structurally zero positions, so
+// the work is proportional to the factor fill plus the solution's
+// support instead of m^2. Basis changes are absorbed by Update() into a
+// product-form eta file (Forrest–Tomlin-style cheap updates without the
+// U-row spike repair, which the refactorization interval makes
+// unnecessary at simplex scale); Ftran applies the etas after the LU
+// solve, Btran applies their transposes before it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sfp::lp {
+
+/// One basis column in sparse form (parallel row-index/value arrays).
+struct SparseColumn {
+  std::vector<std::int32_t> rows;
+  std::vector<double> vals;
+};
+
+class BasisLu {
+ public:
+  /// Factorizes the m x m basis whose columns are `cols` (cols.size()
+  /// == m). Clears the eta file. Returns false when the basis is
+  /// numerically singular; the factor is then unusable until the next
+  /// successful Factorize().
+  bool Factorize(const std::vector<SparseColumn>& cols);
+
+  /// Solves B x = b in place (b indexed by original row, x by basis
+  /// position), including the eta file.
+  void Ftran(std::vector<double>& x) const;
+
+  /// Solves B' y = c in place (c indexed by basis position, y by
+  /// original row), including the eta file.
+  void Btran(std::vector<double>& y) const;
+
+  /// Absorbs a basis change: position `p` was replaced by a column
+  /// whose Ftran image is `w` (dense, size m). Returns false when the
+  /// pivot w[p] is too small to update stably — the caller must
+  /// refactorize instead.
+  bool Update(std::int32_t p, const std::vector<double>& w);
+
+  int num_etas() const { return static_cast<int>(etas_.size()); }
+
+  /// Nonzeros in the factor (L + U, diagonal included).
+  std::int64_t fill() const;
+
+ private:
+  struct Entry {
+    std::int32_t pos;
+    double val;
+  };
+  /// Product-form eta: basis position `p`, pivot reciprocal and the
+  /// off-pivot nonzeros of the replaced column's Ftran image.
+  struct Eta {
+    std::int32_t p = 0;
+    double inv_pivot = 0.0;
+    std::vector<Entry> off;
+  };
+
+  std::int32_t m_ = 0;
+  // L is unit lower triangular, U upper triangular, both stored by
+  // column in pivot-position space. pivot_row_[k] is the original row
+  // chosen as the k-th pivot; col_order_[k] is the basis position
+  // eliminated at step k.
+  std::vector<std::vector<Entry>> lcols_;
+  std::vector<std::vector<Entry>> ucols_;
+  std::vector<double> udiag_;
+  std::vector<std::int32_t> pivot_row_;
+  std::vector<std::int32_t> col_order_;
+  std::vector<Eta> etas_;
+};
+
+}  // namespace sfp::lp

@@ -87,6 +87,30 @@ void Simplex::SetVarBounds(VarId var, double lower, double upper) {
 
 void Simplex::ResetBasis() { basis_valid_ = false; }
 
+Simplex::BasisState Simplex::SaveBasis() const {
+  BasisState state;
+  state.basis = basis_;
+  state.status.resize(status_.size());
+  for (std::size_t v = 0; v < status_.size(); ++v) {
+    state.status[v] = static_cast<std::uint8_t>(status_[v]);
+  }
+  return state;
+}
+
+void Simplex::RestoreBasis(const BasisState& state) {
+  if (state.basis.size() != static_cast<std::size_t>(num_rows_) ||
+      state.status.size() != static_cast<std::size_t>(num_total_)) {
+    basis_valid_ = false;  // incompatible snapshot: cold start instead
+    return;
+  }
+  basis_ = state.basis;
+  for (std::size_t v = 0; v < state.status.size(); ++v) {
+    status_[v] = static_cast<VStatus>(state.status[v]);
+  }
+  basis_valid_ = true;
+  needs_refactor_ = true;
+}
+
 void Simplex::ResetBasisToSlacks() {
   for (std::int32_t r = 0; r < num_rows_; ++r) {
     basis_[r] = num_struct_ + r;
@@ -101,12 +125,17 @@ void Simplex::ResetBasisToSlacks() {
       status_[v] = VStatus::kFreeNb;
     }
   }
-  binv_.assign(static_cast<std::size_t>(num_rows_) * num_rows_, 0.0);
-  for (std::int32_t r = 0; r < num_rows_; ++r) {
-    binv_[static_cast<std::size_t>(r) * num_rows_ + r] = 1.0;
+  if (options_.use_dense_inverse) {
+    binv_.assign(static_cast<std::size_t>(num_rows_) * num_rows_, 0.0);
+    for (std::int32_t r = 0; r < num_rows_; ++r) {
+      binv_[static_cast<std::size_t>(r) * num_rows_ + r] = 1.0;
+    }
+  } else {
+    RefactorizeSparse();  // the slack basis is the identity: cannot fail
   }
   pivots_since_refactor_ = 0;
   basis_valid_ = true;
+  needs_refactor_ = false;
 }
 
 void Simplex::SnapNonbasicToBounds() {
@@ -170,17 +199,50 @@ void Simplex::ComputeBasicValues() {
       residual[static_cast<std::size_t>(r)] -= x_[slack];
     }
   }
-  // x_B = Binv * residual.
-  for (std::int32_t p = 0; p < num_rows_; ++p) {
-    const double* row = &binv_[static_cast<std::size_t>(p) * num_rows_];
-    double acc = 0.0;
-    for (std::int32_t r = 0; r < num_rows_; ++r) acc += row[r] * residual[static_cast<std::size_t>(r)];
-    x_[static_cast<std::size_t>(basis_[p])] = acc;
+  if (options_.use_dense_inverse) {
+    // x_B = Binv * residual.
+    for (std::int32_t p = 0; p < num_rows_; ++p) {
+      const double* row = &binv_[static_cast<std::size_t>(p) * num_rows_];
+      double acc = 0.0;
+      for (std::int32_t r = 0; r < num_rows_; ++r) {
+        acc += row[r] * residual[static_cast<std::size_t>(r)];
+      }
+      x_[static_cast<std::size_t>(basis_[p])] = acc;
+    }
+  } else {
+    lu_.Ftran(residual);
+    for (std::int32_t p = 0; p < num_rows_; ++p) {
+      x_[static_cast<std::size_t>(basis_[p])] = residual[static_cast<std::size_t>(p)];
+    }
   }
 }
 
 bool Simplex::Refactorize() {
   ++stats_.refactorizations;
+  const bool ok =
+      options_.use_dense_inverse ? RefactorizeDense() : RefactorizeSparse();
+  if (ok) pivots_since_refactor_ = 0;
+  return ok;
+}
+
+bool Simplex::RefactorizeSparse() {
+  std::vector<SparseColumn> cols(static_cast<std::size_t>(num_rows_));
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const std::int32_t var = basis_[p];
+    SparseColumn& out = cols[static_cast<std::size_t>(p)];
+    if (var < num_struct_) {
+      const Column& col = columns_[static_cast<std::size_t>(var)];
+      out.rows = col.rows;
+      out.vals = col.vals;
+    } else {
+      out.rows = {var - num_struct_};
+      out.vals = {1.0};
+    }
+  }
+  return lu_.Factorize(cols);
+}
+
+bool Simplex::RefactorizeDense() {
   const std::size_t m = static_cast<std::size_t>(num_rows_);
   std::vector<double> bmat(m * m, 0.0);
   for (std::size_t p = 0; p < m; ++p) {
@@ -231,37 +293,59 @@ bool Simplex::Refactorize() {
     }
   }
   binv_ = std::move(inv);
-  pivots_since_refactor_ = 0;
   return true;
 }
 
-void Simplex::Ftran(std::int32_t j, std::vector<double>& w) const {
+void Simplex::Ftran(std::int32_t j, std::vector<double>& w) {
   const std::size_t m = static_cast<std::size_t>(num_rows_);
   w.assign(m, 0.0);
-  if (j < num_struct_) {
-    const Column& col = columns_[static_cast<std::size_t>(j)];
-    for (std::size_t p = 0; p < m; ++p) {
-      const double* row = &binv_[p * m];
-      double acc = 0.0;
-      for (std::size_t t = 0; t < col.rows.size(); ++t) {
-        acc += row[static_cast<std::size_t>(col.rows[t])] * col.vals[t];
+  if (options_.use_dense_inverse) {
+    if (j < num_struct_) {
+      const Column& col = columns_[static_cast<std::size_t>(j)];
+      for (std::size_t p = 0; p < m; ++p) {
+        const double* row = &binv_[p * m];
+        double acc = 0.0;
+        for (std::size_t t = 0; t < col.rows.size(); ++t) {
+          acc += row[static_cast<std::size_t>(col.rows[t])] * col.vals[t];
+        }
+        w[p] = acc;
       }
-      w[p] = acc;
+    } else {
+      const std::size_t r = static_cast<std::size_t>(j - num_struct_);
+      for (std::size_t p = 0; p < m; ++p) w[p] = binv_[p * m + r];
     }
   } else {
-    const std::size_t r = static_cast<std::size_t>(j - num_struct_);
-    for (std::size_t p = 0; p < m; ++p) w[p] = binv_[p * m + r];
+    if (j < num_struct_) {
+      const Column& col = columns_[static_cast<std::size_t>(j)];
+      for (std::size_t t = 0; t < col.rows.size(); ++t) {
+        w[static_cast<std::size_t>(col.rows[t])] = col.vals[t];
+      }
+    } else {
+      w[static_cast<std::size_t>(j - num_struct_)] = 1.0;
+    }
+    lu_.Ftran(w);
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    if (w[p] != 0.0) ++stats_.ftran_nnz;
   }
 }
 
 void Simplex::ComputeDuals(const std::vector<double>& cost, std::vector<double>& y) const {
   const std::size_t m = static_cast<std::size_t>(num_rows_);
-  y.assign(m, 0.0);
-  for (std::size_t p = 0; p < m; ++p) {
-    const double cb = cost[static_cast<std::size_t>(basis_[p])];
-    if (cb == 0.0) continue;
-    const double* row = &binv_[p * m];
-    for (std::size_t r = 0; r < m; ++r) y[r] += cb * row[r];
+  if (options_.use_dense_inverse) {
+    y.assign(m, 0.0);
+    for (std::size_t p = 0; p < m; ++p) {
+      const double cb = cost[static_cast<std::size_t>(basis_[p])];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[p * m];
+      for (std::size_t r = 0; r < m; ++r) y[r] += cb * row[r];
+    }
+  } else {
+    y.resize(m);
+    for (std::size_t p = 0; p < m; ++p) {
+      y[p] = cost[static_cast<std::size_t>(basis_[p])];
+    }
+    lu_.Btran(y);
   }
 }
 
@@ -429,21 +513,26 @@ void Simplex::ApplyStep(const Entering& e, const std::vector<double>& w,
   basis_[p] = e.var;
   status_[j] = VStatus::kBasic;
 
-  // Product-form update of the dense inverse: row p is scaled by 1/w_p
-  // and eliminated from every other row.
-  const double pivot = w[p];
-  double* prow = &binv_[p * m];
-  const double inv_pivot = 1.0 / pivot;
-  for (std::size_t c = 0; c < m; ++c) prow[c] *= inv_pivot;
-  for (std::size_t q = 0; q < m; ++q) {
-    if (q == p) continue;
-    const double factor = w[q];
-    if (factor == 0.0) continue;
-    double* qrow = &binv_[q * m];
-    for (std::size_t c = 0; c < m; ++c) qrow[c] -= factor * prow[c];
+  bool update_ok = true;
+  if (options_.use_dense_inverse) {
+    // Product-form update of the dense inverse: row p is scaled by
+    // 1/w_p and eliminated from every other row.
+    const double pivot = w[p];
+    double* prow = &binv_[p * m];
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t c = 0; c < m; ++c) prow[c] *= inv_pivot;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (q == p) continue;
+      const double factor = w[q];
+      if (factor == 0.0) continue;
+      double* qrow = &binv_[q * m];
+      for (std::size_t c = 0; c < m; ++c) qrow[c] -= factor * prow[c];
+    }
+  } else {
+    update_ok = lu_.Update(r.leaving_pos, w);
   }
 
-  if (++pivots_since_refactor_ >= options_.refactor_interval) {
+  if (!update_ok || ++pivots_since_refactor_ >= options_.refactor_interval) {
     if (!Refactorize()) {
       SFP_LOG_WARN << "singular basis during refactorization; resetting";
       ResetBasisToSlacks();
@@ -547,7 +636,17 @@ Solution Simplex::Solve() {
     solution.status = SolveStatus::kOptimal;
     return solution;
   }
-  if (!basis_valid_) ResetBasisToSlacks();
+  if (!basis_valid_) {
+    ResetBasisToSlacks();
+  } else if (needs_refactor_) {
+    // A restored snapshot: factorize it; a singular one (stale numerics
+    // after bound changes) falls back to the slack basis.
+    if (Refactorize()) {
+      needs_refactor_ = false;
+    } else {
+      ResetBasisToSlacks();
+    }
+  }
   SnapNonbasicToBounds();
   ComputeBasicValues();
 

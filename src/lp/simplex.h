@@ -2,12 +2,16 @@
 //
 // Solves  min/max c'x  s.t.  rows (<=, >=, ==),  l <= x <= u.
 //
-// Implementation notes (see DESIGN.md "LP/MIP solver"):
+// Implementation notes (see DESIGN.md "Solver internals"):
 //  * every row gets a slack variable whose bounds encode the row sense,
 //    so the working problem is Ax = b with box-constrained x,
-//  * the basis inverse is kept densely and updated with product-form
-//    row operations; it is refactorized (Gauss-Jordan with partial
-//    pivoting) every `refactor_interval` pivots or on numerical drift,
+//  * the basis is kept as a sparse LU factorization (Markowitz-style
+//    pivoting, see basis_lu.h) refreshed with product-form eta updates,
+//    so Ftran/Btran/pricing are sparse triangular solves; it is
+//    refactorized every `refactor_interval` pivots or on numerical
+//    drift. `SimplexOptions::use_dense_inverse` switches to the legacy
+//    dense Gauss-Jordan inverse with product-form row updates, kept as
+//    the differential reference for the sparse kernels,
 //  * phase 1 is the composite method: basic variables outside their
 //    bounds get a +/-1 cost pushing them back inside; an infeasible
 //    variable blocks the ratio test when it reaches the bound it
@@ -18,11 +22,15 @@
 // The solver supports warm restarts for branch & bound: callers may
 // tighten/relax variable bounds between Solve() calls and the previous
 // basis is reused (phase 1 repairs any resulting infeasibility).
+// SaveBasis()/RestoreBasis() snapshot and transplant a basis across
+// Simplex instances bound to the same Model — the parallel tree search
+// warm-starts each node LP from its parent's snapshot this way.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "lp/basis_lu.h"
 #include "lp/model.h"
 
 namespace sfp::lp {
@@ -35,10 +43,14 @@ struct SimplexOptions {
   double opt_tol = 1e-7;
   /// Hard cap on total simplex iterations (phases 1+2 combined).
   std::int64_t max_iterations = 200000;
-  /// Basis-inverse refactorization period in pivots.
+  /// Basis refactorization period in pivots (dense inverse rebuild or
+  /// sparse LU eta-file flush).
   int refactor_interval = 120;
   /// Pivots without objective progress before switching to Bland's rule.
   int bland_trigger = 400;
+  /// Use the legacy dense basis inverse instead of the sparse LU
+  /// kernels. Kept as the slow-but-simple differential reference.
+  bool use_dense_inverse = false;
 };
 
 /// Revised simplex engine bound to one Model. The Model's rows and
@@ -50,6 +62,17 @@ class Simplex {
     std::int64_t iterations = 0;
     std::int64_t phase1_iterations = 0;
     int refactorizations = 0;
+    /// Nonzeros of all Ftran results (sparse path; dense Ftrans count
+    /// every position). Tracks how sparse the pivot columns stay.
+    std::int64_t ftran_nnz = 0;
+  };
+
+  /// Opaque basis snapshot: which variable sits in each basis position
+  /// plus every variable's nonbasic status. Valid across Simplex
+  /// instances built from the same Model.
+  struct BasisState {
+    std::vector<std::int32_t> basis;
+    std::vector<std::uint8_t> status;
   };
 
   explicit Simplex(const Model& model, SimplexOptions options = {});
@@ -62,6 +85,14 @@ class Simplex {
 
   /// Discards the warm basis; the next Solve() starts from slacks.
   void ResetBasis();
+
+  /// Snapshots the current basis (meaningful after a Solve()).
+  BasisState SaveBasis() const;
+  /// Adopts a snapshot from a previous Solve() — possibly of another
+  /// Simplex instance on the same Model. The factorization is rebuilt
+  /// on the next Solve(); a numerically singular snapshot falls back to
+  /// the slack basis.
+  void RestoreBasis(const BasisState& state);
 
   const Stats& stats() const { return stats_; }
 
@@ -85,7 +116,7 @@ class Simplex {
 
   // --- iteration pieces ---------------------------------------------
   // Multiplies w = Binv * A_j for column j.
-  void Ftran(std::int32_t j, std::vector<double>& w) const;
+  void Ftran(std::int32_t j, std::vector<double>& w);
   // y = cost_B' * Binv for the given per-variable cost vector.
   void ComputeDuals(const std::vector<double>& cost, std::vector<double>& y) const;
   double ReducedCost(std::int32_t j, const std::vector<double>& cost,
@@ -117,6 +148,11 @@ class Simplex {
   double TotalInfeasibility() const;
   void BuildPhase1Cost(std::vector<double>& cost) const;
 
+  // Dense Gauss-Jordan rebuild of binv_ (reference path).
+  bool RefactorizeDense();
+  // Sparse LU rebuild of lu_ from the current basis.
+  bool RefactorizeSparse();
+
   // --- data ----------------------------------------------------------
   SimplexOptions options_;
   std::int32_t num_rows_ = 0;
@@ -131,8 +167,11 @@ class Simplex {
   std::vector<VStatus> status_;       // size num_total_
   std::vector<std::int32_t> basis_;   // size num_rows_ (var per basis pos)
   std::vector<double> x_;             // size num_total_
-  std::vector<double> binv_;          // dense num_rows_^2, row-major
+  std::vector<double> binv_;          // dense num_rows_^2, row-major (dense path)
+  BasisLu lu_;                        // sparse path
   bool basis_valid_ = false;
+  /// A restored snapshot needs a fresh factorization before use.
+  bool needs_refactor_ = false;
   int pivots_since_refactor_ = 0;
   /// Snapshot of stats_.iterations at Solve() entry, so the iteration
   /// limit applies per solve rather than across warm restarts.

@@ -16,6 +16,11 @@ namespace {
 
 constexpr double kTol = 1e-5;
 
+// Golden branch & bound tree sizes for PseudocostBranchingKnownTree
+// (deterministic mode, fixed node order).
+constexpr std::int64_t kPseudoGoldenNodes = 5;
+constexpr std::int64_t kFracGoldenNodes = 5;
+
 TEST(MipTest, SolvesSmallKnapsack) {
   // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binaries.
   // Best: a + c (weight 5, value 17) vs b + c (6, 20) -> 20.
@@ -80,6 +85,137 @@ TEST(MipTest, MixedIntegerContinuous) {
   MipResult result = solver.Solve();
   ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
   EXPECT_NEAR(result.solution.objective, 2 + 2.0, kTol);  // x=1, y=2
+}
+
+TEST(MipTest, InfeasibleMinimizationHasPlusInfinityBound) {
+  // Empty feasible set: the infimum over it is +infinity. The bound
+  // must not report -infinity (the internal max-sense sentinel).
+  Model model;
+  model.SetMaximize(false);
+  VarId x = model.AddBinaryVar(1, "x");
+  model.AddRow({x}, {1}, Sense::kGe, 2);  // x <= 1 can never reach 2
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  EXPECT_EQ(result.solution.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(result.best_bound, kInfinity);
+  EXPECT_EQ(result.nodes_dropped, 0);
+}
+
+TEST(MipTest, InfeasibleMaximizationHasMinusInfinityBound) {
+  Model model;
+  VarId x = model.AddBinaryVar(1, "x");
+  model.AddRow({x}, {1}, Sense::kGe, 2);
+
+  MipSolver solver(model);
+  MipResult result = solver.Solve();
+  EXPECT_EQ(result.solution.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(result.best_bound, -kInfinity);
+}
+
+TEST(MipTest, DroppedNodeIsNotReportedInfeasible) {
+  // A 1-iteration simplex cap makes the root LP hit kIterationLimit:
+  // the node is dropped, which proves nothing about feasibility. The
+  // solver must say "iteration limit", not "infeasible", and fold the
+  // dropped node's (here unbounded) parent bound into best_bound.
+  Model model;
+  VarId a = model.AddBinaryVar(10, "a");
+  VarId b = model.AddBinaryVar(13, "b");
+  model.AddRow({a, b}, {3, 4}, Sense::kLe, 5);
+
+  MipOptions options;
+  options.simplex.max_iterations = 1;
+  MipSolver solver(model, options);
+  MipResult result = solver.Solve();
+  EXPECT_EQ(result.solution.status, SolveStatus::kIterationLimit);
+  EXPECT_EQ(result.nodes_dropped, 1);
+  EXPECT_EQ(result.best_bound, kInfinity);  // nothing was proven
+}
+
+TEST(MipTest, DroppedNodeBlocksOptimalityClaim) {
+  // Same setup but seeded with a feasible incumbent: the tree
+  // "exhausts", yet a subtree was dropped, so the incumbent may not be
+  // optimal — the status must stay kFeasible and the dual bound must
+  // stay above the incumbent.
+  Model model;
+  VarId a = model.AddBinaryVar(10, "a");
+  VarId b = model.AddBinaryVar(13, "b");
+  model.AddRow({a, b}, {3, 4}, Sense::kLe, 5);
+
+  MipOptions options;
+  options.simplex.max_iterations = 1;
+  MipSolver solver(model, options);
+  solver.SetInitialIncumbent({1.0, 0.0});  // value 10
+  MipResult result = solver.Solve();
+  EXPECT_EQ(result.solution.status, SolveStatus::kFeasible);
+  EXPECT_NEAR(result.solution.objective, 10.0, kTol);
+  EXPECT_EQ(result.nodes_dropped, 1);
+  EXPECT_GT(result.best_bound, result.solution.objective);
+}
+
+TEST(MipTest, PseudocostBranchingKnownTree) {
+  // Fixed 3-item knapsack with binary-representable data, solved to
+  // completion under both branching rules. Both must find the optimum;
+  // the node counts pin the tree shapes so a behaviour change in the
+  // branching logic is caught explicitly.
+  //
+  // max 8a + 4b + 2c  s.t.  4a + 2b + 1c <= 5  ->  a=1, b=0, c=1: 10.
+  Model model;
+  VarId a = model.AddBinaryVar(8, "a");
+  VarId b = model.AddBinaryVar(4, "b");
+  VarId c = model.AddBinaryVar(2, "c");
+  model.AddRow({a, b, c}, {4, 2, 1}, Sense::kLe, 5);
+
+  MipOptions pseudo_options;
+  pseudo_options.branching = MipOptions::Branching::kPseudocost;
+  MipSolver pseudo_solver(model, pseudo_options);
+  MipResult pseudo = pseudo_solver.Solve();
+  ASSERT_EQ(pseudo.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(pseudo.solution.objective, 10.0, kTol);
+
+  MipOptions frac_options;
+  frac_options.branching = MipOptions::Branching::kMostFractional;
+  MipSolver frac_solver(model, frac_options);
+  MipResult frac = frac_solver.Solve();
+  ASSERT_EQ(frac.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(frac.solution.objective, 10.0, kTol);
+
+  // Golden tree sizes for this model (deterministic mode, fixed node
+  // order): see DESIGN.md "Solver internals".
+  EXPECT_EQ(pseudo.nodes_explored, kPseudoGoldenNodes);
+  EXPECT_EQ(frac.nodes_explored, kFracGoldenNodes);
+}
+
+TEST(MipTest, PseudocostsSteerTowardHighImpactVariable) {
+  // Two fractional binaries; x has 100x the objective impact of y.
+  // After the first branchings initialize the pseudocosts, the search
+  // must prefer branching on x — visible as a tree no larger than the
+  // most-fractional one on the same model.
+  Rng rng(4242);
+  for (int round = 0; round < 10; ++round) {
+    Model model;
+    std::vector<VarId> vars;
+    std::vector<double> weights;
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+      const double value = rng.UniformDouble(1, 10) * (i < 2 ? 100.0 : 1.0);
+      vars.push_back(model.AddBinaryVar(value));
+      weights.push_back(rng.UniformDouble(1, 4));
+    }
+    model.AddRow(vars, weights, Sense::kLe, 6.0);
+
+    MipOptions pseudo_options;
+    pseudo_options.branching = MipOptions::Branching::kPseudocost;
+    MipResult pseudo = MipSolver(model, pseudo_options).Solve();
+
+    MipOptions frac_options;
+    frac_options.branching = MipOptions::Branching::kMostFractional;
+    MipResult frac = MipSolver(model, frac_options).Solve();
+
+    ASSERT_EQ(pseudo.solution.status, SolveStatus::kOptimal);
+    ASSERT_EQ(frac.solution.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(pseudo.solution.objective, frac.solution.objective, kTol);
+  }
 }
 
 TEST(MipTest, TimeLimitReturnsTimeLimitStatusWithoutIncumbent) {
