@@ -12,6 +12,7 @@
 #include "core/sfp_system.h"
 #include "nf/classifier.h"
 #include "switchsim/egress.h"
+#include "workload/traffic.h"
 
 using namespace sfp;
 
@@ -48,8 +49,21 @@ int main() {
   const double port_gbps = 100.0;
   Table table({"BE offered (Gbps)", "total offered", "premium mean wait (ns)",
                "premium max wait (ns)", "BE mean wait (ns)", "BE drop %"});
+  // Fixed-size single-flow streams per tenant (the chain classifies by
+  // port range, so only tenant tag and frame size matter): packets
+  // come from TrafficSource by value — no heap churn in the load loop.
+  workload::TrafficSpec premium_spec;
+  premium_spec.tenant = 1;
+  premium_spec.frame_bytes = 500;
+  premium_spec.round_robin_flows = true;
+  workload::TrafficSpec be_spec;
+  be_spec.tenant = 2;
+  be_spec.frame_bytes = 1500;
+  be_spec.round_robin_flows = true;
   for (const double be_gbps : {20.0, 50.0, 80.0, 95.0, 110.0, 130.0, 160.0}) {
     switchsim::EgressPort port(3, port_gbps, 150 * 1000);
+    workload::TrafficSource premium_source(premium_spec);
+    workload::TrafficSource be_source(be_spec);
     const double horizon_ns = 400e3;
     const double premium_gap = 500 * 8.0 / 10.0;
     const double be_gap = 1500 * 8.0 / be_gbps;
@@ -57,10 +71,8 @@ int main() {
     while (tp < horizon_ns || tb < horizon_ns) {
       const bool premium_next = tp <= tb;
       const double t = premium_next ? tp : tb;
-      const std::uint16_t tenant = premium_next ? 1 : 2;
       const std::uint32_t size = premium_next ? 500 : 1500;
-      auto packet = net::MakeTcpPacket(tenant, net::Ipv4Address::Of(10, 0, 0, tenant),
-                                       net::Ipv4Address::Of(10, 0, 1, 1), 999, 80, size);
+      const auto packet = premium_next ? premium_source.Next() : be_source.Next();
       auto out = system.Process(packet);
       port.Enqueue(t, size, out.meta.flow_class);
       (premium_next ? tp : tb) += premium_next ? premium_gap : be_gap;

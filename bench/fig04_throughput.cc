@@ -25,6 +25,7 @@
 #include "nf/load_balancer.h"
 #include "nf/router.h"
 #include "serversim/server_model.h"
+#include "workload/traffic.h"
 
 using namespace sfp;
 
@@ -88,19 +89,16 @@ struct PacketOutcome {
 };
 
 /// 64 B frames over many distinct flows of tenant 1 (flow diversity is
-/// what the batch path shards on).
-std::vector<net::Packet> BatchWorkload(int count, int flows) {
-  std::vector<net::Packet> packets;
-  packets.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    const int flow = i % flows;
-    packets.push_back(net::MakeTcpPacket(
-        1, net::Ipv4Address::Of(10, 1, static_cast<std::uint8_t>(flow >> 8),
-                                static_cast<std::uint8_t>(flow & 0xFF)),
-        net::Ipv4Address::Of(10, 0, 0, 100),
-        static_cast<std::uint16_t>(1024 + flow % 4096), 80, 64));
-  }
-  return packets;
+/// what the batch path shards on), streamed into a reusable batch
+/// instead of materialized as a whole trace. Deterministic: every
+/// caller constructing the same source replays the same stream.
+workload::TrafficSource BatchWorkloadSource(int flows) {
+  workload::TrafficSpec spec;
+  spec.tenant = 1;
+  spec.num_flows = flows;
+  spec.frame_bytes = 64;
+  spec.round_robin_flows = true;
+  return workload::TrafficSource(spec);
 }
 
 }  // namespace
@@ -165,18 +163,27 @@ int main() {
   const int kPackets = 120000;
   const int kFlows = 512;
   const int kBatch = 4096;
-  const auto workload = BatchWorkload(kPackets, kFlows);
 
   // Scalar reference run: timing + the per-packet outcomes every
-  // batched run must reproduce exactly.
+  // batched run must reproduce exactly. The workload streams from a
+  // TrafficSource into one reusable PacketBatch (net::Packet holds no
+  // heap data, so refills don't allocate in steady state).
   std::vector<PacketOutcome> reference;
-  reference.reserve(workload.size());
+  reference.reserve(static_cast<std::size_t>(kPackets));
   double scalar_mpps = 0.0;
   {
     auto scalar = MakeTestbedSwitch();
     if (!scalar.AdmitTenant(TestChain()).admitted) return 1;
+    auto source = BatchWorkloadSource(kFlows);
+    workload::PacketBatch batch;
     Stopwatch timer;
-    for (const auto& packet : workload) reference.push_back(PacketOutcome::Of(scalar.Process(packet)));
+    for (int off = 0; off < kPackets; off += kBatch) {
+      const auto n = static_cast<std::size_t>(std::min(kBatch, kPackets - off));
+      source.Refill(batch, n);
+      for (const auto& packet : batch.packets) {
+        reference.push_back(PacketOutcome::Of(scalar.Process(packet)));
+      }
+    }
     scalar_mpps = kPackets / timer.ElapsedSeconds() / 1e6;
   }
 
@@ -191,15 +198,19 @@ int main() {
     switchsim::BatchOptions options;
     options.num_threads = threads;
     bool identical = true;
+    // Same spec + seed as the scalar run: the stream replays exactly.
+    auto source = BatchWorkloadSource(kFlows);
+    workload::PacketBatch batch;
     Stopwatch timer;
-    for (std::size_t off = 0; off < workload.size(); off += kBatch) {
-      const std::size_t n = std::min<std::size_t>(kBatch, workload.size() - off);
+    for (int off = 0; off < kPackets; off += kBatch) {
+      const auto n = static_cast<std::size_t>(std::min(kBatch, kPackets - off));
+      source.Refill(batch, n);
       Stopwatch batch_timer;
-      const auto results =
-          batched.ProcessBatch(std::span(workload).subspan(off, n), options);
+      const auto results = batched.ProcessBatch(batch.View(), options);
       ns_hist.Observe(batch_timer.ElapsedSeconds() * 1e9 / static_cast<double>(n));
       for (std::size_t i = 0; i < n; ++i) {
-        identical &= PacketOutcome::Of(results[i]) == reference[off + i];
+        identical &= PacketOutcome::Of(results[i]) ==
+                     reference[static_cast<std::size_t>(off) + i];
       }
     }
     const double mpps = kPackets / timer.ElapsedSeconds() / 1e6;

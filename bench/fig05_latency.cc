@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/sfp_system.h"
+#include "workload/traffic.h"
 #include "nf/classifier.h"
 #include "nf/firewall.h"
 #include "nf/load_balancer.h"
@@ -61,15 +62,21 @@ switchsim::SwitchConfig Testbed() {
 
 /// Mean measured latency of the tenant chain over frames of each size.
 /// Every sample is also observed into `histogram` when non-null.
+/// Frames stream from a TrafficSource into one reusable PacketBatch
+/// (no per-packet allocation in the measure loop).
 sim::LatencyStats MeasureSwitch(core::SfpSystem& system, int expected_passes,
                                 common::metrics::Histogram* histogram = nullptr) {
   sim::LatencyStats stats;
+  workload::PacketBatch batch;
   for (const int size : {64, 128, 256, 512, 1024, 1500}) {
-    for (int i = 0; i < 100; ++i) {
-      auto packet = net::MakeTcpPacket(
-          1, net::Ipv4Address::Of(10, 1, 0, static_cast<std::uint8_t>(1 + i % 200)),
-          net::Ipv4Address::Of(10, 0, 0, 100), static_cast<std::uint16_t>(1024 + i), 80,
-          static_cast<std::uint32_t>(size));
+    workload::TrafficSpec spec;
+    spec.tenant = 1;
+    spec.num_flows = 200;
+    spec.frame_bytes = size;
+    spec.round_robin_flows = true;
+    workload::TrafficSource source(spec);
+    source.Refill(batch, 100);
+    for (const auto& packet : batch.packets) {
       const auto out = system.Process(packet);
       if (out.meta.dropped || out.passes != expected_passes) {
         std::printf("FATAL: unexpected path (dropped=%d passes=%d)\n", out.meta.dropped,

@@ -4,6 +4,10 @@
 // rounding).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "common/rng.h"
 #include "controlplane/approx_solver.h"
 #include "controlplane/greedy_solver.h"
@@ -17,9 +21,38 @@
 #include "lp/rounding.h"
 #include "workload/traffic.h"
 
+// --- allocation counter ----------------------------------------------
+// Counts every heap allocation in the binary so the zero-allocation
+// benchmarks below can assert that the steady-state generate+serve
+// loops never touch the heap per packet (an acceptance criterion of
+// the reusable-buffer TrafficSource / SerializeInto path).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace sfp;
+
+std::uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
 
 // --- switch data path -------------------------------------------------
 
@@ -139,6 +172,100 @@ void BM_PacketParseSerialize(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * bytes.size());
 }
 BENCHMARK(BM_PacketParseSerialize);
+
+// --- telemetry --------------------------------------------------------
+
+/// Serial per-packet Record (Arg 0) vs one RecordBatch call (Arg 1)
+/// over the same mixed-tenant result array. The batch path pays one
+/// shard lock per tenant group instead of one global lock per packet.
+void BM_TelemetryRecord(benchmark::State& state) {
+  const bool batched = state.range(0) == 1;
+  constexpr std::size_t kBatch = 1024;
+  dataplane::TelemetryCollector collector;
+  std::vector<switchsim::ProcessResult> results(kBatch);
+  std::vector<std::uint32_t> wire(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    results[i].meta.tenant_id = static_cast<std::uint16_t>(1 + i % 8);
+    results[i].meta.dropped = (i % 31) == 0;
+    results[i].passes = 1 + static_cast<int>(i % 3);
+    results[i].latency_ns = 300.0 + static_cast<double>(i % 7) * 50.0;
+    wire[i] = 64 + static_cast<std::uint32_t>(i % 1400);
+  }
+  for (auto _ : state) {
+    if (batched) {
+      collector.RecordBatch(wire, results);
+    } else {
+      for (std::size_t i = 0; i < kBatch; ++i) collector.Record(wire[i], results[i]);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_TelemetryRecord)->Arg(0)->Arg(1)->ArgNames({"batch"});
+
+// --- zero-allocation steady state ------------------------------------
+
+/// Streams a TrafficSource into one reusable PacketBatch, serves each
+/// frame through the scalar path (the loop shape of fig05/ext1), and
+/// re-serializes it into a reused wire buffer. After warm-up the loop
+/// must not allocate: `allocs_per_packet` is the acceptance gate
+/// (expected 0). The batched path adds only O(1) per-batch result
+/// vectors, never per-packet allocations.
+void BM_SteadyStateServeAllocs(benchmark::State& state) {
+  constexpr std::size_t kBatch = 256;
+  core::SfpSystem system{switchsim::SwitchConfig{}};
+  system.ProvisionPhysical({{nf::NfType::kFirewall}});
+  dataplane::Sfc sfc;
+  sfc.tenant = 1;
+  sfc.bandwidth_gbps = 10;
+  {
+    nf::NfConfig fw;
+    fw.type = nf::NfType::kFirewall;
+    fw.rules.push_back(nf::Firewall::Deny(
+        switchsim::FieldMatch::Any(), switchsim::FieldMatch::Any(),
+        switchsim::FieldMatch::Any(), switchsim::FieldMatch::Range(23, 23),
+        switchsim::FieldMatch::Any()));
+    sfc.chain = {fw};
+  }
+  if (!system.AdmitTenant(sfc).admitted) {
+    state.SkipWithError("admission failed");
+    return;
+  }
+  workload::TrafficSpec spec;
+  spec.tenant = 1;
+  spec.num_flows = 64;
+  spec.round_robin_flows = true;
+  workload::TrafficSource source(spec);
+  workload::PacketBatch batch;
+  std::vector<std::uint8_t> wire;
+  wire.reserve(2048);
+  // Warm-up: sizes the batch, the telemetry series map, and the wire
+  // buffer to their steady-state capacities.
+  for (int warm = 0; warm < 4; ++warm) {
+    source.Refill(batch, kBatch);
+    for (const auto& packet : batch.packets) {
+      const auto out = system.Process(packet);
+      benchmark::DoNotOptimize(out.passes);
+      packet.SerializeInto(wire);
+    }
+  }
+  const std::uint64_t before = AllocCount();
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    source.Refill(batch, kBatch);
+    for (const auto& packet : batch.packets) {
+      const auto out = system.Process(packet);
+      benchmark::DoNotOptimize(out.passes);
+      packet.SerializeInto(wire);
+      benchmark::DoNotOptimize(wire.data());
+    }
+    packets += kBatch;
+  }
+  const std::uint64_t allocs = AllocCount() - before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.counters["allocs_per_packet"] =
+      static_cast<double>(allocs) / static_cast<double>(std::max<std::uint64_t>(1, packets));
+}
+BENCHMARK(BM_SteadyStateServeAllocs);
 
 // --- solver -----------------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "core/sfp_system.h"
 
+#include <cmath>
 #include <thread>
 
 #include "common/logging.h"
@@ -152,26 +153,48 @@ int SfpSystem::ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& lay
 
 std::vector<switchsim::ProcessResult> SfpSystem::ProcessBatch(
     std::span<const net::Packet> packets, const switchsim::BatchOptions& options) {
-  auto results = data_plane_.ProcessBatch(packets, options);
-  // Telemetry aggregation is sequential (input order) on this thread:
-  // identical to a scalar Process loop.
+  // Snapshot wire sizes up front (pure arithmetic over header
+  // presence, no locks) into a reusable buffer so the workers' fused
+  // telemetry sinks can index them; telemetry itself is then recorded
+  // inside the batch workers via BatchOptions::result_sink — there is
+  // no serial per-packet Record pass on this thread any more.
+  wire_bytes_scratch_.resize(packets.size());
   for (std::size_t i = 0; i < packets.size(); ++i) {
-    telemetry_.Record(packets[i].WireBytes(), results[i]);
+    wire_bytes_scratch_[i] = packets[i].WireBytes();
   }
-  return results;
+  switchsim::BatchOptions fused = options;
+  fused.result_sink = [this, wire = std::span<const std::uint32_t>(wire_bytes_scratch_),
+                       caller_sink = options.result_sink](
+                          std::span<const std::uint32_t> indices,
+                          std::span<const switchsim::ProcessResult> results) {
+    telemetry_.RecordBatch(indices, wire, results);
+    if (caller_sink) caller_sink(indices, results);
+  };
+  return data_plane_.ProcessBatch(packets, fused);
 }
 
 void SfpSystem::ExportMetrics(common::metrics::Registry& registry) const {
   data_plane_.pipeline().ExportMetrics(registry);
-  const auto total = telemetry_.Total();
+  // One all-shard locking pass for the whole collector instead of a
+  // lock acquisition per tenant.
+  const auto snapshot = telemetry_.TakeSnapshot();
+  const auto& total = snapshot.total;
   registry.GetCounter("telemetry.total.packets").Set(total.packets);
   registry.GetCounter("telemetry.total.bytes").Set(total.bytes);
   registry.GetCounter("telemetry.total.drops").Set(total.drops);
   registry.GetCounter("telemetry.total.recirculated_packets")
       .Set(total.recirculated_packets);
   registry.GetCounter("telemetry.total.passes").Set(total.total_passes);
-  for (const std::uint16_t tenant : telemetry_.Tenants()) {
-    const auto counters = telemetry_.Tenant(tenant);
+  // Latency sums are exported in the collector's exact fixed-point
+  // units (1/4096 ns) so the bench-regression gate can compare them
+  // bit-for-bit; total_latency_ns is fp/4096 and converts back
+  // exactly.
+  registry.GetCounter("telemetry.total.latency_fp")
+      .Set(static_cast<std::uint64_t>(
+          std::llround(total.total_latency_ns * dataplane::TelemetryCollector::kLatencyScale)));
+  registry.GetCounter("telemetry.tenants").Set(snapshot.tenants.size());
+  registry.GetCounter("telemetry.departed").Set(snapshot.departed);
+  for (const auto& [tenant, counters] : snapshot.tenants) {
     const std::string prefix = "telemetry.tenant" + std::to_string(tenant) + ".";
     registry.GetCounter(prefix + "packets").Set(counters.packets);
     registry.GetCounter(prefix + "bytes").Set(counters.bytes);

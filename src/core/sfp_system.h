@@ -149,11 +149,15 @@ class SfpSystem {
   }
 
   /// Batched serve path: processes the whole batch through the
-  /// flow-sharded worker pool, then records telemetry in input order on
-  /// the calling thread, so telemetry is identical to a scalar Process
-  /// loop. Concurrent AdmitTenant/RemoveTenant from another thread is
-  /// safe; traffic itself must come from one thread at a time (or via
-  /// this batch API, which parallelizes internally).
+  /// flow-sharded worker pool, with telemetry accounting fused into
+  /// the batch workers (each worker batch-records its own shard into
+  /// the sharded collector). Counters are bit-identical to a scalar
+  /// Process loop — the collector sums latencies in fixed-point, so
+  /// worker interleaving cannot change any total. Concurrent
+  /// AdmitTenant/RemoveTenant from another thread is safe; traffic
+  /// itself must come from one thread at a time (or via this batch
+  /// API, which parallelizes internally). A caller-provided
+  /// options.result_sink still runs, after telemetry, on each worker.
   std::vector<switchsim::ProcessResult> ProcessBatch(
       std::span<const net::Packet> packets, const switchsim::BatchOptions& options = {});
 
@@ -184,6 +188,10 @@ class SfpSystem {
   };
   std::map<dataplane::TenantId, Admission> admissions_;
   dataplane::TelemetryCollector telemetry_;
+  /// Reused per ProcessBatch call for the packets' wire sizes (the
+  /// fused telemetry sinks index into it). Safe as a member because
+  /// traffic comes from one thread at a time (see ProcessBatch).
+  std::vector<std::uint32_t> wire_bytes_scratch_;
   /// Admission outcome taxonomy (exported as system.admit.*).
   common::metrics::RelaxedCounter admits_ok_;
   common::metrics::RelaxedCounter rejects_already_;

@@ -1,112 +1,300 @@
 #include "dataplane/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sfp::dataplane {
+namespace {
+
+/// Locks every shard mutex in index order and releases on destruction.
+/// Callers must hold (or not need) the control mutex first; the fixed
+/// order makes the all-shard acquisition deadlock-free against the
+/// single-shard hot path.
+class AllShardsLock {
+ public:
+  template <typename Shards>
+  explicit AllShardsLock(Shards& shards) {
+    locks_.reserve(shards.size());
+    for (auto& shard : shards) locks_.emplace_back(shard.mutex);
+  }
+
+ private:
+  std::vector<std::unique_lock<std::mutex>> locks_;
+};
+
+}  // namespace
+
+std::uint64_t TelemetryCollector::QuantizeLatency(double latency_ns) {
+  if (latency_ns <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::llround(latency_ns * kLatencyScale));
+}
+
+TenantCounters TelemetryCollector::Series::ToCounters() const {
+  TenantCounters out;
+  Accumulate(out);
+  return out;
+}
+
+void TelemetryCollector::Series::Accumulate(TenantCounters& out) const {
+  out.packets += packets;
+  out.bytes += bytes;
+  out.drops += drops;
+  out.recirculated_packets += recirculated_packets;
+  out.total_passes += total_passes;
+  // latency_fp is exact, so summing the converted doubles per series
+  // would reintroduce order dependence; instead callers that aggregate
+  // multiple series (Total/TakeSnapshot) sum fp units and convert
+  // once. For the single-series case the two are identical.
+  out.total_latency_ns += static_cast<double>(latency_fp) / kLatencyScale;
+  out.max_latency_ns = std::max(out.max_latency_ns, max_latency_ns);
+}
+
+TelemetryCollector::Delta* TelemetryCollector::DeltaTable::Find(std::uint16_t tenant) {
+  for (std::size_t i = 0; i < size; ++i) {
+    if (entries[i].tenant == tenant) return &entries[i];
+  }
+  return nullptr;
+}
+
+TelemetryCollector::Delta* TelemetryCollector::DeltaTable::TryAdd(std::uint16_t tenant) {
+  if (size == kCapacity) return nullptr;
+  entries[size] = Delta{};
+  entries[size].tenant = tenant;
+  return &entries[size++];
+}
 
 void TelemetryCollector::Record(std::uint32_t wire_bytes,
                                 const switchsim::ProcessResult& result) {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  Series& series = per_tenant_[result.meta.tenant_id];
+  Delta delta;
+  delta.tenant = result.meta.tenant_id;
+  delta.packets = 1;
+  delta.bytes = wire_bytes;
+  delta.drops = result.meta.dropped ? 1 : 0;
+  delta.recirculated_packets = result.passes > 1 ? 1 : 0;
+  delta.total_passes = static_cast<std::uint64_t>(result.passes);
+  delta.latency_fp = QuantizeLatency(result.latency_ns);
+  delta.max_latency_ns = result.latency_ns;
+  ApplyDelta(delta);
+}
+
+void TelemetryCollector::RecordBatch(std::span<const std::uint32_t> wire_bytes,
+                                     std::span<const switchsim::ProcessResult> results) {
+  DeltaTable table;
+  const std::size_t n = std::min(wire_bytes.size(), results.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const switchsim::ProcessResult& result = results[i];
+    const std::uint16_t tenant = result.meta.tenant_id;
+    Delta* delta = table.Find(tenant);
+    if (delta == nullptr) {
+      delta = table.TryAdd(tenant);
+      if (delta == nullptr) {
+        // More distinct tenants than scratch slots: merge what we
+        // have and start a fresh table. Merging early is harmless —
+        // all accumulators are exact and associative.
+        FlushDeltas(table);
+        table.size = 0;
+        delta = table.TryAdd(tenant);
+      }
+    }
+    ++delta->packets;
+    delta->bytes += wire_bytes[i];
+    if (result.meta.dropped) ++delta->drops;
+    if (result.passes > 1) ++delta->recirculated_packets;
+    delta->total_passes += static_cast<std::uint64_t>(result.passes);
+    delta->latency_fp += QuantizeLatency(result.latency_ns);
+    delta->max_latency_ns = std::max(delta->max_latency_ns, result.latency_ns);
+  }
+  FlushDeltas(table);
+}
+
+void TelemetryCollector::RecordBatch(std::span<const std::uint32_t> indices,
+                                     std::span<const std::uint32_t> wire_bytes,
+                                     std::span<const switchsim::ProcessResult> results) {
+  DeltaTable table;
+  for (const std::uint32_t index : indices) {
+    const switchsim::ProcessResult& result = results[index];
+    const std::uint16_t tenant = result.meta.tenant_id;
+    Delta* delta = table.Find(tenant);
+    if (delta == nullptr) {
+      delta = table.TryAdd(tenant);
+      if (delta == nullptr) {
+        FlushDeltas(table);
+        table.size = 0;
+        delta = table.TryAdd(tenant);
+      }
+    }
+    ++delta->packets;
+    delta->bytes += wire_bytes[index];
+    if (result.meta.dropped) ++delta->drops;
+    if (result.passes > 1) ++delta->recirculated_packets;
+    delta->total_passes += static_cast<std::uint64_t>(result.passes);
+    delta->latency_fp += QuantizeLatency(result.latency_ns);
+    delta->max_latency_ns = std::max(delta->max_latency_ns, result.latency_ns);
+  }
+  FlushDeltas(table);
+}
+
+void TelemetryCollector::ApplyDelta(const Delta& delta) {
+  Shard& shard = state_->shards[ShardOf(delta.tenant)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Series& series = shard.series[delta.tenant];
   series.departed = false;  // traffic revives a departed series
-  TenantCounters& counters = series.counters;
-  ++counters.packets;
-  counters.bytes += wire_bytes;
-  if (result.meta.dropped) ++counters.drops;
-  if (result.passes > 1) ++counters.recirculated_packets;
-  counters.total_passes += static_cast<std::uint64_t>(result.passes);
-  counters.total_latency_ns += result.latency_ns;
-  counters.max_latency_ns = std::max(counters.max_latency_ns, result.latency_ns);
+  series.packets += delta.packets;
+  series.bytes += delta.bytes;
+  series.drops += delta.drops;
+  series.recirculated_packets += delta.recirculated_packets;
+  series.total_passes += delta.total_passes;
+  series.latency_fp += delta.latency_fp;
+  series.max_latency_ns = std::max(series.max_latency_ns, delta.max_latency_ns);
+}
+
+void TelemetryCollector::FlushDeltas(const DeltaTable& table) {
+  // Merge once per touched shard: group the (few) entries by shard so
+  // each shard mutex is taken at most once per flush.
+  for (std::size_t shard_index = 0; shard_index < kShardCount; ++shard_index) {
+    Shard* shard = nullptr;
+    std::unique_lock<std::mutex> lock;
+    for (std::size_t i = 0; i < table.size; ++i) {
+      const Delta& delta = table.entries[i];
+      if (ShardOf(delta.tenant) != shard_index) continue;
+      if (shard == nullptr) {
+        shard = &state_->shards[shard_index];
+        lock = std::unique_lock<std::mutex>(shard->mutex);
+      }
+      Series& series = shard->series[delta.tenant];
+      series.departed = false;
+      series.packets += delta.packets;
+      series.bytes += delta.bytes;
+      series.drops += delta.drops;
+      series.recirculated_packets += delta.recirculated_packets;
+      series.total_passes += delta.total_passes;
+      series.latency_fp += delta.latency_fp;
+      series.max_latency_ns = std::max(series.max_latency_ns, delta.max_latency_ns);
+    }
+  }
 }
 
 TenantCounters TelemetryCollector::Tenant(std::uint16_t tenant) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  const auto it = per_tenant_.find(tenant);
-  return it != per_tenant_.end() ? it->second.counters : TenantCounters{};
+  const Shard& shard = state_->shards[ShardOf(tenant)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(tenant);
+  return it != shard.series.end() ? it->second.ToCounters() : TenantCounters{};
 }
 
 std::vector<std::uint16_t> TelemetryCollector::Tenants() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
   std::vector<std::uint16_t> tenants;
-  tenants.reserve(per_tenant_.size());
-  for (const auto& [tenant, series] : per_tenant_) tenants.push_back(tenant);
+  for (const Shard& shard : state_->shards) {
+    for (const auto& [tenant, series] : shard.series) tenants.push_back(tenant);
+  }
+  std::sort(tenants.begin(), tenants.end());
   return tenants;
 }
 
 std::vector<std::uint16_t> TelemetryCollector::DepartedTenants() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
   std::vector<std::uint16_t> tenants;
-  for (const auto& [tenant, series] : per_tenant_) {
-    if (series.departed) tenants.push_back(tenant);
+  for (const Shard& shard : state_->shards) {
+    for (const auto& [tenant, series] : shard.series) {
+      if (series.departed) tenants.push_back(tenant);
+    }
   }
+  std::sort(tenants.begin(), tenants.end());
   return tenants;
 }
 
 TenantCounters TelemetryCollector::Total() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  TenantCounters total;
-  for (const auto& [tenant, series] : per_tenant_) {
-    const TenantCounters& counters = series.counters;
-    total.packets += counters.packets;
-    total.bytes += counters.bytes;
-    total.drops += counters.drops;
-    total.recirculated_packets += counters.recirculated_packets;
-    total.total_passes += counters.total_passes;
-    total.total_latency_ns += counters.total_latency_ns;
-    total.max_latency_ns = std::max(total.max_latency_ns, counters.max_latency_ns);
+  return TakeSnapshot().total;
+}
+
+TelemetryCollector::Snapshot TelemetryCollector::TakeSnapshot() const {
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
+  Snapshot snapshot;
+  std::uint64_t total_latency_fp = 0;
+  for (const Shard& shard : state_->shards) {
+    for (const auto& [tenant, series] : shard.series) {
+      snapshot.tenants.emplace_back(tenant, series.ToCounters());
+      if (series.departed) ++snapshot.departed;
+      snapshot.total.packets += series.packets;
+      snapshot.total.bytes += series.bytes;
+      snapshot.total.drops += series.drops;
+      snapshot.total.recirculated_packets += series.recirculated_packets;
+      snapshot.total.total_passes += series.total_passes;
+      total_latency_fp += series.latency_fp;
+      snapshot.total.max_latency_ns =
+          std::max(snapshot.total.max_latency_ns, series.max_latency_ns);
+    }
   }
-  return total;
+  snapshot.total.total_latency_ns = static_cast<double>(total_latency_fp) / kLatencyScale;
+  std::sort(snapshot.tenants.begin(), snapshot.tenants.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snapshot;
 }
 
 void TelemetryCollector::SetRetention(TelemetryRetention policy,
                                       std::size_t max_departed_series) {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  retention_ = policy;
-  max_departed_series_ = max_departed_series;
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
+  state_->retention = policy;
+  state_->max_departed_series = max_departed_series;
   EvictExcessDepartedLocked();
 }
 
 void TelemetryCollector::MarkDeparted(std::uint16_t tenant) {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  const auto it = per_tenant_.find(tenant);
-  if (it == per_tenant_.end()) return;
-  if (retention_ == TelemetryRetention::kPurgeOnDeparture) {
-    per_tenant_.erase(it);
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
+  Shard& shard = state_->shards[ShardOf(tenant)];
+  const auto it = shard.series.find(tenant);
+  if (it == shard.series.end()) return;
+  if (state_->retention == TelemetryRetention::kPurgeOnDeparture) {
+    shard.series.erase(it);
     return;
   }
   it->second.departed = true;
-  it->second.departed_seq = ++departure_seq_;
+  it->second.departed_seq = ++state_->departure_seq;
   EvictExcessDepartedLocked();
 }
 
 bool TelemetryCollector::IsDeparted(std::uint16_t tenant) const {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  const auto it = per_tenant_.find(tenant);
-  return it != per_tenant_.end() && it->second.departed;
+  const Shard& shard = state_->shards[ShardOf(tenant)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.series.find(tenant);
+  return it != shard.series.end() && it->second.departed;
 }
 
 void TelemetryCollector::Reset() {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  per_tenant_.clear();
-  departure_seq_ = 0;
+  std::lock_guard<std::mutex> control(state_->control_mutex);
+  AllShardsLock shards(state_->shards);
+  for (Shard& shard : state_->shards) shard.series.clear();
+  state_->departure_seq = 0;
 }
 
 void TelemetryCollector::EvictExcessDepartedLocked() {
   std::size_t departed = 0;
-  for (const auto& [tenant, series] : per_tenant_) {
-    if (series.departed) ++departed;
+  for (const Shard& shard : state_->shards) {
+    for (const auto& [tenant, series] : shard.series) {
+      if (series.departed) ++departed;
+    }
   }
-  while (departed > max_departed_series_) {
-    // Evict the oldest departure.
-    auto oldest = per_tenant_.end();
-    for (auto it = per_tenant_.begin(); it != per_tenant_.end(); ++it) {
-      if (!it->second.departed) continue;
-      if (oldest == per_tenant_.end() ||
-          it->second.departed_seq < oldest->second.departed_seq) {
-        oldest = it;
+  while (departed > state_->max_departed_series) {
+    // Evict the globally oldest departure, scanning across shards —
+    // identical policy to the pre-shard collector.
+    Shard* oldest_shard = nullptr;
+    std::map<std::uint16_t, Series>::iterator oldest;
+    for (Shard& shard : state_->shards) {
+      for (auto it = shard.series.begin(); it != shard.series.end(); ++it) {
+        if (!it->second.departed) continue;
+        if (oldest_shard == nullptr ||
+            it->second.departed_seq < oldest->second.departed_seq) {
+          oldest_shard = &shard;
+          oldest = it;
+        }
       }
     }
-    per_tenant_.erase(oldest);
+    oldest_shard->series.erase(oldest);
     --departed;
   }
 }

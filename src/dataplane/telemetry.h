@@ -3,23 +3,49 @@
 // Cloud operators bill and debug per tenant; the data plane therefore
 // tracks, per tenant ID: packets/bytes in, drops, recirculations, and
 // latency aggregates. The collector is fed by the owner of the
-// pipeline (SfpSystem::Process records every result) and is cheap
-// enough for per-packet use.
+// pipeline (SfpSystem::Process records every result, and the batched
+// serve path feeds whole worker slices through RecordBatch) and is
+// cheap enough for per-packet use.
 //
-// Retention: under long-running tenant churn the per-tenant map would
+// Sharding: tenants are striped across kShardCount shards
+// (tenant % kShardCount), each with its own mutex and series map, so
+// concurrent batch workers recording disjoint tenants never contend.
+// RecordBatch accumulates per-tenant deltas worker-locally in a
+// fixed-size scratch table and merges them under each shard lock once
+// per batch, instead of taking a lock per packet.
+//
+// Exactness: latencies are quantized once on entry to a fixed-point
+// integer (1/4096 ns units, < 2^-13 ns rounding error — far below the
+// 0.5 ns granularity of the timing model), so per-tenant sums are
+// plain integer arithmetic. Summation order therefore cannot change
+// the result: batched recording with any worker interleaving is
+// bit-identical to serial per-packet Record calls.
+//
+// Retention: under long-running tenant churn the per-tenant maps would
 // grow without bound, so departures are subject to an explicit policy
 // (SetRetention): either purge the series immediately, or — the
 // default — keep it marked "departed" for post-mortem reads, bounded
 // by a cap beyond which the oldest departed series are evicted.
 //
-// Thread safety: all methods take an internal mutex, so a control
-// thread may MarkDeparted/read while the serve thread records.
+// Thread safety: the hot path (Record / RecordBatch shard merges)
+// takes only the owning shard's mutex. Control-plane operations
+// (MarkDeparted, SetRetention, Reset) and whole-collector reads
+// (Total, Tenants, Snapshot, ...) take a control mutex plus every
+// shard mutex in index order, giving them a consistent point-in-time
+// view and preserving the seed collector's global oldest-first
+// departed eviction. The lock order (control, then shards ascending;
+// hot path holds exactly one shard lock and never the control lock)
+// is acyclic, so the collector cannot deadlock.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "switchsim/pipeline.h"
@@ -54,13 +80,48 @@ enum class TelemetryRetention : std::uint8_t {
   kPurgeOnDeparture,
 };
 
-/// Aggregating collector keyed by tenant ID.
+/// Aggregating collector keyed by tenant ID, striped over locked
+/// shards so batch workers recording different tenants don't contend.
 class TelemetryCollector {
  public:
+  /// Tenant-stripe count. A power of two so the stripe of a tenant is
+  /// a mask, sized to keep contention negligible at the pool's
+  /// maximum parallelism (8) without bloating whole-collector scans.
+  static constexpr std::size_t kShardCount = 16;
+
+  /// Fixed-point latency scale: 1 ns == 4096 units. Dyadic, so any
+  /// latency that is a multiple of 2^-12 ns converts exactly.
+  static constexpr double kLatencyScale = 4096.0;
+
+  /// Point-in-time copy of every retained series, taken under one
+  /// all-shard locking pass (vs. one lock acquisition per tenant when
+  /// calling Tenant() in a loop).
+  struct Snapshot {
+    TenantCounters total;
+    /// Ascending by tenant ID.
+    std::vector<std::pair<std::uint16_t, TenantCounters>> tenants;
+    /// How many of `tenants` are currently marked departed.
+    std::size_t departed = 0;
+  };
+
   /// Records one processed packet (its original wire size plus the
   /// pipeline's result). A departed tenant that sends again is revived
   /// (unmarked).
   void Record(std::uint32_t wire_bytes, const switchsim::ProcessResult& result);
+
+  /// Records a batch: wire_bytes[i] pairs with results[i]. Deltas are
+  /// accumulated lock-free in a scratch table and merged once per
+  /// touched shard. Bit-identical to calling Record per element.
+  void RecordBatch(std::span<const std::uint32_t> wire_bytes,
+                   std::span<const switchsim::ProcessResult> results);
+
+  /// Indexed RecordBatch: records wire_bytes[i] / results[i] for each
+  /// i in `indices`. `wire_bytes` and `results` are full-batch arrays;
+  /// `indices` selects this worker's slice (the shape handed to
+  /// switchsim::BatchOptions::result_sink).
+  void RecordBatch(std::span<const std::uint32_t> indices,
+                   std::span<const std::uint32_t> wire_bytes,
+                   std::span<const switchsim::ProcessResult> results);
 
   /// Counters for `tenant` (zeros if never seen or evicted).
   TenantCounters Tenant(std::uint16_t tenant) const;
@@ -74,6 +135,11 @@ class TelemetryCollector {
 
   /// Aggregate over every retained tenant.
   TenantCounters Total() const;
+
+  /// Copies every retained series and the aggregate in one all-shard
+  /// locking pass. Use for metrics export instead of Tenants() +
+  /// Tenant() per ID.
+  Snapshot TakeSnapshot() const;
 
   /// Configures the departure policy. `max_departed_series` bounds how
   /// many departed series kKeepDeparted retains before evicting the
@@ -89,23 +155,82 @@ class TelemetryCollector {
   /// Drops all state (e.g. per measurement interval).
   void Reset();
 
+  static constexpr std::size_t ShardOf(std::uint16_t tenant) {
+    return tenant % kShardCount;
+  }
+
+  /// Quantizes a latency to fixed-point units (exposed so tests and
+  /// reference collectors can reproduce the exact arithmetic).
+  static std::uint64_t QuantizeLatency(double latency_ns);
+
  private:
+  /// Exact integer accumulators for one tenant. Latency is summed in
+  /// fixed-point so the total is independent of summation order.
   struct Series {
-    TenantCounters counters;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t recirculated_packets = 0;
+    std::uint64_t total_passes = 0;
+    std::uint64_t latency_fp = 0;  // kLatencyScale units
+    double max_latency_ns = 0.0;
     bool departed = false;
     /// Departure order for oldest-first eviction.
     std::uint64_t departed_seq = 0;
+
+    TenantCounters ToCounters() const;
+    void Accumulate(TenantCounters& out) const;
   };
 
+  /// Worker-local delta accumulated by RecordBatch before the shard
+  /// merge. Same exact-arithmetic fields as Series.
+  struct Delta {
+    std::uint16_t tenant = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t recirculated_packets = 0;
+    std::uint64_t total_passes = 0;
+    std::uint64_t latency_fp = 0;
+    double max_latency_ns = 0.0;
+  };
+
+  /// Fixed-capacity scratch table of per-tenant deltas: no heap in
+  /// the steady-state serve loop. Batches touching more distinct
+  /// tenants than fit are handled by flushing and restarting.
+  struct DeltaTable {
+    static constexpr std::size_t kCapacity = 64;
+    std::array<Delta, kCapacity> entries;
+    std::size_t size = 0;
+
+    Delta* Find(std::uint16_t tenant);
+    Delta* TryAdd(std::uint16_t tenant);  // nullptr when full
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint16_t, Series> series;
+  };
+
+  /// Heap-held so the collector stays movable (SfpSystem holds it by
+  /// value and is itself movable) despite the non-movable mutexes.
+  struct State {
+    std::array<Shard, kShardCount> shards;
+    /// Guards retention settings + departure_seq and serializes
+    /// control-plane operations against each other. Never taken by
+    /// the record hot path.
+    mutable std::mutex control_mutex;
+    TelemetryRetention retention = TelemetryRetention::kKeepDeparted;
+    std::size_t max_departed_series = 1024;
+    std::uint64_t departure_seq = 0;
+  };
+
+  void ApplyDelta(const Delta& delta);  // locks the owning shard
+  void FlushDeltas(const DeltaTable& table);
+  /// Requires control_mutex + all shard mutexes held.
   void EvictExcessDepartedLocked();
 
-  /// By pointer so the collector stays movable (SfpSystem holds it by
-  /// value and is itself movable).
-  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
-  TelemetryRetention retention_ = TelemetryRetention::kKeepDeparted;
-  std::size_t max_departed_series_ = 1024;
-  std::uint64_t departure_seq_ = 0;
-  std::map<std::uint16_t, Series> per_tenant_;
+  std::unique_ptr<State> state_ = std::make_unique<State>();
 };
 
 }  // namespace sfp::dataplane

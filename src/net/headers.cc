@@ -1,18 +1,27 @@
 #include "net/headers.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace sfp::net {
 namespace {
 
-void Put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+void Put16At(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xFF);
 }
 
-void Put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  Put16(out, static_cast<std::uint16_t>(v >> 16));
-  Put16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+void Put32At(std::uint8_t* p, std::uint32_t v) {
+  Put16At(p, static_cast<std::uint16_t>(v >> 16));
+  Put16At(p + 2, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+/// Grows `out` by `size` zero bytes and returns a pointer to the new
+/// region. With pre-reserved capacity this never reallocates.
+std::uint8_t* Grow(std::vector<std::uint8_t>& out, std::size_t size) {
+  const std::size_t at = out.size();
+  out.resize(at + size);
+  return out.data() + at;
 }
 
 std::uint16_t Get16(std::span<const std::uint8_t> in, std::size_t at) {
@@ -75,9 +84,13 @@ std::optional<Ipv4Address> Ipv4Address::FromString(const std::string& text) {
 }
 
 void EthernetHeader::Serialize(std::vector<std::uint8_t>& out) const {
-  out.insert(out.end(), dst.bytes.begin(), dst.bytes.end());
-  out.insert(out.end(), src.bytes.begin(), src.bytes.end());
-  Put16(out, ether_type);
+  WriteTo(Grow(out, kSize));
+}
+
+void EthernetHeader::WriteTo(std::uint8_t* out) const {
+  std::copy(dst.bytes.begin(), dst.bytes.end(), out);
+  std::copy(src.bytes.begin(), src.bytes.end(), out + 6);
+  Put16At(out + 12, ether_type);
 }
 
 std::optional<EthernetHeader> EthernetHeader::Parse(std::span<const std::uint8_t> in) {
@@ -90,11 +103,15 @@ std::optional<EthernetHeader> EthernetHeader::Parse(std::span<const std::uint8_t
 }
 
 void VlanTag::Serialize(std::vector<std::uint8_t>& out) const {
+  WriteTo(Grow(out, kSize));
+}
+
+void VlanTag::WriteTo(std::uint8_t* out) const {
   const std::uint16_t tci = static_cast<std::uint16_t>((pcp & 0x7) << 13) |
                             static_cast<std::uint16_t>(dei ? 1 << 12 : 0) |
                             static_cast<std::uint16_t>(vid & 0x0FFF);
-  Put16(out, tci);
-  Put16(out, inner_ether_type);
+  Put16At(out, tci);
+  Put16At(out + 2, inner_ether_type);
 }
 
 std::optional<VlanTag> VlanTag::Parse(std::span<const std::uint8_t> in) {
@@ -109,31 +126,39 @@ std::optional<VlanTag> VlanTag::Parse(std::span<const std::uint8_t> in) {
 }
 
 std::uint16_t Ipv4Header::ComputeChecksum() const {
-  std::vector<std::uint8_t> bytes;
+  std::uint8_t bytes[kSize];
   Ipv4Header copy = *this;
   copy.checksum = 0;
-  copy.SerializeRaw(bytes);
-  return OnesComplementSum(bytes);
+  copy.WriteRawTo(bytes);
+  return OnesComplementSum(std::span<const std::uint8_t>(bytes, kSize));
 }
 
 void Ipv4Header::SerializeRaw(std::vector<std::uint8_t>& out) const {
-  out.push_back(0x45);  // version 4, IHL 5
-  out.push_back(dscp);
-  Put16(out, total_length);
-  Put16(out, identification);
-  Put16(out, 0);  // flags + fragment offset (unused)
-  out.push_back(ttl);
-  out.push_back(protocol);
-  Put16(out, checksum);
-  Put32(out, src.value);
-  Put32(out, dst.value);
+  WriteRawTo(Grow(out, kSize));
+}
+
+void Ipv4Header::WriteRawTo(std::uint8_t* out) const {
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = dscp;
+  Put16At(out + 2, total_length);
+  Put16At(out + 4, identification);
+  Put16At(out + 6, 0);  // flags + fragment offset (unused)
+  out[8] = ttl;
+  out[9] = protocol;
+  Put16At(out + 10, checksum);
+  Put32At(out + 12, src.value);
+  Put32At(out + 16, dst.value);
 }
 
 void Ipv4Header::Serialize(std::vector<std::uint8_t>& out) const {
+  WriteTo(Grow(out, kSize));
+}
+
+void Ipv4Header::WriteTo(std::uint8_t* out) const {
   Ipv4Header copy = *this;
   copy.checksum = 0;
   copy.checksum = copy.ComputeChecksum();
-  copy.SerializeRaw(out);
+  copy.WriteRawTo(out);
 }
 
 std::optional<Ipv4Header> Ipv4Header::Parse(std::span<const std::uint8_t> in) {
@@ -153,15 +178,19 @@ std::optional<Ipv4Header> Ipv4Header::Parse(std::span<const std::uint8_t> in) {
 }
 
 void TcpHeader::Serialize(std::vector<std::uint8_t>& out) const {
-  Put16(out, src_port);
-  Put16(out, dst_port);
-  Put32(out, seq);
-  Put32(out, ack);
-  out.push_back(0x50);  // data offset 5, reserved 0
-  out.push_back(flags);
-  Put16(out, window);
-  Put16(out, 0);  // checksum (not modelled)
-  Put16(out, 0);  // urgent pointer
+  WriteTo(Grow(out, kSize));
+}
+
+void TcpHeader::WriteTo(std::uint8_t* out) const {
+  Put16At(out, src_port);
+  Put16At(out + 2, dst_port);
+  Put32At(out + 4, seq);
+  Put32At(out + 8, ack);
+  out[12] = 0x50;  // data offset 5, reserved 0
+  out[13] = flags;
+  Put16At(out + 14, window);
+  Put16At(out + 16, 0);  // checksum (not modelled)
+  Put16At(out + 18, 0);  // urgent pointer
 }
 
 std::optional<TcpHeader> TcpHeader::Parse(std::span<const std::uint8_t> in) {
@@ -177,10 +206,14 @@ std::optional<TcpHeader> TcpHeader::Parse(std::span<const std::uint8_t> in) {
 }
 
 void UdpHeader::Serialize(std::vector<std::uint8_t>& out) const {
-  Put16(out, src_port);
-  Put16(out, dst_port);
-  Put16(out, length);
-  Put16(out, 0);  // checksum (not modelled)
+  WriteTo(Grow(out, kSize));
+}
+
+void UdpHeader::WriteTo(std::uint8_t* out) const {
+  Put16At(out, src_port);
+  Put16At(out + 2, dst_port);
+  Put16At(out + 4, length);
+  Put16At(out + 6, 0);  // checksum (not modelled)
 }
 
 std::optional<UdpHeader> UdpHeader::Parse(std::span<const std::uint8_t> in) {

@@ -63,6 +63,9 @@ struct EthernetHeader {
   std::uint16_t ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
 
   void Serialize(std::vector<std::uint8_t>& out) const;
+  /// Writes exactly kSize bytes at `out` (caller guarantees room).
+  /// The allocation-free primitive the vector/span paths share.
+  void WriteTo(std::uint8_t* out) const;
   static std::optional<EthernetHeader> Parse(std::span<const std::uint8_t> in);
 };
 
@@ -76,6 +79,8 @@ struct VlanTag {
   std::uint16_t inner_ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
 
   void Serialize(std::vector<std::uint8_t>& out) const;
+  /// Writes exactly kSize bytes at `out` (caller guarantees room).
+  void WriteTo(std::uint8_t* out) const;
   static std::optional<VlanTag> Parse(std::span<const std::uint8_t> in);
 };
 
@@ -94,9 +99,15 @@ struct Ipv4Header {
   void Serialize(std::vector<std::uint8_t>& out) const;
   /// Serializes with the checksum field as-is (no recomputation).
   void SerializeRaw(std::vector<std::uint8_t>& out) const;
+  /// Writes exactly kSize bytes at `out` with a freshly computed
+  /// checksum (caller guarantees room). Heap-free.
+  void WriteTo(std::uint8_t* out) const;
+  /// WriteTo with the checksum field as-is (no recomputation).
+  void WriteRawTo(std::uint8_t* out) const;
   /// Parses and validates the checksum; returns nullopt on corruption.
   static std::optional<Ipv4Header> Parse(std::span<const std::uint8_t> in);
-  /// RFC 791 header checksum over the 20-byte header.
+  /// RFC 791 header checksum over the 20-byte header. Computed on a
+  /// stack buffer — no allocation.
   std::uint16_t ComputeChecksum() const;
 };
 
@@ -110,6 +121,8 @@ struct TcpHeader {
   std::uint16_t window = 0xFFFF;
 
   void Serialize(std::vector<std::uint8_t>& out) const;
+  /// Writes exactly kSize bytes at `out` (caller guarantees room).
+  void WriteTo(std::uint8_t* out) const;
   static std::optional<TcpHeader> Parse(std::span<const std::uint8_t> in);
 };
 
@@ -120,6 +133,8 @@ struct UdpHeader {
   std::uint16_t length = 0;
 
   void Serialize(std::vector<std::uint8_t>& out) const;
+  /// Writes exactly kSize bytes at `out` (caller guarantees room).
+  void WriteTo(std::uint8_t* out) const;
   static std::optional<UdpHeader> Parse(std::span<const std::uint8_t> in);
 };
 

@@ -48,34 +48,73 @@ FiveTuple Packet::Tuple() const {
   return t;
 }
 
+namespace {
+
+/// Writes the header stack (with the on-wire fixups: outer EtherType,
+/// inner EtherType, IPv4 total_length, UDP length) to `out`, which
+/// must have room for the packet's full header length. Returns the
+/// header byte count. Heap-free: the single shared implementation
+/// behind Serialize/SerializeInto.
+std::size_t WriteHeaders(const Packet& p, std::uint8_t* out) {
+  std::size_t at = 0;
+  EthernetHeader eth_copy = p.eth;
+  eth_copy.ether_type =
+      static_cast<std::uint16_t>(p.vlan ? EtherType::kVlan : EtherType::kIpv4);
+  eth_copy.WriteTo(out + at);
+  at += EthernetHeader::kSize;
+  if (p.vlan) {
+    VlanTag tag = *p.vlan;
+    tag.inner_ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
+    tag.WriteTo(out + at);
+    at += VlanTag::kSize;
+  }
+  if (p.ipv4) {
+    Ipv4Header ip = *p.ipv4;
+    std::uint16_t l4 = 0;
+    if (p.tcp) l4 = TcpHeader::kSize;
+    if (p.udp) l4 = UdpHeader::kSize;
+    ip.total_length =
+        static_cast<std::uint16_t>(Ipv4Header::kSize + l4 + p.payload_bytes);
+    ip.WriteTo(out + at);
+    at += Ipv4Header::kSize;
+  }
+  if (p.tcp) {
+    p.tcp->WriteTo(out + at);
+    at += TcpHeader::kSize;
+  }
+  if (p.udp) {
+    UdpHeader u = *p.udp;
+    u.length = static_cast<std::uint16_t>(UdpHeader::kSize + p.payload_bytes);
+    u.WriteTo(out + at);
+    at += UdpHeader::kSize;
+  }
+  return at;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> Packet::Serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(WireBytes());
-  EthernetHeader eth_copy = eth;
-  eth_copy.ether_type = static_cast<std::uint16_t>(vlan ? EtherType::kVlan : EtherType::kIpv4);
-  eth_copy.Serialize(out);
-  if (vlan) {
-    VlanTag tag = *vlan;
-    tag.inner_ether_type = static_cast<std::uint16_t>(EtherType::kIpv4);
-    tag.Serialize(out);
-  }
-  if (ipv4) {
-    Ipv4Header ip = *ipv4;
-    std::uint16_t l4 = 0;
-    if (tcp) l4 = TcpHeader::kSize;
-    if (udp) l4 = UdpHeader::kSize;
-    ip.total_length =
-        static_cast<std::uint16_t>(Ipv4Header::kSize + l4 + payload_bytes);
-    ip.Serialize(out);
-  }
-  if (tcp) tcp->Serialize(out);
-  if (udp) {
-    UdpHeader u = *udp;
-    u.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload_bytes);
-    u.Serialize(out);
-  }
-  out.resize(out.size() + payload_bytes, 0);
+  SerializeInto(out);
   return out;
+}
+
+void Packet::SerializeInto(std::vector<std::uint8_t>& out) const {
+  // clear + resize value-initializes every byte, so the payload region
+  // is zeroed in the same pass that sizes the buffer; headers then
+  // overwrite their prefix. No allocation once capacity suffices.
+  out.clear();
+  out.resize(WireBytes());
+  WriteHeaders(*this, out.data());
+}
+
+std::size_t Packet::SerializeInto(std::span<std::uint8_t> out) const {
+  const std::uint32_t wire = WireBytes();
+  if (out.size() < wire) return 0;
+  const std::size_t header_bytes = WriteHeaders(*this, out.data());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(header_bytes),
+            out.begin() + static_cast<std::ptrdiff_t>(wire), std::uint8_t{0});
+  return wire;
 }
 
 std::optional<Packet> Packet::Parse(std::span<const std::uint8_t> bytes) {

@@ -60,7 +60,18 @@ struct Packet {
   bool IsUdp() const { return udp.has_value(); }
 
   /// Wire-format serialization (payload emitted as zero bytes).
+  /// Reserves WireBytes() up front — exactly one allocation.
   std::vector<std::uint8_t> Serialize() const;
+
+  /// Serializes into a caller-owned buffer (resized to WireBytes()).
+  /// Reusing the same vector across packets makes the steady state
+  /// allocation-free once its capacity has grown to the largest frame.
+  void SerializeInto(std::vector<std::uint8_t>& out) const;
+
+  /// Serializes into a caller-owned span. Returns the frame length
+  /// written, or 0 if the span is smaller than WireBytes(). Never
+  /// allocates.
+  std::size_t SerializeInto(std::span<std::uint8_t> out) const;
 
   /// Parses a frame; returns nullopt on truncation/corruption.
   static std::optional<Packet> Parse(std::span<const std::uint8_t> bytes);

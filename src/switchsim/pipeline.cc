@@ -244,6 +244,11 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
       results[i] = ProcessOne(packets[i], cache_ptr);
     }
     if (use_cache) merge_cache(cache);
+    if (options.result_sink) {
+      std::vector<std::uint32_t> all(packets.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint32_t>(i);
+      options.result_sink(all, results);
+    }
     return results;
   }
 
@@ -264,10 +269,14 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
     FlowDecisionCache cache(use_cache ? static_cast<std::size_t>(options.flow_cache_slots)
                                       : 16);
     FlowDecisionCache* cache_ptr = use_cache ? &cache : nullptr;
-    for (const std::uint32_t index : shard_indices[static_cast<std::size_t>(shard)]) {
+    const auto& indices = shard_indices[static_cast<std::size_t>(shard)];
+    for (const std::uint32_t index : indices) {
       results[index] = ProcessOne(packets[index], cache_ptr);
     }
     if (use_cache) merge_cache(cache);
+    // Fused accounting: the sink runs here, on the worker, while other
+    // shards are still serving — no serial post-pass on the caller.
+    if (options.result_sink) options.result_sink(indices, results);
   });
   return results;
 }

@@ -5,6 +5,8 @@
 // eq. 24).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -109,6 +111,17 @@ struct BatchOptions {
   /// of two); <= 0 disables memoization. Results are bit-identical
   /// either way — the cache only skips re-resolving lookups.
   int flow_cache_slots = static_cast<int>(FlowDecisionCache::kDefaultSlots);
+  /// Optional per-worker result sink: after a worker finishes its
+  /// shard, the sink runs on that worker's thread with the shard's
+  /// input indices and the full (input-ordered) result array, so
+  /// downstream accounting fuses into the parallel section instead of
+  /// running as a serial post-pass on the caller. On the inline path
+  /// it runs once on the caller with indices 0..n-1. The sink must be
+  /// safe to invoke concurrently from multiple workers; each input
+  /// index is delivered to exactly one invocation.
+  std::function<void(std::span<const std::uint32_t> indices,
+                     std::span<const ProcessResult> results)>
+      result_sink;
 };
 
 /// The switch pipeline.

@@ -21,7 +21,7 @@ std::uint64_t MixWord(std::uint64_t h, std::uint64_t word) {
 }  // namespace
 
 std::size_t MatchActionTable::ExactKeyHash::operator()(
-    const std::vector<std::uint64_t>& key) const {
+    std::span<const std::uint64_t> key) const {
   std::uint64_t h = 0x94d049bb133111ebULL;
   for (const std::uint64_t word : key) h = MixWord(h, word);
   return static_cast<std::size_t>(h);
@@ -196,10 +196,12 @@ const TableEntry* MatchActionTable::LookupReference(const net::Packet& packet,
 }
 
 const TableEntry* MatchActionTable::LookupIndexedLocked(const std::uint64_t* values) const {
-  std::vector<std::uint64_t> key;
-  key.reserve(exact_fields_.size());
-  for (const std::size_t f : exact_fields_) key.push_back(values[f]);
-  const auto it = index_.find(key);
+  // Stack-array probe via the transparent hash — the per-packet serve
+  // path allocates nothing here.
+  std::uint64_t exact[kMaxKeyFields];
+  std::size_t n = 0;
+  for (const std::size_t f : exact_fields_) exact[n++] = values[f];
+  const auto it = index_.find(std::span<const std::uint64_t>(exact, n));
   if (it == index_.end()) return nullptr;
   const Bucket& bucket = it->second;
 

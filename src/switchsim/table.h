@@ -33,10 +33,12 @@
 // table.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -166,8 +168,19 @@ class MatchActionTable {
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   };
 
+  /// Transparent hash/equality so packet lookups can probe the index
+  /// with a stack-array span — no per-packet key vector on the serve
+  /// path (insertions still store owning vectors).
   struct ExactKeyHash {
-    std::size_t operator()(const std::vector<std::uint64_t>& key) const;
+    using is_transparent = void;
+    std::size_t operator()(std::span<const std::uint64_t> key) const;
+  };
+  struct ExactKeyEqual {
+    using is_transparent = void;
+    bool operator()(std::span<const std::uint64_t> a,
+                    std::span<const std::uint64_t> b) const {
+      return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
   };
 
   const TableEntry* LookupIndexedLocked(const std::uint64_t* values) const;
@@ -201,7 +214,8 @@ class MatchActionTable {
   /// departure) takes it exclusive.
   mutable std::shared_mutex entries_mutex_;
   std::vector<TableEntry> entries_;
-  std::unordered_map<std::vector<std::uint64_t>, Bucket, ExactKeyHash> index_;
+  std::unordered_map<std::vector<std::uint64_t>, Bucket, ExactKeyHash, ExactKeyEqual>
+      index_;
   EntryHandle next_handle_ = 1;
   common::metrics::RelaxedCounter hits_;
   common::metrics::RelaxedCounter misses_;

@@ -3,6 +3,21 @@
 #include "common/check.h"
 
 namespace sfp::workload {
+namespace {
+
+/// The canonical flow -> packet mapping shared by GenerateFlows and
+/// TrafficSource: tenant-tagged TCP to the virtual service VIP, one
+/// source address + port per flow index.
+net::Packet SynthesizePacket(std::uint16_t tenant, int flow, int frame_bytes) {
+  const auto src = net::Ipv4Address::Of(
+      10, 1, static_cast<std::uint8_t>(flow >> 8), static_cast<std::uint8_t>(flow & 0xFF));
+  const auto dst = net::Ipv4Address::Of(10, 0, 0, 100);
+  const auto sport = static_cast<std::uint16_t>(1024 + flow % 50000);
+  return net::MakeTcpPacket(tenant, src, dst, sport, 80,
+                            static_cast<std::uint32_t>(frame_bytes));
+}
+
+}  // namespace
 
 PacketSizeProfile::PacketSizeProfile(double small_fraction, double medium_fraction)
     : small_fraction_(small_fraction), medium_fraction_(medium_fraction) {
@@ -31,15 +46,43 @@ std::vector<net::Packet> GenerateFlows(std::uint16_t tenant, int num_flows, int 
   packets.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     const int flow = static_cast<int>(rng.UniformInt(0, num_flows - 1));
-    const auto src = net::Ipv4Address::Of(
-        10, 1, static_cast<std::uint8_t>(flow >> 8), static_cast<std::uint8_t>(flow & 0xFF));
-    const auto dst = net::Ipv4Address::Of(10, 0, 0, 100);
-    const auto sport = static_cast<std::uint16_t>(1024 + flow % 50000);
     const int size = profile.Sample(rng);
-    packets.push_back(net::MakeTcpPacket(tenant, src, dst, sport, 80,
-                                         static_cast<std::uint32_t>(size)));
+    packets.push_back(SynthesizePacket(tenant, flow, size));
   }
   return packets;
+}
+
+TrafficSource::TrafficSource(const TrafficSpec& spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed), rng_(seed) {
+  SFP_CHECK_GT(spec.num_flows, 0);
+}
+
+net::Packet TrafficSource::Next() {
+  // Draw order (flow, then size) matches GenerateFlows, so a random
+  // source with the same seed reproduces its stream exactly.
+  int flow;
+  if (spec_.round_robin_flows) {
+    flow = next_flow_;
+    next_flow_ = (next_flow_ + 1) % spec_.num_flows;
+  } else {
+    flow = static_cast<int>(rng_.UniformInt(0, spec_.num_flows - 1));
+  }
+  const int size =
+      spec_.frame_bytes > 0 ? spec_.frame_bytes : spec_.profile.Sample(rng_);
+  ++generated_;
+  return SynthesizePacket(spec_.tenant, flow, size);
+}
+
+std::size_t TrafficSource::Refill(PacketBatch& batch, std::size_t count) {
+  batch.packets.resize(count);
+  for (std::size_t i = 0; i < count; ++i) batch.packets[i] = Next();
+  return count;
+}
+
+void TrafficSource::Reset() {
+  rng_ = Rng(seed_);
+  generated_ = 0;
+  next_flow_ = 0;
 }
 
 }  // namespace sfp::workload

@@ -6,8 +6,18 @@
 // most packets are either small (<200 B, ACK/control) or near-MTU.
 // PacketSizeProfile reproduces that mixture; fixed sizes are used for
 // the Fig. 4/5 sweeps.
+//
+// Two generation styles are offered:
+//  - GenerateFlows materializes a whole trace as a vector (convenient
+//    for tests and equivalence checks);
+//  - TrafficSource streams the same kind of traffic into a reusable
+//    PacketBatch, so long benchmark runs never hold more than one
+//    batch in memory and — because net::Packet owns no heap data —
+//    refills are allocation-free once the batch vector has grown.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,8 +45,67 @@ class PacketSizeProfile {
 };
 
 /// Generates `count` packets for `tenant` spread over `num_flows`
-/// distinct 5-tuples, with frame sizes drawn from `profile`.
+/// distinct 5-tuples, with frame sizes drawn from `profile`. The
+/// output vector is reserved up front (one allocation).
 std::vector<net::Packet> GenerateFlows(std::uint16_t tenant, int num_flows, int count,
                                        const PacketSizeProfile& profile, Rng& rng);
+
+/// Reusable packet buffer for TrafficSource::Refill. Refills assign
+/// packets in place; keep one batch alive across a run and the steady
+/// state never touches the heap.
+struct PacketBatch {
+  std::vector<net::Packet> packets;
+
+  std::size_t size() const { return packets.size(); }
+  std::span<const net::Packet> View() const { return packets; }
+};
+
+/// What a TrafficSource emits.
+struct TrafficSpec {
+  std::uint16_t tenant = 1;
+  /// Distinct 5-tuples the stream cycles/samples over (>= 1).
+  int num_flows = 1;
+  /// > 0: every frame is exactly this size; <= 0: sizes are drawn from
+  /// `profile`.
+  int frame_bytes = 0;
+  /// true: flows advance round-robin (deterministic probe mixes);
+  /// false: each packet picks a uniform-random flow (GenerateFlows
+  /// semantics).
+  bool round_robin_flows = false;
+  PacketSizeProfile profile;
+};
+
+/// Deterministic streaming packet generator. Two sources constructed
+/// with the same spec and seed emit identical streams, so a scalar
+/// reference run and a batched run can each stream their own copy and
+/// still see the very same packets.
+class TrafficSource {
+ public:
+  explicit TrafficSource(const TrafficSpec& spec, std::uint64_t seed = 2022);
+
+  /// Next packet of the stream (by value; net::Packet is heap-free).
+  net::Packet Next();
+
+  /// Overwrites batch.packets[0..count) in place with the next `count`
+  /// packets and returns `count`. The stream is infinite. The batch
+  /// vector is resized to `count`; with a constant `count` only the
+  /// first call allocates.
+  std::size_t Refill(PacketBatch& batch, std::size_t count);
+
+  /// Restarts the stream from the beginning (same seed).
+  void Reset();
+
+  /// Packets emitted since construction/Reset.
+  std::uint64_t generated() const { return generated_; }
+
+  const TrafficSpec& spec() const { return spec_; }
+
+ private:
+  TrafficSpec spec_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::uint64_t generated_ = 0;
+  int next_flow_ = 0;  // round-robin cursor
+};
 
 }  // namespace sfp::workload

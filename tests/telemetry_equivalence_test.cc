@@ -1,0 +1,333 @@
+// Equivalence and concurrency tests for the sharded telemetry
+// collector.
+//
+// TelemetryEquivalenceTest drives the tenant-striped TelemetryCollector
+// and a single-map serial reference (the pre-shard semantics,
+// reimplemented below) through the same randomized churn — records via
+// all three entry points, departures, retention changes, resets — and
+// requires every observable (per-tenant counters, totals, tenant and
+// departed sets) to match exactly, doubles included. Exactness is the
+// point: latency is quantized to fixed point on entry, so no batching
+// or interleaving may change any counter by even one ULP.
+//
+// TelemetryConcurrencyTest hammers the collector from concurrent
+// writers, a departure-marking thread, and readers; run under TSan in
+// CI. With kKeepDeparted and an unhit cap, no series is ever evicted,
+// so total packets must equal the number recorded.
+#include "dataplane/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sfp::dataplane {
+namespace {
+
+using sfp::Rng;
+
+switchsim::ProcessResult Result(std::uint16_t tenant, bool dropped, int passes,
+                                double latency_ns) {
+  switchsim::ProcessResult r;
+  r.meta.tenant_id = tenant;
+  r.meta.dropped = dropped;
+  r.passes = passes;
+  r.latency_ns = latency_ns;
+  return r;
+}
+
+/// Serial single-map reference collector: the seed collector's
+/// semantics (revive on traffic, keep/purge retention, global
+/// oldest-first departed eviction) with the same fixed-point latency
+/// arithmetic as the sharded collector.
+class ReferenceCollector {
+ public:
+  void Record(std::uint32_t wire_bytes, const switchsim::ProcessResult& result) {
+    Series& series = series_[result.meta.tenant_id];
+    series.departed = false;
+    ++series.packets;
+    series.bytes += wire_bytes;
+    if (result.meta.dropped) ++series.drops;
+    if (result.passes > 1) ++series.recirculated_packets;
+    series.total_passes += static_cast<std::uint64_t>(result.passes);
+    series.latency_fp += TelemetryCollector::QuantizeLatency(result.latency_ns);
+    series.max_latency_ns = std::max(series.max_latency_ns, result.latency_ns);
+  }
+
+  void SetRetention(TelemetryRetention policy, std::size_t max_departed_series) {
+    retention_ = policy;
+    max_departed_series_ = max_departed_series;
+    EvictExcess();
+  }
+
+  void MarkDeparted(std::uint16_t tenant) {
+    const auto it = series_.find(tenant);
+    if (it == series_.end()) return;
+    if (retention_ == TelemetryRetention::kPurgeOnDeparture) {
+      series_.erase(it);
+      return;
+    }
+    it->second.departed = true;
+    it->second.departed_seq = ++departure_seq_;
+    EvictExcess();
+  }
+
+  void Reset() {
+    series_.clear();
+    departure_seq_ = 0;
+  }
+
+  TenantCounters Tenant(std::uint16_t tenant) const {
+    const auto it = series_.find(tenant);
+    return it != series_.end() ? ToCounters(it->second) : TenantCounters{};
+  }
+
+  std::vector<std::uint16_t> Tenants() const {
+    std::vector<std::uint16_t> tenants;
+    for (const auto& [tenant, series] : series_) tenants.push_back(tenant);
+    return tenants;  // std::map iterates ascending
+  }
+
+  std::vector<std::uint16_t> DepartedTenants() const {
+    std::vector<std::uint16_t> tenants;
+    for (const auto& [tenant, series] : series_) {
+      if (series.departed) tenants.push_back(tenant);
+    }
+    return tenants;
+  }
+
+  TenantCounters Total() const {
+    TenantCounters total;
+    std::uint64_t latency_fp = 0;
+    for (const auto& [tenant, series] : series_) {
+      total.packets += series.packets;
+      total.bytes += series.bytes;
+      total.drops += series.drops;
+      total.recirculated_packets += series.recirculated_packets;
+      total.total_passes += series.total_passes;
+      latency_fp += series.latency_fp;
+      total.max_latency_ns = std::max(total.max_latency_ns, series.max_latency_ns);
+    }
+    total.total_latency_ns =
+        static_cast<double>(latency_fp) / TelemetryCollector::kLatencyScale;
+    return total;
+  }
+
+ private:
+  struct Series {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t recirculated_packets = 0;
+    std::uint64_t total_passes = 0;
+    std::uint64_t latency_fp = 0;
+    double max_latency_ns = 0.0;
+    bool departed = false;
+    std::uint64_t departed_seq = 0;
+  };
+
+  static TenantCounters ToCounters(const Series& series) {
+    TenantCounters out;
+    out.packets = series.packets;
+    out.bytes = series.bytes;
+    out.drops = series.drops;
+    out.recirculated_packets = series.recirculated_packets;
+    out.total_passes = series.total_passes;
+    out.total_latency_ns =
+        static_cast<double>(series.latency_fp) / TelemetryCollector::kLatencyScale;
+    out.max_latency_ns = series.max_latency_ns;
+    return out;
+  }
+
+  void EvictExcess() {
+    for (;;) {
+      std::size_t departed = 0;
+      auto oldest = series_.end();
+      for (auto it = series_.begin(); it != series_.end(); ++it) {
+        if (!it->second.departed) continue;
+        ++departed;
+        if (oldest == series_.end() ||
+            it->second.departed_seq < oldest->second.departed_seq) {
+          oldest = it;
+        }
+      }
+      if (departed <= max_departed_series_) return;
+      series_.erase(oldest);
+    }
+  }
+
+  std::map<std::uint16_t, Series> series_;
+  TelemetryRetention retention_ = TelemetryRetention::kKeepDeparted;
+  std::size_t max_departed_series_ = 1024;
+  std::uint64_t departure_seq_ = 0;
+};
+
+void ExpectCountersEqual(const TenantCounters& want, const TenantCounters& got) {
+  EXPECT_EQ(want.packets, got.packets);
+  EXPECT_EQ(want.bytes, got.bytes);
+  EXPECT_EQ(want.drops, got.drops);
+  EXPECT_EQ(want.recirculated_packets, got.recirculated_packets);
+  EXPECT_EQ(want.total_passes, got.total_passes);
+  // Exact double equality is intentional: both sides sum the same
+  // fixed-point integers and convert once.
+  EXPECT_EQ(want.total_latency_ns, got.total_latency_ns);
+  EXPECT_EQ(want.max_latency_ns, got.max_latency_ns);
+}
+
+void ExpectEquivalent(const ReferenceCollector& reference,
+                      const TelemetryCollector& sharded) {
+  ASSERT_EQ(reference.Tenants(), sharded.Tenants());
+  EXPECT_EQ(reference.DepartedTenants(), sharded.DepartedTenants());
+  ExpectCountersEqual(reference.Total(), sharded.Total());
+  const auto snapshot = sharded.TakeSnapshot();
+  ExpectCountersEqual(reference.Total(), snapshot.total);
+  EXPECT_EQ(reference.DepartedTenants().size(), snapshot.departed);
+  ASSERT_EQ(reference.Tenants().size(), snapshot.tenants.size());
+  for (const auto& [tenant, counters] : snapshot.tenants) {
+    ExpectCountersEqual(reference.Tenant(tenant), counters);
+    ExpectCountersEqual(reference.Tenant(tenant), sharded.Tenant(tenant));
+  }
+}
+
+TEST(TelemetryEquivalenceTest, RandomizedChurnMatchesSerialReference) {
+  Rng rng(20220831);
+  TelemetryCollector sharded;
+  ReferenceCollector reference;
+
+  // More tenants than shards, so stripes collide; more distinct
+  // tenants per batch than DeltaTable slots would need flushing only
+  // with > 64 — exercised separately below.
+  const auto random_tenant = [&] {
+    return static_cast<std::uint16_t>(rng.UniformInt(1, 40));
+  };
+
+  for (int round = 0; round < 500; ++round) {
+    const std::int64_t op = rng.UniformInt(0, 9);
+    if (op < 6) {
+      const std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 64));
+      std::vector<std::uint32_t> wire(n);
+      std::vector<switchsim::ProcessResult> results(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        wire[i] = static_cast<std::uint32_t>(rng.UniformInt(64, 1500));
+        results[i] = Result(random_tenant(), rng.Bernoulli(0.1),
+                            static_cast<int>(rng.UniformInt(1, 4)),
+                            rng.UniformDouble(0.0, 2000.0));
+      }
+      switch (round % 3) {
+        case 0:
+          for (std::size_t i = 0; i < n; ++i) sharded.Record(wire[i], results[i]);
+          break;
+        case 1:
+          sharded.RecordBatch(wire, results);
+          break;
+        case 2: {
+          // Indexed entry point, indices deliberately out of order.
+          std::vector<std::uint32_t> indices(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            indices[i] = static_cast<std::uint32_t>(n - 1 - i);
+          }
+          sharded.RecordBatch(indices, wire, results);
+          break;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) reference.Record(wire[i], results[i]);
+    } else if (op < 8) {
+      const std::uint16_t tenant = static_cast<std::uint16_t>(rng.UniformInt(1, 45));
+      sharded.MarkDeparted(tenant);
+      reference.MarkDeparted(tenant);
+    } else if (op == 8) {
+      const auto policy = rng.Bernoulli(0.5) ? TelemetryRetention::kKeepDeparted
+                                             : TelemetryRetention::kPurgeOnDeparture;
+      const std::size_t cap = static_cast<std::size_t>(rng.UniformInt(0, 8));
+      sharded.SetRetention(policy, cap);
+      reference.SetRetention(policy, cap);
+    } else if (rng.Bernoulli(0.1)) {
+      sharded.Reset();
+      reference.Reset();
+    }
+    if (round % 25 == 0) ExpectEquivalent(reference, sharded);
+  }
+  ExpectEquivalent(reference, sharded);
+}
+
+TEST(TelemetryEquivalenceTest, BatchWiderThanDeltaTableFlushesAndStaysExact) {
+  // 200 distinct tenants in one batch overflows the 64-slot scratch
+  // table, forcing the flush-and-restart path.
+  TelemetryCollector sharded;
+  ReferenceCollector reference;
+  std::vector<std::uint32_t> wire;
+  std::vector<switchsim::ProcessResult> results;
+  Rng rng(11);
+  for (int i = 0; i < 600; ++i) {
+    wire.push_back(static_cast<std::uint32_t>(rng.UniformInt(64, 1500)));
+    results.push_back(Result(static_cast<std::uint16_t>(1 + i % 200),
+                             rng.Bernoulli(0.2), static_cast<int>(rng.UniformInt(1, 3)),
+                             rng.UniformDouble(0.0, 500.0)));
+  }
+  sharded.RecordBatch(wire, results);
+  for (std::size_t i = 0; i < wire.size(); ++i) reference.Record(wire[i], results[i]);
+  ExpectEquivalent(reference, sharded);
+}
+
+TEST(TelemetryConcurrencyTest, ConcurrentRecordReadAndDepartConserveCounts) {
+  // kKeepDeparted with the default (unhit) cap: departures only mark,
+  // so every recorded packet stays visible and the final total must
+  // equal the number recorded. Run under TSan in CI to catch races
+  // between the single-shard hot path and all-shard control/read ops.
+  TelemetryCollector collector;
+  constexpr int kWriters = 4;
+  constexpr int kBatches = 200;
+  constexpr std::size_t kBatchSize = 64;
+  constexpr std::uint16_t kTenants = 32;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&collector, w] {
+      Rng rng(static_cast<std::uint64_t>(100 + w));
+      std::vector<std::uint32_t> wire(kBatchSize);
+      std::vector<switchsim::ProcessResult> results(kBatchSize);
+      for (int b = 0; b < kBatches; ++b) {
+        for (std::size_t i = 0; i < kBatchSize; ++i) {
+          wire[i] = static_cast<std::uint32_t>(rng.UniformInt(64, 1500));
+          results[i] = Result(static_cast<std::uint16_t>(1 + rng.UniformInt(0, kTenants - 1)),
+                              rng.Bernoulli(0.05), static_cast<int>(rng.UniformInt(1, 3)),
+                              rng.UniformDouble(0.0, 1000.0));
+        }
+        if (b % 2 == 0) {
+          collector.RecordBatch(wire, results);
+        } else {
+          for (std::size_t i = 0; i < kBatchSize; ++i) {
+            collector.Record(wire[i], results[i]);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&collector] {
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+      collector.MarkDeparted(static_cast<std::uint16_t>(1 + rng.UniformInt(0, kTenants - 1)));
+    }
+  });
+  threads.emplace_back([&collector] {
+    for (int i = 0; i < 200; ++i) {
+      (void)collector.Total();
+      (void)collector.TakeSnapshot();
+      (void)collector.Tenant(static_cast<std::uint16_t>(1 + i % kTenants));
+      (void)collector.IsDeparted(static_cast<std::uint16_t>(1 + i % kTenants));
+      (void)collector.DepartedTenants();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  const auto total = collector.Total();
+  EXPECT_EQ(total.packets, static_cast<std::uint64_t>(kWriters) * kBatches * kBatchSize);
+  EXPECT_LE(collector.Tenants().size(), static_cast<std::size_t>(kTenants));
+}
+
+}  // namespace
+}  // namespace sfp::dataplane

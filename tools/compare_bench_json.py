@@ -30,6 +30,7 @@ Regenerate baselines (from the repo root, Release build):
   SFP_BENCH_SEEDS=1 SFP_BENCH_JSON_DIR=bench/baseline \
       ./build/bench/fig04_throughput   # and fig05_latency,
                                        # ext1_latency_under_load,
+                                       # ext2_system_throughput,
                                        # fig08_solver_time, fig09_early_stop,
                                        # fig10_algorithms (solver benches:
                                        # also set SFP_BENCH_IP_CAP=5)
@@ -65,6 +66,9 @@ GATES = [
     # exports a core-count-dependent run.
     (r"pipeline\.cache\.(hits|misses|evictions)$", {"tolerance": DEFAULT_TOLERANCE}),
     (r"system\.(tenants|admit\.)", {"exact": True}),
+    # ext2: fixed packet count, and fused-vs-serial telemetry must stay
+    # bit-identical. Throughput ratios are machine-dependent (ungated).
+    (r"system\.throughput\.(packets|verified_identical)$", {"exact": True}),
     (r"telemetry\.", {"exact": True}),
     # Branch & bound calibration (fig08's uncapped deterministic solve):
     # node/pivot counts are deterministic on one binary but drift a few

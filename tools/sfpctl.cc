@@ -6,16 +6,22 @@
 //                [--passes P] [--time-limit SEC] [--no-consolidation]
 //                                         solve and print the placement
 //   sfpctl p4    --layout fw,tc/lb,rt     emit P4 for a physical layout
-//   sfpctl trace --replay FILE            replay an SFPT trace
+//   sfpctl trace --replay FILE [--threads N] [--batch B]
+//                                         replay an SFPT trace; batch > 1
+//                                         or threads > 0 selects the
+//                                         batched serve path with fused
+//                                         telemetry
 //
 // Exit code 0 on success, 1 on usage/solve errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "controlplane/annealing_solver.h"
 #include "controlplane/approx_solver.h"
@@ -198,6 +204,23 @@ int CmdP4(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+/// Prints every exported counter under the given prefixes (the serve
+/// and telemetry stats a trace replay populates).
+void PrintStats(const core::SfpSystem& system, std::initializer_list<const char*> prefixes) {
+  common::metrics::Registry registry;
+  system.ExportMetrics(registry);
+  std::printf("stats:\n");
+  for (const auto& counter : registry.Counters()) {
+    for (const char* prefix : prefixes) {
+      if (counter.name.rfind(prefix, 0) == 0) {
+        std::printf("  %-40s %llu\n", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value));
+        break;
+      }
+    }
+  }
+}
+
 int CmdTrace(const std::map<std::string, std::string>& args) {
   const std::string path = Get(args, "replay", "");
   if (path.empty()) {
@@ -212,24 +235,57 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   std::printf("%zu frames, %.1f KB, duration %.1f us, offered %.2f Gbps\n", trace->size(),
               trace->TotalBytes() / 1e3, trace->DurationNs() / 1e3, trace->OfferedGbps());
 
+  const int threads = std::atoi(Get(args, "threads", "0").c_str());
+  const int batch = std::atoi(Get(args, "batch", "1").c_str());
+  if (batch < 1 || threads < 0) {
+    std::fprintf(stderr, "sfpctl trace: --batch must be >= 1 and --threads >= 0\n");
+    return 1;
+  }
+
   core::SfpSystem system{switchsim::SwitchConfig{}};
   for (int t = 0; t < nf::kNumNfTypes; ++t) {
     system.data_plane().InstallPhysicalNf(t % system.data_plane().pipeline().num_stages(),
                                           static_cast<nf::NfType>(t));
   }
   int parse_errors = 0;
-  for (const auto& record : trace->records()) {
-    auto result = system.data_plane().pipeline().ProcessBytes(record.frame);
-    if (result.parse_error) {
-      ++parse_errors;
-      continue;
+  if (batch > 1 || threads > 0) {
+    // Batched replay: parse up to --batch frames, then serve them via
+    // the fused ProcessBatch path (telemetry recorded inside the
+    // workers) on --threads workers (0 = hardware default).
+    switchsim::BatchOptions options;
+    options.num_threads = threads;
+    std::vector<net::Packet> packets;
+    packets.reserve(static_cast<std::size_t>(batch));
+    const auto flush = [&] {
+      if (packets.empty()) return;
+      system.ProcessBatch(packets, options);
+      packets.clear();
+    };
+    for (const auto& record : trace->records()) {
+      auto packet = net::Packet::Parse(record.frame);
+      if (!packet) {
+        ++parse_errors;
+        continue;
+      }
+      packets.push_back(std::move(*packet));
+      if (packets.size() == static_cast<std::size_t>(batch)) flush();
     }
-    system.Telemetry().Record(static_cast<std::uint32_t>(record.frame.size()), result);
+    flush();
+  } else {
+    for (const auto& record : trace->records()) {
+      auto result = system.data_plane().pipeline().ProcessBytes(record.frame);
+      if (result.parse_error) {
+        ++parse_errors;
+        continue;
+      }
+      system.Telemetry().Record(static_cast<std::uint32_t>(record.frame.size()), result);
+    }
   }
   const auto total = system.Telemetry().Total();
   std::printf("replayed: %llu packets, %d parse errors, mean latency %.0f ns\n",
               static_cast<unsigned long long>(total.packets), parse_errors,
               total.MeanLatencyNs());
+  PrintStats(system, {"telemetry.", "pipeline.cache."});
   return 0;
 }
 
@@ -243,7 +299,7 @@ int main(int argc, char** argv) {
                  "  place --in FILE --algo ip|appro|greedy|anneal [--passes P]\n"
                  "        [--time-limit SEC] [--no-consolidation]\n"
                  "  p4    --layout fw,tc/lb,rt\n"
-                 "  trace --replay FILE\n");
+                 "  trace --replay FILE [--threads N] [--batch B]\n");
     return 1;
   }
   const std::string command = argv[1];
