@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "controlplane/greedy_solver.h"
+#include "switchsim/compiler/plan_cache.h"
 
 namespace sfp::core {
 
@@ -151,26 +152,36 @@ int SfpSystem::ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& lay
   return installed;
 }
 
-std::vector<switchsim::ProcessResult> SfpSystem::ProcessBatch(
-    std::span<const net::Packet> packets, const switchsim::BatchOptions& options) {
-  // Snapshot wire sizes up front (pure arithmetic over header
-  // presence, no locks) into a reusable buffer so the workers' fused
-  // telemetry sinks can index them; telemetry itself is then recorded
-  // inside the batch workers via BatchOptions::result_sink — there is
-  // no serial per-packet Record pass on this thread any more.
-  wire_bytes_scratch_.resize(packets.size());
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    wire_bytes_scratch_[i] = packets[i].WireBytes();
-  }
+namespace {
+
+/// Fuses telemetry recording into the batch workers via
+/// BatchOptions::result_sink; wire sizes (pure arithmetic over header
+/// presence, no locks) are computed in the sink too, so there is no
+/// serial full-batch pre-pass on the caller thread at all.
+switchsim::BatchOptions FuseTelemetry(dataplane::TelemetryCollector& telemetry,
+                                      std::span<const net::Packet> packets,
+                                      const switchsim::BatchOptions& options) {
   switchsim::BatchOptions fused = options;
-  fused.result_sink = [this, wire = std::span<const std::uint32_t>(wire_bytes_scratch_),
-                       caller_sink = options.result_sink](
+  fused.result_sink = [&telemetry, packets, caller_sink = options.result_sink](
                           std::span<const std::uint32_t> indices,
                           std::span<const switchsim::ProcessResult> results) {
-    telemetry_.RecordBatch(indices, wire, results);
+    telemetry.RecordBatch(indices, packets, results);
     if (caller_sink) caller_sink(indices, results);
   };
-  return data_plane_.ProcessBatch(packets, fused);
+  return fused;
+}
+
+}  // namespace
+
+std::vector<switchsim::ProcessResult> SfpSystem::ProcessBatch(
+    std::span<const net::Packet> packets, const switchsim::BatchOptions& options) {
+  return data_plane_.ProcessBatch(packets, FuseTelemetry(telemetry_, packets, options));
+}
+
+void SfpSystem::ProcessBatchInto(std::span<const net::Packet> packets,
+                                 std::span<switchsim::ProcessResult> results,
+                                 const switchsim::BatchOptions& options) {
+  data_plane_.ProcessBatchInto(packets, results, FuseTelemetry(telemetry_, packets, options));
 }
 
 void SfpSystem::ExportMetrics(common::metrics::Registry& registry) const {
@@ -213,6 +224,13 @@ void SfpSystem::ExportMetrics(common::metrics::Registry& registry) const {
     std::lock_guard<std::mutex> lock(*control_mutex_);
     registry.GetCounter("system.tenants").Set(admissions_.size());
   }
+}
+
+void SfpSystem::EnableCompiledPlans() {
+  std::lock_guard<std::mutex> lock(*control_mutex_);
+  data_plane_.EnableCompiledPlans();
+  auto* cache = data_plane_.pipeline().plan_cache();
+  for (const auto& [tenant, admission] : admissions_) cache->Warm(tenant);
 }
 
 AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions& options) {
@@ -274,6 +292,9 @@ AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions
   result.passes = allocation.passes;
   result.backplane_gbps = charge;
   admits_ok_.Add();
+  // Warm compile so the tenant's first served batch runs the compiled
+  // plan instead of paying a serve-path try-lock compile.
+  if (auto* cache = data_plane_.pipeline().plan_cache()) cache->Warm(sfc.tenant);
   return result;
 }
 

@@ -129,6 +129,14 @@ class SfpSystem {
   /// per stage. Returns the number installed.
   int ProvisionPhysical(const std::vector<std::vector<nf::NfType>>& layout);
 
+  /// Turns on the per-tenant pipeline compiler (docs/COMPILER.md) for
+  /// the batched serve path and warm-compiles every already-admitted
+  /// tenant; tenants admitted afterwards are warm-compiled as part of
+  /// AdmitTenant, so their first served batch already runs compiled.
+  /// Results and counters are bit-identical to the interpreted path.
+  void EnableCompiledPlans();
+  bool compiled_plans_enabled() const { return data_plane_.compiled_plans_enabled(); }
+
   /// Admits a tenant SFC (§IV allocation + eq. 26 admission control).
   /// Transient install faults are retried per `options`; the result
   /// carries the structured reject code.
@@ -161,6 +169,14 @@ class SfpSystem {
   std::vector<switchsim::ProcessResult> ProcessBatch(
       std::span<const net::Packet> packets, const switchsim::BatchOptions& options = {});
 
+  /// ProcessBatch into a caller-reused result buffer: same semantics
+  /// (including the fused telemetry sinks), but the steady-state serve
+  /// loop does no per-batch allocation — every result field is
+  /// rewritten, so the buffer needs no re-zeroing between batches.
+  void ProcessBatchInto(std::span<const net::Packet> packets,
+                        std::span<switchsim::ProcessResult> results,
+                        const switchsim::BatchOptions& options = {});
+
   /// Snapshots pipeline counters, per-tenant telemetry, and the
   /// admission/reject taxonomy into `registry` (names documented in
   /// docs/METRICS.md).
@@ -188,10 +204,6 @@ class SfpSystem {
   };
   std::map<dataplane::TenantId, Admission> admissions_;
   dataplane::TelemetryCollector telemetry_;
-  /// Reused per ProcessBatch call for the packets' wire sizes (the
-  /// fused telemetry sinks index into it). Safe as a member because
-  /// traffic comes from one thread at a time (see ProcessBatch).
-  std::vector<std::uint32_t> wire_bytes_scratch_;
   /// Admission outcome taxonomy (exported as system.admit.*).
   common::metrics::RelaxedCounter admits_ok_;
   common::metrics::RelaxedCounter rejects_already_;

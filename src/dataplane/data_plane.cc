@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/faultinject.h"
 #include "common/logging.h"
+#include "switchsim/compiler/plan_cache.h"
 
 namespace sfp::dataplane {
 
@@ -78,7 +79,35 @@ bool DataPlane::InstallPhysicalNf(int stage, nf::NfType type) {
   table->SetDefaultAction(slot.noop);
   slot.nf = std::move(nf);
   slots_.push_back(std::move(slot));
+  // A new physical table changes the lifted program shape for everyone:
+  // rebuild the compiler's action metadata (which also drops every
+  // cached plan).
+  if (pipeline_.compiler_enabled()) EnableCompiledPlans();
   return true;
+}
+
+void DataPlane::EnableCompiledPlans() {
+  switchsim::compiler::ActionMetadata metadata;
+  for (const auto& slot : slots_) {
+    const auto& names = slot.table->action_names();
+    std::vector<switchsim::compiler::ActionTraits> traits;
+    traits.reserve(names.size());
+    for (const std::string& name : names) {
+      const bool rec = name.size() > 4 && name.ends_with("_rec");
+      const std::string base = rec ? name.substr(0, name.size() - 4) : name;
+      switchsim::compiler::ActionTraits t = base == "noop"
+                                                ? switchsim::compiler::ActionTraits::Noop()
+                                                : slot.nf->TraitsOf(base);
+      if (rec) t.recirculate = true;
+      traits.push_back(t);
+    }
+    metadata.tables.emplace(slot.table, std::move(traits));
+  }
+  pipeline_.EnableCompiler(std::move(metadata));
+}
+
+void DataPlane::InvalidatePlan(TenantId tenant) {
+  if (auto* cache = pipeline_.plan_cache()) cache->Invalidate(tenant);
 }
 
 bool DataPlane::HasPhysicalNf(int stage, nf::NfType type) const {
@@ -159,6 +188,7 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   // valid (flow_cache.h invalidation contract).
   auto unwind_install = [this, &sfc, &result](const char* where) {
     for (auto& slot : slots_) slot.table->RemoveTenantEntries(sfc.tenant);
+    InvalidatePlan(sfc.tenant);
     result.placements.clear();
     result.code = AllocCode::kInstallFault;
     result.error = std::string("transient rule-install failure (") + where + ")";
@@ -211,6 +241,10 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   result.ok = true;
   result.passes = total_passes;
   allocations_[sfc.tenant] = result;
+  // The tenant's rules just changed under any previously compiled plan
+  // (re-admission after departure); the per-packet epoch check would
+  // catch it, but invalidating here keeps the serve path fast.
+  InvalidatePlan(sfc.tenant);
   SFP_LOG_DEBUG << "allocated tenant " << sfc.tenant << " over " << total_passes
                 << " pass(es)";
   return result;
@@ -224,6 +258,7 @@ std::size_t DataPlane::DeallocateSfc(TenantId tenant) {
   // serve path may keep running concurrently throughout.
   for (auto& slot : slots_) removed += slot.table->RemoveTenantEntries(tenant);
   allocations_.erase(tenant);
+  InvalidatePlan(tenant);
   return removed;
 }
 

@@ -147,6 +147,26 @@ class DataPlane {
     return pipeline_.ProcessBatch(packets, options);
   }
 
+  /// ProcessBatch into a caller-reused result buffer (steady-state
+  /// serving without per-batch allocation; see
+  /// switchsim::Pipeline::ProcessBatchInto).
+  void ProcessBatchInto(std::span<const net::Packet> packets,
+                        std::span<switchsim::ProcessResult> results,
+                        const switchsim::BatchOptions& options = {}) {
+    pipeline_.ProcessBatchInto(packets, results, options);
+  }
+
+  /// Turns on the pipeline compiler (docs/COMPILER.md) for the batched
+  /// serve path: per-tenant plans are compiled from the installed rules
+  /// and executed by the batch workers, with interpreted fallback per
+  /// tenant. Action traits are derived from each physical NF's
+  /// TraitsOf. Call after installing the physical layout; installing
+  /// another physical NF later rebuilds the metadata (dropping all
+  /// cached plans). Admissions, departures, and atomic updates
+  /// proactively invalidate the affected tenant's plan.
+  void EnableCompiledPlans();
+  bool compiled_plans_enabled() const { return pipeline_.compiler_enabled(); }
+
   switchsim::Pipeline& pipeline() { return pipeline_; }
   const switchsim::Pipeline& pipeline() const { return pipeline_; }
 
@@ -165,6 +185,10 @@ class DataPlane {
 
   PhysicalNfSlot* FindSlot(int stage, nf::NfType type);
   const PhysicalNfSlot* FindSlot(int stage, nf::NfType type) const;
+
+  /// Drops `tenant`'s compiled plan after a rule mutation (no-op while
+  /// the compiler is off or the tenant has no cached plan).
+  void InvalidatePlan(TenantId tenant);
 
   switchsim::Pipeline pipeline_;
   std::vector<PhysicalNfSlot> slots_;

@@ -24,11 +24,6 @@ class AllShardsLock {
 
 }  // namespace
 
-std::uint64_t TelemetryCollector::QuantizeLatency(double latency_ns) {
-  if (latency_ns <= 0.0) return 0;
-  return static_cast<std::uint64_t>(std::llround(latency_ns * kLatencyScale));
-}
-
 TenantCounters TelemetryCollector::Series::ToCounters() const {
   TenantCounters out;
   Accumulate(out);
@@ -98,6 +93,33 @@ void TelemetryCollector::RecordBatch(std::span<const std::uint32_t> wire_bytes,
     }
     ++delta->packets;
     delta->bytes += wire_bytes[i];
+    if (result.meta.dropped) ++delta->drops;
+    if (result.passes > 1) ++delta->recirculated_packets;
+    delta->total_passes += static_cast<std::uint64_t>(result.passes);
+    delta->latency_fp += QuantizeLatency(result.latency_ns);
+    delta->max_latency_ns = std::max(delta->max_latency_ns, result.latency_ns);
+  }
+  FlushDeltas(table);
+}
+
+void TelemetryCollector::RecordBatch(std::span<const std::uint32_t> indices,
+                                     std::span<const net::Packet> packets,
+                                     std::span<const switchsim::ProcessResult> results) {
+  DeltaTable table;
+  for (const std::uint32_t index : indices) {
+    const switchsim::ProcessResult& result = results[index];
+    const std::uint16_t tenant = result.meta.tenant_id;
+    Delta* delta = table.Find(tenant);
+    if (delta == nullptr) {
+      delta = table.TryAdd(tenant);
+      if (delta == nullptr) {
+        FlushDeltas(table);
+        table.size = 0;
+        delta = table.TryAdd(tenant);
+      }
+    }
+    ++delta->packets;
+    delta->bytes += packets[index].WireBytes();
     if (result.meta.dropped) ++delta->drops;
     if (result.passes > 1) ++delta->recirculated_packets;
     delta->total_passes += static_cast<std::uint64_t>(result.passes);

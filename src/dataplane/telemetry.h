@@ -123,6 +123,14 @@ class TelemetryCollector {
                    std::span<const std::uint32_t> wire_bytes,
                    std::span<const switchsim::ProcessResult> results);
 
+  /// Indexed RecordBatch computing wire sizes on the fly from the
+  /// original input packets (pure arithmetic over header presence).
+  /// Fusing the size computation here keeps it on the batch workers —
+  /// no serial full-batch pre-pass on the caller thread.
+  void RecordBatch(std::span<const std::uint32_t> indices,
+                   std::span<const net::Packet> packets,
+                   std::span<const switchsim::ProcessResult> results);
+
   /// Counters for `tenant` (zeros if never seen or evicted).
   TenantCounters Tenant(std::uint16_t tenant) const;
 
@@ -160,8 +168,14 @@ class TelemetryCollector {
   }
 
   /// Quantizes a latency to fixed-point units (exposed so tests and
-  /// reference collectors can reproduce the exact arithmetic).
-  static std::uint64_t QuantizeLatency(double latency_ns);
+  /// reference collectors can reproduce the exact arithmetic; inline —
+  /// it runs per packet inside the fused batch sinks). The +0.5
+  /// truncation matches llround for the non-negative values latencies
+  /// take, without the per-packet libm call.
+  static std::uint64_t QuantizeLatency(double latency_ns) {
+    if (latency_ns <= 0.0) return 0;
+    return static_cast<std::uint64_t>(latency_ns * kLatencyScale + 0.5);
+  }
 
  private:
   /// Exact integer accumulators for one tenant. Latency is summed in

@@ -22,15 +22,6 @@ std::uint64_t FiveTuple::Hash() const {
   return h;
 }
 
-std::uint32_t Packet::WireBytes() const {
-  std::uint32_t bytes = EthernetHeader::kSize;
-  if (vlan) bytes += VlanTag::kSize;
-  if (ipv4) bytes += Ipv4Header::kSize;
-  if (tcp) bytes += TcpHeader::kSize;
-  if (udp) bytes += UdpHeader::kSize;
-  return bytes + payload_bytes;
-}
-
 FiveTuple Packet::Tuple() const {
   FiveTuple t;
   if (ipv4) {

@@ -47,8 +47,16 @@ struct Packet {
   /// the recirculation-port overload model.
   double ingress_time_ns = 0.0;
 
-  /// Total frame length on the wire.
-  std::uint32_t WireBytes() const;
+  /// Total frame length on the wire (inline — runs per packet in the
+  /// fused telemetry sinks).
+  std::uint32_t WireBytes() const {
+    std::uint32_t bytes = EthernetHeader::kSize;
+    if (vlan) bytes += VlanTag::kSize;
+    if (ipv4) bytes += Ipv4Header::kSize;
+    if (tcp) bytes += TcpHeader::kSize;
+    if (udp) bytes += UdpHeader::kSize;
+    return bytes + payload_bytes;
+  }
 
   /// 5-tuple (zeroes for non-IP or port-less packets).
   FiveTuple Tuple() const;

@@ -59,4 +59,10 @@ std::vector<NfRule> Classifier::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits Classifier::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  if (action == "set_class") return ActionTraits::SetFlowClass();
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

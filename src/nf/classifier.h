@@ -16,6 +16,7 @@ class Classifier : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Classifies traffic to `dst_port_lo..hi` as `flow_class`.
   static NfRule ClassifyByPort(std::uint16_t dst_port_lo, std::uint16_t dst_port_hi,

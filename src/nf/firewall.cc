@@ -65,4 +65,11 @@ std::vector<NfRule> Firewall::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits Firewall::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  if (action == "allow") return ActionTraits::Noop();
+  if (action == "deny") return ActionTraits::Drop();
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

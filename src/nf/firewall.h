@@ -14,6 +14,7 @@ class Firewall : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Builds a deny rule for an exact 5-tuple-ish pattern: any field can
   /// be wildcarded by passing FieldMatch::Any().

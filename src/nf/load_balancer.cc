@@ -81,4 +81,17 @@ std::vector<NfRule> LoadBalancer::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits LoadBalancer::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  if (action == "set_backend") return ActionTraits::SetBackend();
+  // pool_select is stateful (hashes into this instance's pools), so it
+  // stays an opaque call — but its write set is known, which keeps it
+  // fusable.
+  if (action == "pool_select") {
+    return ActionTraits::Opaque(switchsim::compiler::FieldBit(switchsim::FieldId::kDstIp),
+                                /*may_drop=*/false);
+  }
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

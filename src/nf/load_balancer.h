@@ -24,6 +24,7 @@ class LoadBalancer : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Registers a backend pool; returns its id for pool_select rules.
   /// Pools are append-only for the NF instance's lifetime.

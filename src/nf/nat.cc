@@ -45,4 +45,10 @@ std::vector<NfRule> Nat::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits Nat::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  if (action == "rewrite_src") return ActionTraits::SetSrcIp();
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

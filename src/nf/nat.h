@@ -15,6 +15,7 @@ class Nat : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Static binding internal -> external.
   static NfRule Translate(net::Ipv4Address internal, net::Ipv4Address external);

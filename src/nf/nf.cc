@@ -46,6 +46,10 @@ const char* NfFullName(NfType type) {
   return "Unknown";
 }
 
+switchsim::compiler::ActionTraits NetworkFunction::TraitsOf(const std::string&) const {
+  return switchsim::compiler::ActionTraits::Opaque();
+}
+
 std::unique_ptr<NetworkFunction> MakeNf(NfType type) {
   switch (type) {
     case NfType::kFirewall:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "switchsim/compiler/action_traits.h"
 #include "switchsim/table.h"
 
 namespace sfp::nf {
@@ -74,6 +75,15 @@ class NetworkFunction {
 
   /// Generates `count` synthetic rules for workload/testing purposes.
   virtual std::vector<NfRule> GenerateRules(Rng& rng, int count) const = 0;
+
+  /// Compiler traits of the base action `action` (no "_rec" suffix; the
+  /// data plane adds the recirculation bit for the rec twins). The
+  /// default — fully opaque: may write anything, may drop — is always
+  /// correct; NFs override it per action so the pipeline compiler
+  /// (switchsim/compiler/) can inline bodies and fuse stages.
+  /// Correctness never depends on an override: an opaque action simply
+  /// runs the registered callback, exactly as interpreted.
+  virtual switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const;
 };
 
 /// Factory for the built-in NF types.

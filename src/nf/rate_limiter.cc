@@ -76,4 +76,14 @@ std::vector<NfRule> RateLimiter::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits RateLimiter::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  // police mutates the shared token bucket and may drop, but writes no
+  // matchable field.
+  if (action == "police") {
+    return ActionTraits::Opaque(switchsim::compiler::kNoFields, /*may_drop=*/true);
+  }
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

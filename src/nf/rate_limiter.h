@@ -24,6 +24,7 @@ class RateLimiter : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Allocates a token bucket; returns its limiter id.
   std::uint64_t AddBucket(double rate_mbps, double burst_kb);

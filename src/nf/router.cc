@@ -46,4 +46,10 @@ std::vector<NfRule> Router::GenerateRules(Rng& rng, int count) const {
   return rules;
 }
 
+switchsim::compiler::ActionTraits Router::TraitsOf(const std::string& action) const {
+  using switchsim::compiler::ActionTraits;
+  if (action == "route") return ActionTraits::Route();
+  return ActionTraits::Opaque();
+}
+
 }  // namespace sfp::nf

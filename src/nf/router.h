@@ -14,6 +14,7 @@ class Router : public NetworkFunction {
   std::vector<switchsim::MatchFieldSpec> KeySpec() const override;
   void BindActions(switchsim::MatchActionTable& table) override;
   std::vector<NfRule> GenerateRules(Rng& rng, int count) const override;
+  switchsim::compiler::ActionTraits TraitsOf(const std::string& action) const override;
 
   /// Route rule: prefix/len -> egress port.
   static NfRule Route(std::uint32_t prefix, int prefix_len, std::int32_t egress_port);

@@ -1,0 +1,110 @@
+// Action metadata consumed by the pipeline compiler.
+//
+// The compiler specializes a tenant's tables into straight-line match
+// code, so it must know what each registered action *does* without
+// peeking inside its std::function: which match-relevant fields it may
+// write (for the match-fusion pass), whether it can drop, and whether
+// it has an inline opcode the executor can dispatch without the
+// std::function call. NF implementations declare these traits
+// (NetworkFunction::TraitsOf); DataPlane aggregates them per table into
+// an ActionMetadata when compiled plans are enabled.
+//
+// Traits are an optimization contract, not a correctness one: an action
+// with no traits (or whose args don't fit its inline opcode) compiles
+// to Kind::kOpaque — the executor calls the registered callback, which
+// is always exact — with maximally conservative writes/may_drop, so
+// fusion and folding simply stay out of its way.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "switchsim/table.h"
+#include "switchsim/types.h"
+
+namespace sfp::switchsim::compiler {
+
+/// Number of FieldId enumerators (kTenantId .. kEthType).
+inline constexpr unsigned kNumFields = 10;
+
+/// Bitmask over FieldId: the match-relevant fields an action writes.
+using FieldSet = std::uint32_t;
+
+constexpr FieldSet FieldBit(FieldId field) {
+  return FieldSet{1} << static_cast<unsigned>(field);
+}
+
+inline constexpr FieldSet kNoFields = 0;
+inline constexpr FieldSet kAllFields = (FieldSet{1} << kNumFields) - 1;
+
+/// What the compiler may assume about one registered action.
+struct ActionTraits {
+  /// Inline opcodes the executor dispatches without the std::function.
+  /// Each mirrors one NF action body bit for bit (see exec.cc):
+  ///   kNoop          — no effect (firewall allow, the data plane's
+  ///                    per-NF "noop" default).
+  ///   kDrop          — meta.dropped = true (firewall deny).
+  ///   kSetFlowClass  — meta.flow_class = arg0 (classifier set_class).
+  ///   kRoute         — meta.egress_port = arg0; TTL decrement with
+  ///                    drop at zero (router route).
+  ///   kSetBackend    — ipv4.dst = arg0; meta.scratch = arg0
+  ///                    (load-balancer set_backend).
+  ///   kSetSrcIp      — ipv4.src = arg0 (NAT rewrite_src).
+  ///   kOpaque        — call the registered callback (stateful actions
+  ///                    such as police/pool_select, and anything
+  ///                    without declared traits).
+  enum class Kind : std::uint8_t {
+    kOpaque = 0,
+    kNoop,
+    kDrop,
+    kSetFlowClass,
+    kRoute,
+    kSetBackend,
+    kSetSrcIp,
+  };
+
+  Kind kind = Kind::kOpaque;
+  /// Match-relevant fields the action may write. The default is
+  /// everything: an undeclared action blocks fusion across it.
+  FieldSet writes = kAllFields;
+  bool may_drop = true;
+  /// True for the data plane's "_rec" variants: after the action body,
+  /// request recirculation unless the packet dropped (the REC wrapper
+  /// of RegisterWithRecVariant). Set by DataPlane, not by the NF.
+  bool recirculate = false;
+
+  static ActionTraits Opaque(FieldSet writes = kAllFields, bool may_drop = true) {
+    return {Kind::kOpaque, writes, may_drop, false};
+  }
+  static ActionTraits Noop() { return {Kind::kNoop, kNoFields, false, false}; }
+  static ActionTraits Drop() { return {Kind::kDrop, kNoFields, true, false}; }
+  static ActionTraits SetFlowClass() {
+    return {Kind::kSetFlowClass, FieldBit(FieldId::kFlowClass), false, false};
+  }
+  static ActionTraits Route() { return {Kind::kRoute, kNoFields, true, false}; }
+  static ActionTraits SetBackend() {
+    return {Kind::kSetBackend, FieldBit(FieldId::kDstIp), false, false};
+  }
+  static ActionTraits SetSrcIp() {
+    return {Kind::kSetSrcIp, FieldBit(FieldId::kSrcIp), false, false};
+  }
+};
+
+/// Per-table action traits, indexed by ActionId. Built by
+/// DataPlane::EnableCompiledPlans from the NF library's declarations;
+/// tables absent here (hand-built pipelines, tables added after
+/// enabling) compile with all actions opaque.
+struct ActionMetadata {
+  std::unordered_map<const MatchActionTable*, std::vector<ActionTraits>> tables;
+
+  const ActionTraits* Find(const MatchActionTable* table, ActionId action) const {
+    const auto it = tables.find(table);
+    if (it == tables.end()) return nullptr;
+    const auto index = static_cast<std::size_t>(action);
+    if (action < 0 || index >= it->second.size()) return nullptr;
+    return &it->second[index];
+  }
+};
+
+}  // namespace sfp::switchsim::compiler

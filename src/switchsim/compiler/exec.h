@@ -1,0 +1,139 @@
+// Per-worker execution context for compiled plans.
+//
+// A batch worker owns one ExecContext for the duration of its shard.
+// It memoizes tenant -> plan resolutions (so the shared PlanCache lock
+// is touched once per tenant per generation, not per packet) and
+// buffers all counter updates — per-table hit/miss/default and
+// pipeline-level packets/drops/recirculations — as plain integers.
+// Flush() applies the buffered deltas once per shard; integer sums
+// commute, so totals are bit-identical to the interpreter's per-packet
+// atomic bumps.
+//
+// The hot path is EntryFor(): ONE lookup resolves both the tenant's
+// plan and this worker's delta buffer for it. Active tenants per shard
+// are few, so the memo is a flat vector scanned linearly with an MRU
+// fast path — no hashing, no node allocation, and the common case
+// (consecutive packets of the same tenant) is a single compare.
+//
+// Invalidation: EntryFor revalidates the cache generation (one relaxed
+// load) and the plan's table epochs per packet. A stale plan is
+// reported to the cache and recompiled in place; deltas buffered
+// against the stale plan are retired — kept alive and still flushed —
+// so no counted work is lost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "switchsim/compiler/plan.h"
+#include "switchsim/compiler/plan_cache.h"
+
+namespace sfp::switchsim {
+class Pipeline;
+}  // namespace sfp::switchsim
+
+namespace sfp::switchsim::compiler {
+
+/// Buffered counter deltas for one plan on one worker.
+struct PlanDeltas {
+  struct TableCounts {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t default_hits = 0;
+  };
+  /// Parallel to CompiledPlan::table_epochs.
+  std::vector<TableCounts> tables;
+  std::uint64_t packets = 0;
+  std::uint64_t recirculations = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t drops_nf = 0;
+  std::uint64_t drops_guard = 0;
+  std::uint64_t drops_overload = 0;
+  std::uint64_t drops_injected = 0;
+
+  /// Mirrors Pipeline::RecordDrop.
+  void AddDrop(DropReason reason);
+};
+
+/// One batch worker's view of the plan cache (single-threaded; owned
+/// and used by exactly one worker between construction and Flush).
+class ExecContext {
+ public:
+  /// One tenant's resolved plan plus this worker's buffered deltas for
+  /// it. `plan` is nullptr for interpreted-fallback tenants.
+  struct Entry {
+    std::uint16_t tenant = 0;
+    std::shared_ptr<const CompiledPlan> plan;
+    PlanDeltas deltas;
+  };
+
+  explicit ExecContext(PlanCache& cache) : cache_(cache) {}
+
+  /// The entry to execute `tenant`'s packet with (plan + deltas in one
+  /// lookup), or nullptr when the packet must take the interpreted
+  /// path (no plan, a compile in flight, or a stale plan whose
+  /// recompile did not land).
+  Entry* EntryFor(std::uint16_t tenant) {
+    const std::uint64_t generation = cache_.generation();
+    if (generation != generation_) {
+      RetireAll();
+      generation_ = generation;
+    }
+    if (mru_ < entries_.size() && entries_[mru_].tenant == tenant) {
+      return Check(entries_[mru_]);
+    }
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].tenant == tenant) {
+        mru_ = i;
+        return Check(entries_[i]);
+      }
+    }
+    return Miss(tenant);
+  }
+
+  /// The plan EntryFor would serve `tenant` with (nullptr = interpreted
+  /// fallback). Inspection shim over EntryFor for tests.
+  const CompiledPlan* PlanFor(std::uint16_t tenant) {
+    Entry* entry = EntryFor(tenant);
+    return entry != nullptr ? entry->plan.get() : nullptr;
+  }
+
+  /// Applies every buffered delta — live entries and retired ones — to
+  /// the tables and the pipeline.
+  void Flush(Pipeline& pipeline);
+
+ private:
+  /// Per-packet staleness check on a resolved entry; the cold stale
+  /// branch recompiles in place.
+  Entry* Check(Entry& entry) {
+    if (entry.plan == nullptr) return nullptr;
+    if (entry.plan->Validate()) return &entry;
+    return Revalidate(entry);
+  }
+
+  /// Cold path: tenant not in the memo yet.
+  Entry* Miss(std::uint16_t tenant);
+  /// Cold path: `entry`'s table epochs went stale underneath it.
+  Entry* Revalidate(Entry& entry);
+  /// Moves every live entry's plan + deltas onto the retired list.
+  void RetireAll();
+
+  PlanCache& cache_;
+  /// Cache generation the memo below is valid for.
+  std::uint64_t generation_ = ~0ULL;
+  /// Live per-tenant entries; few active tenants per shard, so a flat
+  /// linear-scan vector beats a hash map on the per-packet path.
+  std::vector<Entry> entries_;
+  /// Index of the last entry served (fast path for runs of packets
+  /// from one tenant).
+  std::size_t mru_ = 0;
+  /// Deltas buffered against plans that were invalidated or retired
+  /// mid-batch; the shared_ptr keeps each plan's table list reachable
+  /// until Flush. Partial flushes of the same plan are fine — all
+  /// accumulators are exact integer sums.
+  std::vector<std::pair<std::shared_ptr<const CompiledPlan>, PlanDeltas>> retired_;
+};
+
+}  // namespace sfp::switchsim::compiler

@@ -1,0 +1,234 @@
+#include "switchsim/compiler/ir.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "switchsim/pipeline.h"
+
+namespace sfp::switchsim::compiler {
+
+namespace {
+
+constexpr std::size_t kNoField = static_cast<std::size_t>(-1);
+
+/// Matches MatchActionTable::PrefixScore: sum of LPM prefix lengths
+/// over the key's LPM fields.
+int PrefixScoreOf(const std::vector<MatchFieldSpec>& key,
+                  const std::vector<FieldMatch>& matches) {
+  int score = 0;
+  for (std::size_t f = 0; f < key.size(); ++f) {
+    if (key[f].kind == MatchKind::kLpm) score += matches[f].prefix_len;
+  }
+  return score;
+}
+
+/// A lifted table before it is split into per-pass slots.
+struct RawTable {
+  MatchActionTable* table = nullptr;
+  int stage = 0;
+  MatchActionTable::CompileSnapshot snap;
+  std::size_t tenant_field = kNoField;
+  std::size_t pass_field = kNoField;
+  std::vector<std::size_t> payload_fields;
+};
+
+IrAction MakeAction(const RawTable& rt, ActionId id, const ActionArgs& args,
+                    const ActionMetadata* metadata) {
+  IrAction act;
+  act.action = id;
+  act.args = args;
+  act.fn = rt.snap.actions[static_cast<std::size_t>(id)];
+  act.name = rt.snap.action_names[static_cast<std::size_t>(id)];
+  if (const ActionTraits* traits =
+          metadata != nullptr ? metadata->Find(rt.table, id) : nullptr) {
+    act.traits = *traits;
+  }
+  return act;
+}
+
+/// Builds the slot for one (table, pass); `pass` empty builds the tail
+/// form (no entries: every packet misses).
+IrSlot BuildSlot(const RawTable& rt, std::uint16_t tenant,
+                 std::optional<std::uint64_t> pass, const ActionMetadata* metadata) {
+  IrSlot slot;
+  slot.table = rt.table;
+  slot.stage = rt.stage;
+  slot.key = rt.table->key();
+  slot.payload_fields = rt.payload_fields;
+  if (rt.snap.default_action) {
+    slot.default_act = MakeAction(rt, rt.snap.default_action->first,
+                                  rt.snap.default_action->second, metadata);
+    slot.writes |= slot.default_act->traits.writes;
+  }
+  if (pass) {
+    for (const TableEntry& entry : rt.snap.entries) {
+      if (entry.matches[rt.tenant_field].value != tenant) continue;
+      if (entry.matches[rt.pass_field].value != *pass) continue;
+      IrEntry ie;
+      ie.matches = entry.matches;
+      ie.priority = entry.priority;
+      ie.handle = entry.handle;
+      ie.prefix_score = PrefixScoreOf(slot.key, entry.matches);
+      ie.always_matches = true;
+      for (const std::size_t f : slot.payload_fields) {
+        if (!IsWildcardMatch(entry.matches[f], slot.key[f].kind, slot.key[f].field)) {
+          ie.always_matches = false;
+          slot.reads |= FieldBit(slot.key[f].field);
+        }
+      }
+      ie.act = MakeAction(rt, entry.action, entry.args, metadata);
+      slot.writes |= ie.act.traits.writes;
+      slot.entries.push_back(std::move(ie));
+    }
+    std::sort(slot.entries.begin(), slot.entries.end(),
+              [](const IrEntry& a, const IrEntry& b) {
+                if (a.priority != b.priority) return a.priority > b.priority;
+                if (a.prefix_score != b.prefix_score) return a.prefix_score > b.prefix_score;
+                return a.handle < b.handle;
+              });
+  }
+  return slot;
+}
+
+}  // namespace
+
+std::uint64_t FieldMaxValue(FieldId field) {
+  switch (field) {
+    case FieldId::kSrcIp:
+    case FieldId::kDstIp:
+      return 0xFFFFFFFFULL;
+    case FieldId::kTenantId:
+    case FieldId::kSrcPort:
+    case FieldId::kDstPort:
+    case FieldId::kEthType:
+      return 0xFFFFULL;
+    case FieldId::kPass:
+    case FieldId::kIpProto:
+    case FieldId::kDscp:
+    case FieldId::kFlowClass:
+      return 0xFFULL;
+  }
+  return ~0ULL;
+}
+
+bool IsWildcardMatch(const FieldMatch& match, MatchKind kind, FieldId field) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return false;  // exact fields always constrain the packet
+    case MatchKind::kTernary:
+      return match.mask == 0;
+    case MatchKind::kLpm:
+      return match.prefix_len == 0;
+    case MatchKind::kRange:
+      return match.lo == 0 && match.hi >= FieldMaxValue(field);
+  }
+  return false;
+}
+
+LiftResult LiftTenant(const Pipeline& pipeline, std::uint16_t tenant,
+                      const ActionMetadata* metadata) {
+  LiftResult out;
+  TenantIr& ir = out.ir;
+  ir.tenant = tenant;
+  ir.num_stages = pipeline.num_stages();
+  ir.global_epoch = pipeline.table_mutation_epoch();
+
+  std::vector<RawTable> raw;
+  for (int k = 0; k < ir.num_stages; ++k) {
+    for (const auto& table : pipeline.stage(k).tables()) {
+      RawTable rt;
+      rt.table = table.get();
+      rt.stage = k;
+      rt.snap = table->Snapshot();
+      const auto& key = table->key();
+      for (std::size_t f = 0; f < key.size(); ++f) {
+        const bool exact = key[f].kind == MatchKind::kExact;
+        if (exact && key[f].field == FieldId::kTenantId && rt.tenant_field == kNoField) {
+          rt.tenant_field = f;
+        } else if (exact && key[f].field == FieldId::kPass && rt.pass_field == kNoField) {
+          rt.pass_field = f;
+        } else {
+          rt.payload_fields.push_back(f);
+        }
+      }
+      if (rt.tenant_field == kNoField || rt.pass_field == kNoField) {
+        // Without the exact (tenant, pass) prefix the table cannot be
+        // sliced per tenant: another tenant's entries could match this
+        // tenant's packets. Unsupported construct -> interpreted path.
+        out.error = "table '" + table->name() + "' lacks the exact (tenant, pass) key prefix";
+        return out;
+      }
+      ir.table_epochs.emplace_back(rt.table, rt.snap.epoch);
+      raw.push_back(std::move(rt));
+    }
+  }
+
+  // The tenant's pass count: one past the highest pass any of its
+  // entries names. Entries beyond the recirculation guard (or the
+  // uint8 pass counter) are unreachable and lift into no pass.
+  const auto guard = static_cast<std::uint64_t>(pipeline.config().max_passes);
+  std::uint64_t num_passes = 1;
+  for (const RawTable& rt : raw) {
+    for (const TableEntry& entry : rt.snap.entries) {
+      if (entry.matches[rt.tenant_field].value != tenant) continue;
+      const std::uint64_t pass = entry.matches[rt.pass_field].value;
+      if (pass < guard && pass < 256) num_passes = std::max(num_passes, pass + 1);
+    }
+  }
+
+  for (std::uint64_t pass = 0; pass < num_passes; ++pass) {
+    IrPass ir_pass;
+    for (const RawTable& rt : raw) {
+      ir_pass.slots.push_back(BuildSlot(rt, tenant, pass, metadata));
+    }
+    ir.passes.push_back(std::move(ir_pass));
+  }
+  for (const RawTable& rt : raw) {
+    ir.tail.slots.push_back(BuildSlot(rt, tenant, std::nullopt, metadata));
+  }
+  out.ok = true;
+  return out;
+}
+
+namespace {
+
+const char* SlotKindName(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kMatch:
+      return "match";
+    case SlotKind::kAlways:
+      return "always";
+    case SlotKind::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+void DumpPass(std::ostringstream& os, const IrPass& pass) {
+  for (const IrSlot& slot : pass.slots) {
+    os << "  s" << slot.stage << " " << slot.table->name() << " [" << SlotKindName(slot.kind)
+       << " group=" << slot.fusion_group << "]";
+    for (const IrEntry& entry : slot.entries) {
+      os << " {" << entry.act.name << " prio=" << entry.priority << " h=" << entry.handle;
+      if (entry.always_matches) os << " always";
+      os << "}";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+std::string ToString(const TenantIr& ir) {
+  std::ostringstream os;
+  os << "tenant " << ir.tenant << " passes=" << ir.passes.size() << "\n";
+  for (std::size_t p = 0; p < ir.passes.size(); ++p) {
+    os << "pass " << p << ":\n";
+    DumpPass(os, ir.passes[p]);
+  }
+  os << "tail:\n";
+  DumpPass(os, ir.tail);
+  return os.str();
+}
+
+}  // namespace sfp::switchsim::compiler

@@ -1,0 +1,88 @@
+#include "switchsim/compiler/passes.h"
+
+namespace sfp::switchsim::compiler {
+
+namespace {
+
+/// Applies `fn(pass, counted)` to every pass; `counted` is false for
+/// the tail so stats only reflect the tenant's real program.
+template <typename Fn>
+void ForEachPass(TenantIr& ir, Fn&& fn) {
+  for (IrPass& pass : ir.passes) fn(pass, true);
+  fn(ir.tail, false);
+}
+
+}  // namespace
+
+int DeadTableElimination(TenantIr& ir) {
+  int dead = 0;
+  ForEachPass(ir, [&dead](IrPass& pass, bool counted) {
+    for (IrSlot& slot : pass.slots) {
+      if (slot.kind != SlotKind::kMatch || !slot.entries.empty()) continue;
+      slot.kind = SlotKind::kDead;
+      slot.reads = kNoFields;
+      if (counted) ++dead;
+    }
+  });
+  return dead;
+}
+
+int ConstantFoldAlwaysMatch(TenantIr& ir) {
+  int folded = 0;
+  ForEachPass(ir, [&folded](IrPass& pass, bool counted) {
+    for (IrSlot& slot : pass.slots) {
+      if (slot.kind != SlotKind::kMatch || slot.entries.empty()) continue;
+      if (!slot.entries.front().always_matches) continue;
+      slot.kind = SlotKind::kAlways;
+      // Entries below the unconditional winner are unreachable, and
+      // with them goes every concrete pattern: the slot reads nothing
+      // and only the winner's action can write.
+      slot.entries.resize(1);
+      slot.reads = kNoFields;
+      slot.writes = slot.entries.front().act.traits.writes;
+      if (counted) ++folded;
+    }
+  });
+  return folded;
+}
+
+int MatchFusion(TenantIr& ir) {
+  int fused = 0;
+  ForEachPass(ir, [&fused](IrPass& pass, bool counted) {
+    int group = -1;
+    int group_size = 0;
+    int group_live = 0;  // non-dead members (dead slots fuse transparently)
+    FieldSet group_writes = kNoFields;
+    for (IrSlot& slot : pass.slots) {
+      // Safe to match this slot eagerly alongside the current group iff
+      // no earlier member's action can write a field this slot reads
+      // (actions still run in slot order, so write-before-write and
+      // read-own-write hazards cannot arise).
+      const bool join = group_size > 0 && group_size < kMaxFusedSlots &&
+                        (slot.reads & group_writes) == kNoFields;
+      if (!join) {
+        ++group;
+        group_size = 0;
+        group_live = 0;
+        group_writes = kNoFields;
+      } else if (counted && slot.kind != SlotKind::kDead && group_live > 0) {
+        ++fused;
+      }
+      slot.fusion_group = group;
+      group_writes |= slot.writes;
+      ++group_size;
+      if (slot.kind != SlotKind::kDead) ++group_live;
+    }
+  });
+  return fused;
+}
+
+PassStats RunLoweringPasses(TenantIr& ir) {
+  PassStats stats;
+  stats.dead_tables = DeadTableElimination(ir);
+  stats.folded_tables = ConstantFoldAlwaysMatch(ir);
+  stats.fused_stages = MatchFusion(ir);
+  return stats;
+}
+
+}  // namespace sfp::switchsim::compiler

@@ -1,0 +1,149 @@
+// The executable artifact of the pipeline compiler.
+//
+// EmitPlan lowers a pass-annotated TenantIr into flat, cache-friendly
+// data the batch workers execute directly (exec.cc): per slot, the
+// matched rule data is laid out struct-of-arrays — parallel op-span
+// and action vectors in winner order, with the match ops themselves
+// pooled plan-wide and their masks precomputed — so the hot scan
+// touches contiguous words instead of chasing TableEntry vectors.
+//
+// A plan snapshots the mutation epoch of every table it was lifted
+// from; Validate() rechecks them, which is the per-packet backstop of
+// the invalidation contract (docs/COMPILER.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "switchsim/compiler/ir.h"
+#include "switchsim/compiler/passes.h"
+
+namespace sfp::switchsim::compiler {
+
+/// One precomputed field predicate. Semantics by kind:
+///   kExact:   value == a
+///   kTernary: (value & b) == a          (a pre-masked)
+///   kLpm:     (value & b) == a          (b = 32-bit prefix mask)
+///   kRange:   a <= value && value <= b
+struct CompiledOp {
+  std::uint8_t field = 0;  // FieldId
+  MatchKind kind = MatchKind::kExact;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// One emitted action: an inline opcode with its argument, or an index
+/// into the plan's opaque callback pool.
+struct CompiledAction {
+  ActionTraits::Kind kind = ActionTraits::Kind::kOpaque;
+  /// Set meta.recirculate after the body unless the packet dropped
+  /// (inline opcodes only; opaque callbacks already carry the REC
+  /// wrapper inside the registered std::function).
+  bool recirculate = false;
+  std::uint64_t arg0 = 0;
+  std::int32_t opaque = -1;
+};
+
+/// One (stage, table) of a compiled pass.
+struct CompiledSlot {
+  MatchActionTable* table = nullptr;
+  /// Index into CompiledPlan::table_epochs (and PlanDeltas::tables).
+  std::uint32_t table_index = 0;
+  std::uint16_t stage = 0;
+  SlotKind kind = SlotKind::kDead;
+  bool has_default = false;
+  CompiledAction default_action;
+  /// Struct-of-arrays over the slot's entries in winner order: entry e
+  /// matches iff ops [op_begin[e], op_begin[e] + op_count[e]) all hold;
+  /// the first matching entry wins and runs actions[e].
+  std::vector<std::uint32_t> op_begin;
+  std::vector<std::uint16_t> op_count;
+  std::vector<CompiledAction> actions;
+};
+
+/// A fused extraction group: `slot_count` consecutive slots whose
+/// fields are extracted once, then matched eagerly before any member's
+/// action runs.
+struct CompiledGroup {
+  std::uint32_t slot_begin = 0;
+  std::uint32_t slot_count = 0;
+  /// FieldIds to extract at group entry (union of member reads).
+  std::vector<std::uint8_t> extract_fields;
+};
+
+/// One recirculation pass of the compiled program.
+struct CompiledPass {
+  std::vector<CompiledSlot> slots;
+  std::vector<CompiledGroup> groups;
+};
+
+/// An admitted tenant's compiled program.
+struct CompiledPlan {
+  std::uint16_t tenant = 0;
+  int num_stages = 0;
+  /// Indexed by meta.pass; higher pass values execute `tail`.
+  std::vector<CompiledPass> passes;
+  CompiledPass tail;
+  /// Plan-wide op pool (spans referenced by the slots).
+  std::vector<CompiledOp> ops;
+  struct OpaqueAction {
+    ActionFn fn;
+    ActionArgs args;
+  };
+  std::vector<OpaqueAction> opaque_actions;
+  /// Every lifted table with its epoch at compile time, program order.
+  std::vector<std::pair<MatchActionTable*, std::uint64_t>> table_epochs;
+  /// The pipeline's table-mutation counter (nullptr when the pipeline
+  /// does not expose one, e.g. hand-built plans in tests).
+  const common::metrics::RelaxedCounter* global_epoch = nullptr;
+  /// Last global_epoch value at which every table_epochs entry was
+  /// verified unchanged. Serve workers advance it monotonically
+  /// (relaxed: re-verification is idempotent), so the per-packet
+  /// Validate fast path is one relaxed load instead of one per table.
+  mutable std::atomic<std::uint64_t> global_epoch_seen{0};
+  PassStats stats;
+
+  /// True while no lifted table has been mutated since compile time —
+  /// checked per packet as the invalidation backstop. Fast path: if
+  /// NOTHING in the pipeline mutated since the last full check, the
+  /// per-table epochs cannot have changed either. The global counter
+  /// is read before the per-table sweep, so a mutation racing the
+  /// sweep leaves `global_epoch_seen` behind the counter and the next
+  /// packet re-checks.
+  bool Validate() const {
+    std::uint64_t global = 0;
+    if (global_epoch != nullptr) {
+      global = global_epoch->Value();
+      if (global == global_epoch_seen.load(std::memory_order_relaxed)) return true;
+      // Pairs with the release fence in MatchActionTable::BumpEpoch:
+      // every table-epoch bump ordered before the observed global
+      // value is visible to the sweep below.
+      std::atomic_thread_fence(std::memory_order_acquire);
+    }
+    for (const auto& [table, epoch] : table_epochs) {
+      if (table->epoch() != epoch) return false;
+    }
+    if (global_epoch != nullptr) {
+      global_epoch_seen.store(global, std::memory_order_relaxed);
+    }
+    return true;
+  }
+};
+
+/// Emits the executable plan from a lowered IR (stats are carried along
+/// for the plan cache's compiler.* counters).
+std::shared_ptr<const CompiledPlan> EmitPlan(const TenantIr& ir, const PassStats& stats);
+
+/// Lift + lower + emit for one tenant. Returns nullptr (and sets
+/// `error` when non-null) if the tenant hits an unsupported construct
+/// and must stay interpreted.
+std::shared_ptr<const CompiledPlan> CompileTenant(const Pipeline& pipeline,
+                                                  std::uint16_t tenant,
+                                                  const ActionMetadata* metadata,
+                                                  std::string* error = nullptr);
+
+}  // namespace sfp::switchsim::compiler

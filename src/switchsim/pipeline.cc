@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/faultinject.h"
 #include "common/units.h"
+#include "switchsim/compiler/exec.h"
+#include "switchsim/compiler/plan_cache.h"
 
 namespace sfp::switchsim {
 
@@ -18,7 +20,13 @@ MatchActionTable* Stage::AddTable(std::string name, std::vector<MatchFieldSpec> 
   // would reserve a piece of memory").
   if (BlocksUsed() + 1 > blocks_per_stage_) return nullptr;
   tables_.push_back(std::make_unique<MatchActionTable>(std::move(name), std::move(key)));
+  tables_.back()->SetSharedEpoch(shared_epoch_);
   return tables_.back().get();
+}
+
+void Stage::SetSharedEpoch(common::metrics::RelaxedCounter* shared) {
+  shared_epoch_ = shared;
+  for (auto& table : tables_) table->SetSharedEpoch(shared);
 }
 
 bool Stage::RemoveTable(const std::string& name) {
@@ -76,7 +84,10 @@ Pipeline::Pipeline(SwitchConfig config) : config_(config) {
   SFP_CHECK_GT(config_.blocks_per_stage, 0);
   SFP_CHECK_GT(config_.entries_per_block, 0);
   stages_.reserve(static_cast<std::size_t>(config_.num_stages));
-  for (int k = 0; k < config_.num_stages; ++k) stages_.emplace_back(k, config_);
+  for (int k = 0; k < config_.num_stages; ++k) {
+    stages_.emplace_back(k, config_);
+    stages_.back().SetSharedEpoch(&table_mutations_);
+  }
 }
 
 Stage& Pipeline::stage(int k) {
@@ -91,7 +102,11 @@ const Stage& Pipeline::stage(int k) const {
   return stages_[static_cast<std::size_t>(k)];
 }
 
-ProcessResult Pipeline::Process(const net::Packet& packet) { return ProcessOne(packet); }
+ProcessResult Pipeline::Process(const net::Packet& packet) {
+  ProcessResult result;
+  ProcessOne(packet, result);
+  return result;
+}
 
 void Pipeline::RecordDrop(DropReason reason) {
   drops_.Add(1);
@@ -138,11 +153,32 @@ bool Pipeline::AdmitRecirculation(double now_ns, double service_ns) {
   }
 }
 
-ProcessResult Pipeline::ProcessOne(const net::Packet& packet, FlowDecisionCache* cache) {
-  ProcessResult result;
+void Pipeline::EnableCompiler(compiler::ActionMetadata metadata) {
+  plan_cache_ = std::make_shared<compiler::PlanCache>(*this, std::move(metadata));
+}
+
+void Pipeline::DisableCompiler() { plan_cache_.reset(); }
+
+void Pipeline::ProcessOne(const net::Packet& packet, ProcessResult& result,
+                          FlowDecisionCache* cache, compiler::ExecContext* exec) {
+  if (exec != nullptr) {
+    if (compiler::ExecContext::Entry* entry = exec->EntryFor(packet.TenantId())) {
+      ExecuteCompiled(*entry->plan, packet, entry->deltas, result);
+      return;
+    }
+    // No valid plan (fallback tenant, compile in flight, or stale
+    // epoch): interpret this packet.
+  }
   result.packet = packet;
-  result.meta.tenant_id = packet.TenantId();
-  result.meta.time_ns = packet.ingress_time_ns;
+  PacketMeta meta;
+  meta.tenant_id = packet.TenantId();
+  meta.time_ns = packet.ingress_time_ns;
+  result.meta = meta;
+  result.passes = 1;
+  result.active_stages = 0;
+  result.idle_stages = 0;
+  result.latency_ns = 0.0;
+  result.parse_error = false;
   packets_.Add(1);
 
   if (SFP_FAULT("switchsim.pipeline.serve")) {
@@ -150,7 +186,7 @@ ProcessResult Pipeline::ProcessOne(const net::Packet& packet, FlowDecisionCache*
     result.meta.drop_reason = DropReason::kInjectedFault;
     RecordDrop(result.meta.drop_reason);
     result.latency_ns = config_.timing.LatencyNs(0, 0, result.passes);
-    return result;
+    return;
   }
 
   for (;;) {
@@ -205,7 +241,6 @@ ProcessResult Pipeline::ProcessOne(const net::Packet& packet, FlowDecisionCache*
 
   result.latency_ns = config_.timing.LatencyNs(result.active_stages, result.idle_stages,
                                                result.passes);
-  return result;
 }
 
 namespace {
@@ -223,7 +258,15 @@ std::size_t FlowShard(const net::Packet& packet, std::size_t shards) {
 std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> packets,
                                                   const BatchOptions& options) {
   std::vector<ProcessResult> results(packets.size());
-  if (packets.empty()) return results;
+  ProcessBatchInto(packets, results, options);
+  return results;
+}
+
+void Pipeline::ProcessBatchInto(std::span<const net::Packet> packets,
+                                std::span<ProcessResult> results,
+                                const BatchOptions& options) {
+  SFP_CHECK_GE(results.size(), packets.size());
+  if (packets.empty()) return;
   batches_.Add(1);
 
   const int shards =
@@ -236,20 +279,41 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
     cache_misses_.Add(cache.misses());
     cache_evictions_.Add(cache.evictions());
   };
+  // Pin the plan cache for the whole batch so a concurrent
+  // DisableCompiler cannot free it under an in-flight worker.
+  const std::shared_ptr<compiler::PlanCache> plan_cache = plan_cache_;
   if (shards <= 1 || static_cast<int>(packets.size()) < options.min_parallel_batch) {
     FlowDecisionCache cache(use_cache ? static_cast<std::size_t>(options.flow_cache_slots)
                                       : 16);
     FlowDecisionCache* cache_ptr = use_cache ? &cache : nullptr;
-    for (std::size_t i = 0; i < packets.size(); ++i) {
-      results[i] = ProcessOne(packets[i], cache_ptr);
-    }
-    if (use_cache) merge_cache(cache);
-    if (options.result_sink) {
+    std::optional<compiler::ExecContext> exec;
+    if (plan_cache != nullptr) exec.emplace(*plan_cache);
+    if (!options.result_sink) {
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        ProcessOne(packets[i], results[i], cache_ptr, exec ? &*exec : nullptr);
+      }
+    } else {
+      // Sink in cache-sized chunks: the sink re-reads each result it is
+      // handed, so running it while the chunk is still resident beats
+      // one full-batch pass over results that have long been evicted.
+      // The sink contract (BatchOptions) explicitly permits multiple
+      // invocations with disjoint index sets.
+      constexpr std::size_t kSinkChunk = 512;
       std::vector<std::uint32_t> all(packets.size());
       for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint32_t>(i);
-      options.result_sink(all, results);
+      for (std::size_t begin = 0; begin < packets.size(); begin += kSinkChunk) {
+        const std::size_t end = std::min(begin + kSinkChunk, packets.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          ProcessOne(packets[i], results[i], cache_ptr, exec ? &*exec : nullptr);
+        }
+        options.result_sink(
+            std::span<const std::uint32_t>(all.data() + begin, end - begin),
+            results.first(packets.size()));
+      }
     }
-    return results;
+    if (exec) exec->Flush(*this);
+    if (use_cache) merge_cache(cache);
+    return;
   }
 
   // Bucket packet indices by flow shard. Each shard keeps its indices
@@ -269,16 +333,18 @@ std::vector<ProcessResult> Pipeline::ProcessBatch(std::span<const net::Packet> p
     FlowDecisionCache cache(use_cache ? static_cast<std::size_t>(options.flow_cache_slots)
                                       : 16);
     FlowDecisionCache* cache_ptr = use_cache ? &cache : nullptr;
+    std::optional<compiler::ExecContext> exec;
+    if (plan_cache != nullptr) exec.emplace(*plan_cache);
     const auto& indices = shard_indices[static_cast<std::size_t>(shard)];
     for (const std::uint32_t index : indices) {
-      results[index] = ProcessOne(packets[index], cache_ptr);
+      ProcessOne(packets[index], results[index], cache_ptr, exec ? &*exec : nullptr);
     }
+    if (exec) exec->Flush(*this);
     if (use_cache) merge_cache(cache);
     // Fused accounting: the sink runs here, on the worker, while other
     // shards are still serving — no serial post-pass on the caller.
-    if (options.result_sink) options.result_sink(indices, results);
+    if (options.result_sink) options.result_sink(indices, results.first(packets.size()));
   });
-  return results;
 }
 
 void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
@@ -293,6 +359,16 @@ void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.cache.hits").Set(cache_hits_.Value());
   registry.GetCounter("pipeline.cache.misses").Set(cache_misses_.Value());
   registry.GetCounter("pipeline.cache.evictions").Set(cache_evictions_.Value());
+  if (plan_cache_ != nullptr) {
+    registry.GetCounter("compiler.plans_compiled").Set(plan_cache_->PlansCompiled());
+    registry.GetCounter("compiler.recompiles").Set(plan_cache_->Recompiles());
+    registry.GetCounter("compiler.invalidations").Set(plan_cache_->Invalidations());
+    registry.GetCounter("compiler.fallback_tenants").Set(plan_cache_->FallbackTenants());
+    registry.GetCounter("compiler.fused_stages").Set(plan_cache_->FusedStages());
+    registry.GetCounter("compiler.dead_tables_eliminated")
+        .Set(plan_cache_->DeadTablesEliminated());
+    registry.GetCounter("compiler.folded_tables").Set(plan_cache_->FoldedTables());
+  }
   for (const auto& stage : stages_) {
     const std::string prefix = "pipeline.stage" + std::to_string(stage.index()) + ".";
     for (const auto& table : stage.tables()) {

@@ -22,6 +22,14 @@
 
 namespace sfp::switchsim {
 
+namespace compiler {
+struct ActionMetadata;
+struct CompiledPlan;
+class ExecContext;
+class PlanCache;
+struct PlanDeltas;
+}  // namespace compiler
+
 /// Static switch parameters (defaults follow §VI-C's simulated switch:
 /// 8 stages x 20 blocks x 1000 entries, 400 Gbps backplane; the
 /// testbed Tofino of §VI-B instead has 12 stages and 3.2 Tbps).
@@ -79,11 +87,16 @@ class Stage {
   int index() const { return index_; }
   const std::vector<std::unique_ptr<MatchActionTable>>& tables() const { return tables_; }
 
+  /// Attaches the owning pipeline's shared mutation counter; every
+  /// table created in this stage bumps it alongside its own epoch.
+  void SetSharedEpoch(common::metrics::RelaxedCounter* shared);
+
  private:
   int index_;
   int blocks_per_stage_;
   int entries_per_block_;
   std::vector<std::unique_ptr<MatchActionTable>> tables_;
+  common::metrics::RelaxedCounter* shared_epoch_ = nullptr;
 };
 
 /// Result of pushing one packet through the pipeline.
@@ -146,6 +159,15 @@ class Pipeline {
   std::vector<ProcessResult> ProcessBatch(std::span<const net::Packet> packets,
                                           const BatchOptions& options = {});
 
+  /// ProcessBatch into a caller-owned buffer: results[i] receives
+  /// packet i's result (every field is written, so the buffer can be
+  /// reused across batches without re-zeroing — this keeps the
+  /// steady-state serve loop free of per-batch allocation). `results`
+  /// must have at least packets.size() elements; elements beyond that
+  /// are untouched.
+  void ProcessBatchInto(std::span<const net::Packet> packets,
+                        std::span<ProcessResult> results, const BatchOptions& options = {});
+
   /// Parses raw bytes first (exercising the wire path), then Process().
   ProcessResult ProcessBytes(std::span<const std::uint8_t> bytes);
 
@@ -167,9 +189,37 @@ class Pipeline {
   std::uint64_t flow_cache_misses() const { return cache_misses_.Value(); }
   std::uint64_t flow_cache_evictions() const { return cache_evictions_.Value(); }
 
+  /// Turns on the per-tenant pipeline compiler (docs/COMPILER.md):
+  /// batch workers serve tenants whose rules lift cleanly from a
+  /// CompiledPlan and interpret the rest. Results, drops, and counters
+  /// are bit-identical to the interpreted path. `metadata` carries the
+  /// NF library's action traits (action_traits.h); actions without
+  /// traits are treated as opaque calls. Opt-in: without this call the
+  /// pipeline behaves exactly as before (including the per-worker flow
+  /// decision cache, which the compiled path supersedes).
+  void EnableCompiler(compiler::ActionMetadata metadata);
+  /// Drops the plan cache and reverts every tenant to interpretation.
+  void DisableCompiler();
+  bool compiler_enabled() const { return plan_cache_ != nullptr; }
+  /// The shared plan cache, or nullptr when the compiler is off. The
+  /// control plane uses it to warm/invalidate plans across rule churn.
+  compiler::PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// Pipeline-wide table-mutation counter: bumped whenever any table
+  /// in any stage mutates. Compiled plans capture it for a one-load
+  /// per-packet staleness fast path (CompiledPlan::Validate).
+  const common::metrics::RelaxedCounter* table_mutation_epoch() const {
+    return &table_mutations_;
+  }
+
+  /// Applies one worker's buffered pipeline-level counter deltas
+  /// (compiled serve path; called from ExecContext::Flush).
+  void AddCompiledCounts(const compiler::PlanDeltas& deltas);
+
   /// Snapshots the pipeline's counters (packets, drops, recirculations,
-  /// batches, per-stage/per-table hits and misses) into `registry`
-  /// under the names documented in docs/METRICS.md.
+  /// batches, per-stage/per-table hits and misses, and compiler.* when
+  /// the compiler is enabled) into `registry` under the names
+  /// documented in docs/METRICS.md.
   void ExportMetrics(common::metrics::Registry& registry) const;
 
   /// Total blocks used across stages (utilization numerator of Fig. 6).
@@ -181,8 +231,24 @@ class Pipeline {
   /// Scalar serve path shared by Process and the batch workers; only
   /// touches shared state through atomics and the tables' shared locks.
   /// `cache` is the calling worker's private flow decision cache
-  /// (nullptr on the scalar path).
-  ProcessResult ProcessOne(const net::Packet& packet, FlowDecisionCache* cache = nullptr);
+  /// (nullptr on the scalar path). `exec` is the calling batch worker's
+  /// compiled-plan context: when set and the packet's tenant has a
+  /// valid plan, the packet is served by ExecuteCompiled instead of the
+  /// interpreter loop below. Writes every field of `result` (its prior
+  /// contents are irrelevant), so the batch path serves straight into
+  /// reusable result buffers — no per-packet ProcessResult is moved,
+  /// copied, or re-zeroed.
+  void ProcessOne(const net::Packet& packet, ProcessResult& result,
+                  FlowDecisionCache* cache = nullptr,
+                  compiler::ExecContext* exec = nullptr);
+
+  /// Compiled serve path (defined in compiler/exec.cc): runs `packet`
+  /// through `plan`, buffering all counter bumps into `deltas` and
+  /// writing every field of `result`. Bit-identical to the interpreter
+  /// loop in ProcessOne by construction (see docs/COMPILER.md for the
+  /// equivalence argument).
+  void ExecuteCompiled(const compiler::CompiledPlan& plan, const net::Packet& packet,
+                       compiler::PlanDeltas& deltas, ProcessResult& result);
 
   /// Charges one recirculation pass to the finite recirculation port;
   /// false = the port's backlog bound is exceeded (overload drop).
@@ -195,6 +261,10 @@ class Pipeline {
   SwitchConfig config_;
   std::vector<Stage> stages_;
   common::metrics::RelaxedCounter packets_;
+  /// Pipeline-wide table-mutation counter (bumped by every table's
+  /// BumpEpoch); compiled plans read it as a one-load staleness fast
+  /// path (CompiledPlan::Validate).
+  common::metrics::RelaxedCounter table_mutations_;
   common::metrics::RelaxedCounter drops_;
   common::metrics::RelaxedCounter drops_nf_;
   common::metrics::RelaxedCounter drops_guard_;
@@ -207,6 +277,10 @@ class Pipeline {
   common::metrics::RelaxedCounter cache_evictions_;
   /// Virtual time at which the recirculation port next frees up.
   common::metrics::RelaxedDouble recirc_busy_until_ns_;
+  /// Set by EnableCompiler; shared with the batch workers' per-shard
+  /// ExecContexts (shared_ptr so a DisableCompiler cannot free it under
+  /// an in-flight batch).
+  std::shared_ptr<compiler::PlanCache> plan_cache_;
 };
 
 }  // namespace sfp::switchsim

@@ -51,7 +51,7 @@ void MatchActionTable::SetDefaultAction(ActionId action, ActionArgs args) {
   SFP_CHECK_GE(action, 0);
   SFP_CHECK_LT(static_cast<std::size_t>(action), actions_.size());
   default_action_ = {action, std::move(args)};
-  epoch_.Add(1);  // memoized miss decisions must re-resolve
+  BumpEpoch();  // memoized miss decisions must re-resolve
 }
 
 bool MatchActionTable::IsPureEntry(const TableEntry& entry) const {
@@ -135,7 +135,7 @@ EntryHandle MatchActionTable::AddEntry(std::vector<FieldMatch> matches, ActionId
   entry.handle = next_handle_++;
   entries_.push_back(std::move(entry));
   IndexEntryLocked(entries_.size() - 1);
-  epoch_.Add(1);
+  BumpEpoch();
   return entries_.back().handle;
 }
 
@@ -148,7 +148,7 @@ bool MatchActionTable::RemoveEntry(EntryHandle handle) {
   // Removal shifts entry indices, so the index is rebuilt wholesale;
   // tenant departure is the control-plane slow path.
   RebuildIndexLocked();
-  epoch_.Add(1);
+  BumpEpoch();
   return true;
 }
 
@@ -162,7 +162,7 @@ std::size_t MatchActionTable::RemoveTenantEntries(std::uint16_t tenant) {
     // No epoch bump when nothing was removed: departures of tenants
     // with no rules in this table must not invalidate everyone's
     // cached decisions.
-    epoch_.Add(1);
+    BumpEpoch();
   }
   return removed;
 }
@@ -320,6 +320,24 @@ bool MatchActionTable::NeedsTcam() const {
   return std::any_of(key_.begin(), key_.end(), [](const MatchFieldSpec& spec) {
     return spec.kind == MatchKind::kTernary || spec.kind == MatchKind::kRange;
   });
+}
+
+MatchActionTable::CompileSnapshot MatchActionTable::Snapshot() const {
+  std::shared_lock lock(entries_mutex_);
+  CompileSnapshot snapshot;
+  snapshot.entries = entries_;
+  snapshot.actions = actions_;
+  snapshot.action_names = action_names_;
+  snapshot.default_action = default_action_;
+  snapshot.epoch = epoch_.Value();
+  return snapshot;
+}
+
+void MatchActionTable::AddApplyCounts(std::uint64_t hits, std::uint64_t misses,
+                                      std::uint64_t default_hits) {
+  if (hits != 0) hits_.Add(hits);
+  if (misses != 0) misses_.Add(misses);
+  if (default_hits != 0) default_hits_.Add(default_hits);
 }
 
 }  // namespace sfp::switchsim

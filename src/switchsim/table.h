@@ -154,6 +154,33 @@ class MatchActionTable {
   /// Cached decisions stamped with an older epoch are invalid.
   std::uint64_t epoch() const { return epoch_.Value(); }
 
+  /// Optional pipeline-wide mutation counter, bumped alongside this
+  /// table's own epoch. Compiled plans use it as a one-load fast path
+  /// for per-packet staleness checks (see CompiledPlan::Validate);
+  /// tables created outside a pipeline simply leave it unset.
+  void SetSharedEpoch(common::metrics::RelaxedCounter* shared) { shared_epoch_ = shared; }
+
+  /// Consistent copy of everything the pipeline compiler lifts: the
+  /// entries, the registered action callbacks and names, the default
+  /// action, and the epoch the copy was taken at. Taken under the
+  /// shared entry lock, so it can run concurrently with packet serving
+  /// but never observes a half-applied mutation.
+  struct CompileSnapshot {
+    std::vector<TableEntry> entries;
+    std::vector<ActionFn> actions;
+    std::vector<std::string> action_names;
+    std::optional<std::pair<ActionId, ActionArgs>> default_action;
+    std::uint64_t epoch = 0;
+  };
+  CompileSnapshot Snapshot() const;
+
+  /// Batched counter commit for the compiled serve path: adds worker-
+  /// buffered hit/miss/default-hit sums in one call each. Totals stay
+  /// bit-identical to per-Apply bumps because the counts are plain
+  /// integer sums.
+  void AddApplyCounts(std::uint64_t hits, std::uint64_t misses,
+                      std::uint64_t default_hits);
+
  private:
   /// Per exact-key-tuple bucket of the lookup index. Values index
   /// entries_; they are maintained incrementally on AddEntry and
@@ -221,6 +248,20 @@ class MatchActionTable {
   common::metrics::RelaxedCounter misses_;
   common::metrics::RelaxedCounter default_hits_;
   common::metrics::RelaxedCounter epoch_;
+  common::metrics::RelaxedCounter* shared_epoch_ = nullptr;
+
+  /// Single bump site: the table's own epoch plus the pipeline-wide
+  /// counter when attached. The release fence pairs with the acquire
+  /// fence in CompiledPlan::Validate: a reader that observes the
+  /// shared bump is guaranteed to also observe this table's epoch
+  /// bump, so the one-load fast path can never cache a stale verdict.
+  void BumpEpoch() {
+    epoch_.Add(1);
+    if (shared_epoch_ != nullptr) {
+      std::atomic_thread_fence(std::memory_order_release);
+      shared_epoch_->Add(1);
+    }
+  }
 };
 
 }  // namespace sfp::switchsim

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in README.md and docs/*.md.
+
+CI's docs gate: every Markdown inline link or image whose target is a
+relative path must resolve to an existing file or directory in the
+repository. External targets (http/https/mailto) and pure in-page
+anchors (#...) are skipped; a fragment on a relative link is stripped
+before the existence check (anchor validity is not checked). Reference-
+style definitions (`[label]: target`) are checked the same way.
+
+Usage:
+  tools/check_doc_links.py [repo_root]
+Exits nonzero and prints one line per dead link.
+"""
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target "title").
+INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference definitions: [label]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?(?:\s+\"[^\"]*\")?\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root):
+    files = [os.path.join(root, name)
+             for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def targets_in(path):
+    """Yields (line_number, target) for every link target in the file,
+    skipping fenced code blocks (their brackets are code, not links)."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in INLINE.finditer(line):
+                yield number, match.group(1)
+            match = REFDEF.match(line)
+            if match:
+                yield number, match.group(1)
+
+
+def main(argv):
+    root = os.path.abspath(argv[1] if len(argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for path in doc_files(root):
+        base = os.path.dirname(path)
+        for number, target in targets_in(path):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                dead.append(f"{rel}:{number}: dead link {target!r} "
+                            f"(resolved to {os.path.relpath(resolved, root)})")
+    for line in dead:
+        print(line, file=sys.stderr)
+    print(f"{'FAIL' if dead else 'ok'}: {checked} relative links checked, "
+          f"{len(dead)} dead")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
