@@ -1,0 +1,111 @@
+// Shared driver for the scenario benches (scn_*): each binary runs one
+// builtin scenario from src/scenario/scenario.h end to end and emits an
+// sfp.bench.v1 report with the scenario's packet accounting,
+// conservation-check results, fault-fire totals, recovery-time
+// percentiles and the recovery controller's system.recover.* counters.
+//
+// Every builtin scenario serves with one worker thread, stamps packets
+// with simulated time and draws all randomness from fixed seeds, so
+// the exported counters are byte-reproducible and the bench-regression
+// gate (tools/compare_bench_json.py) pins them exactly; only the
+// recovery-time percentiles get a relative band plus a hard ceiling,
+// since a boundary-case admission flip under a different compiler's
+// floating-point contraction could legitimately shift one episode.
+// Exits nonzero if the scenario reports a conservation violation, so
+// the CI smoke fails even before the JSON diff.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "scenario/runner.h"
+
+namespace sfp::bench {
+
+/// Runs `spec`, prints its summary, exports metrics into `report`, and
+/// returns the process exit code.
+inline int RunScenarioBench(const scenario::ScenarioSpec& spec) {
+  PrintHeader(("scenario: " + spec.name).c_str(), spec.description.c_str());
+  BenchReport report("scn_" + spec.name, spec.description);
+
+  scenario::ScenarioRunner runner(spec);
+  const auto result = runner.Run();
+
+  Table table({"metric", "value"});
+  table.Row().Add("ticks").Add(static_cast<std::int64_t>(result.ticks));
+  table.Row().Add("packets sent").Add(static_cast<std::int64_t>(result.packets_sent));
+  table.Row().Add("packets recorded").Add(static_cast<std::int64_t>(result.total.packets));
+  table.Row().Add("drops").Add(static_cast<std::int64_t>(result.total.drops));
+  table.Row().Add("recirculated").Add(
+      static_cast<std::int64_t>(result.total.recirculated_packets));
+  table.Row().Add("tenants admitted").Add(
+      static_cast<std::int64_t>(result.tenants_admitted));
+  table.Row().Add("tenants departed").Add(
+      static_cast<std::int64_t>(result.tenants_departed));
+  table.Row().Add("fault fires").Add(static_cast<std::int64_t>(result.fault_fires));
+  table.Row().Add("recovery detections").Add(
+      static_cast<std::int64_t>(result.recovery.detections));
+  table.Row().Add("recovery successes").Add(
+      static_cast<std::int64_t>(result.recovery.successes));
+  table.Row().Add("quarantined").Add(
+      static_cast<std::int64_t>(result.recovery.quarantined));
+  table.Row().Add("recovery p50 (ms)").Add(result.recovery_p50_ms, 1);
+  table.Row().Add("recovery p99 (ms)").Add(result.recovery_p99_ms, 1);
+  table.Row().Add("conservation checks").Add(
+      static_cast<std::int64_t>(result.conservation_checks));
+  table.Row().Add("conservation violations").Add(
+      static_cast<std::int64_t>(result.conservation_violations));
+  table.Print(std::cout);
+  report.AddTable("scenario_summary", table);
+
+  auto& metrics = report.metrics();
+  metrics.GetCounter("scenario.ticks").Set(result.ticks);
+  metrics.GetCounter("scenario.packets_sent").Set(result.packets_sent);
+  metrics.GetCounter("scenario.bytes_sent").Set(result.bytes_sent);
+  metrics.GetCounter("scenario.truncated_ticks").Set(result.truncated_ticks);
+  metrics.GetCounter("scenario.tenants_admitted").Set(result.tenants_admitted);
+  metrics.GetCounter("scenario.tenants_departed").Set(result.tenants_departed);
+  metrics.GetCounter("scenario.admit_rejects").Set(result.admit_rejects);
+  metrics.GetCounter("scenario.conservation_checks").Set(result.conservation_checks);
+  metrics.GetCounter("scenario.conservation_violations")
+      .Set(result.conservation_violations);
+  metrics.GetCounter("scenario.fault_fires").Set(result.fault_fires);
+  metrics.GetCounter("scenario.open_episodes").Set(result.open_episodes);
+  metrics.GetCounter("scenario.total.packets").Set(result.total.packets);
+  metrics.GetCounter("scenario.total.bytes").Set(result.total.bytes);
+  metrics.GetCounter("scenario.total.drops").Set(result.total.drops);
+  metrics.GetCounter("scenario.total.recirculated_packets")
+      .Set(result.total.recirculated_packets);
+  metrics.GetCounter("scenario.total.passes").Set(result.total.total_passes);
+  // Recovery-time percentiles in simulated microseconds: sim-time
+  // deltas, so integer-exact on one binary but banded by the gate (see
+  // header comment).
+  metrics.GetCounter("scenario.recovery.p50_us")
+      .Set(static_cast<std::uint64_t>(std::llround(result.recovery_p50_ms * 1000.0)));
+  metrics.GetCounter("scenario.recovery.p99_us")
+      .Set(static_cast<std::uint64_t>(std::llround(result.recovery_p99_ms * 1000.0)));
+  metrics.GetCounter("scenario.recovery.max_us")
+      .Set(static_cast<std::uint64_t>(std::llround(result.recovery_max_ms * 1000.0)));
+  runner.recovery().ExportMetrics(metrics);
+
+  report.AddNote("serve_threads=1 and simulated-time packet stamps make every "
+                 "exported counter byte-reproducible for the regression gate.");
+  report.Write();
+
+  if (!result.ok) {
+    for (const auto& error : result.errors) {
+      std::printf("FATAL: %s\n", error.c_str());
+    }
+    return 1;
+  }
+  std::printf("scenario %s: ok (%llu packets, %llu fault fires, %llu recoveries)\n",
+              spec.name.c_str(),
+              static_cast<unsigned long long>(result.packets_sent),
+              static_cast<unsigned long long>(result.fault_fires),
+              static_cast<unsigned long long>(result.recovery.successes));
+  return 0;
+}
+
+}  // namespace sfp::bench

@@ -1,0 +1,7 @@
+// Scenario bench: the builtin diurnal scenario (see bench/scn_common.h
+// for the report format and docs/SCENARIOS.md for the scenario).
+#include "bench/scn_common.h"
+
+int main() {
+  return sfp::bench::RunScenarioBench(sfp::scenario::DiurnalScenario());
+}

@@ -142,4 +142,42 @@ std::map<std::string, PointStats> Registry::AllStats() const {
   return stats;
 }
 
+void FaultSchedule::AddWindow(double start, double end, FaultPlan plan) {
+  SFP_CHECK_MSG(windows_.size() < 64, "FaultSchedule supports at most 64 windows");
+  windows_.push_back({start, end, std::move(plan)});
+}
+
+bool FaultSchedule::AdvanceTo(double now) {
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    if (now >= windows_[i].start && now < windows_[i].end) mask |= std::uint64_t{1} << i;
+  }
+  if (mask == active_mask_) return false;
+  active_mask_ = mask;
+  if (mask == 0) {
+    Registry::Instance().Disarm();
+    return true;
+  }
+  // Merge the active windows: specs concatenate (a point listed twice
+  // keeps the first window's rule — Arm() installs first-match-wins
+  // per point via FindOrCreate) and the seed mixes every active
+  // window's seed with its index, so any distinct active set draws
+  // from a distinct, reproducible stream.
+  FaultPlan merged;
+  merged.seed = 0x5CEDFA17u;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    if (!(mask & (std::uint64_t{1} << i))) continue;
+    merged.seed = merged.seed * 1099511628211ULL ^ (windows_[i].plan.seed + i);
+    for (const FaultSpec& spec : windows_[i].plan.faults) merged.faults.push_back(spec);
+  }
+  Registry::Instance().Arm(merged);
+  return true;
+}
+
+void FaultSchedule::Stop() {
+  if (active_mask_ == 0) return;
+  active_mask_ = 0;
+  Registry::Instance().Disarm();
+}
+
 }  // namespace sfp::common::faultinject

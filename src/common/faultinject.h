@@ -125,6 +125,45 @@ class Registry {
   std::map<std::string, PointState> points_;
 };
 
+/// A time-indexed fault schedule (the scenario runner's storm driver):
+/// each window arms its plan while the driver's clock is inside
+/// [start, end). AdvanceTo(now) arms the merged plan of every active
+/// window (specs concatenated, seeds mixed deterministically from the
+/// active-window set) and disarms the registry when none is active.
+///
+/// Arming resets the registry's per-point hit counters, so fault
+/// decisions are a pure function of (active-window set, hits since
+/// that set last changed) — a single-threaded driver replaying the
+/// same schedule gets byte-identical fault sequences.
+class FaultSchedule {
+ public:
+  /// Registers a window arming `plan` for simulated time
+  /// [start, end). At most 64 windows per schedule.
+  void AddWindow(double start, double end, FaultPlan plan);
+
+  /// Applies the window set active at `now`. Returns true when the
+  /// armed state changed (a window opened or closed).
+  bool AdvanceTo(double now);
+
+  /// Disarms the registry if this schedule armed it (end-of-run
+  /// cleanup; also safe when nothing is armed).
+  void Stop();
+
+  /// True while at least one window is armed.
+  bool active() const { return active_mask_ != 0; }
+  std::size_t windows() const { return windows_.size(); }
+
+ private:
+  struct Window {
+    double start;
+    double end;
+    FaultPlan plan;
+  };
+  std::vector<Window> windows_;
+  /// Bitmask of the currently armed windows.
+  std::uint64_t active_mask_ = 0;
+};
+
 /// RAII helper: arms `plan` on construction, disarms on destruction.
 class ScopedFaultPlan {
  public:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "common/faultinject.h"
 #include "common/logging.h"
 #include "controlplane/greedy_solver.h"
 #include "switchsim/compiler/plan_cache.h"
@@ -21,6 +22,20 @@ const char* AdmitCodeName(AdmitCode code) {
       return "backplane-exceeded";
     case AdmitCode::kInstallFault:
       return "install-fault";
+  }
+  return "unknown";
+}
+
+const char* ReprovisionCodeName(ReprovisionCode code) {
+  switch (code) {
+    case ReprovisionCode::kOk:
+      return "ok";
+    case ReprovisionCode::kFault:
+      return "fault";
+    case ReprovisionCode::kDiverged:
+      return "diverged";
+    case ReprovisionCode::kBackplaneExceeded:
+      return "backplane-exceeded";
   }
   return "unknown";
 }
@@ -294,6 +309,88 @@ AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions
   admits_ok_.Add();
   // Warm compile so the tenant's first served batch runs the compiled
   // plan instead of paying a serve-path try-lock compile.
+  if (auto* cache = data_plane_.pipeline().plan_cache()) cache->Warm(sfc.tenant);
+  return result;
+}
+
+ReprovisionResult SfpSystem::ReprovisionTenant(const dataplane::Sfc& sfc,
+                                               const AdmitOptions& options) {
+  std::lock_guard<std::mutex> lock(*control_mutex_);
+  ReprovisionResult result;
+
+  using UpdateOp = dataplane::DataPlane::UpdateOp;
+  using BatchResult = dataplane::DataPlane::BatchResult;
+  const int max_attempts = std::max(1, options.max_attempts);
+  auto backoff = options.initial_backoff;
+  BatchResult batch;
+  for (result.attempts = 1; result.attempts <= max_attempts; ++result.attempts) {
+    // Rebuilt each attempt: a diverging earlier attempt can change
+    // whether the tenant is still allocated.
+    std::vector<UpdateOp> ops;
+    if (data_plane_.IsAllocated(sfc.tenant)) {
+      ops.push_back({UpdateOp::Kind::kRemove, sfc});
+    }
+    ops.push_back({UpdateOp::Kind::kAdmit, sfc});
+    if (SFP_FAULT("core.reprovision")) {
+      batch = BatchResult{};
+      batch.error = "injected reprovision fault (core.reprovision)";
+    } else {
+      batch = data_plane_.ApplyAtomic(ops);
+    }
+    if (batch.ok ||
+        batch.consistency == BatchResult::Consistency::kDiverged) {
+      break;
+    }
+    if (result.attempts == max_attempts) break;
+    install_retries_.Add();
+    SFP_LOG_WARN << "tenant " << sfc.tenant << " re-provision attempt " << result.attempts
+                 << "/" << max_attempts << " failed: " << batch.error;
+    if (backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+  }
+  result.attempts = std::min(result.attempts, max_attempts);
+
+  if (!batch.ok) {
+    if (batch.consistency == BatchResult::Consistency::kDiverged) {
+      // The rollback double-fault already stripped the tenant's rules;
+      // release its backplane charge so the admission ledger matches
+      // what the pipeline serves. Its telemetry series stays live (the
+      // tenant has not departed — it is broken, and a later
+      // re-provision can still repair it from scratch).
+      admissions_.erase(sfc.tenant);
+      result.code = ReprovisionCode::kDiverged;
+    } else {
+      result.code = ReprovisionCode::kFault;
+    }
+    result.reason = batch.error;
+    return result;
+  }
+
+  const auto* allocation = data_plane_.FindAllocation(sfc.tenant);
+  SFP_CHECK_MSG(allocation != nullptr, "successful re-provision batch left no allocation");
+  result.passes = allocation->passes;
+
+  // eq. 26 re-check: folding may land the re-allocated chain on a
+  // different pass count, changing its backplane charge.
+  const double charge = result.passes * sfc.bandwidth_gbps;
+  double used = 0.0;
+  for (const auto& [tenant, admission] : admissions_) {
+    if (tenant == sfc.tenant) continue;
+    used += admission.passes * admission.bandwidth_gbps;
+  }
+  if (used + charge > data_plane_.pipeline().config().backplane_gbps + 1e-9) {
+    data_plane_.DeallocateSfc(sfc.tenant);
+    admissions_.erase(sfc.tenant);
+    result.code = ReprovisionCode::kBackplaneExceeded;
+    result.reason = "backplane capacity exceeded after re-provision";
+    return result;
+  }
+
+  admissions_[sfc.tenant] = {sfc.bandwidth_gbps, result.passes};
+  result.ok = true;
+  result.code = ReprovisionCode::kOk;
   if (auto* cache = data_plane_.pipeline().plan_cache()) cache->Warm(sfc.tenant);
   return result;
 }

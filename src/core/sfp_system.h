@@ -71,6 +71,32 @@ struct AdmitOptions {
   std::chrono::microseconds initial_backoff{50};
 };
 
+/// Failure class of a re-provision attempt (the recovery loop's repair
+/// primitive; see docs/SCENARIOS.md).
+enum class ReprovisionCode : std::uint8_t {
+  kOk = 0,
+  /// Every attempt failed but each batch rolled back consistently: if
+  /// the tenant was allocated before, it still serves its chain.
+  kFault,
+  /// A rollback double-fault lost the tenant's rules (its admission is
+  /// released; a later re-provision may re-admit it from scratch).
+  kDiverged,
+  /// The re-allocated chain's passes would push eq. 26 past the
+  /// backplane; the tenant was deallocated and its admission released.
+  kBackplaneExceeded,
+};
+
+const char* ReprovisionCodeName(ReprovisionCode code);
+
+/// Result of a re-provision attempt.
+struct ReprovisionResult {
+  bool ok = false;
+  ReprovisionCode code = ReprovisionCode::kOk;
+  std::string reason;  // set when !ok
+  int passes = 0;      // R_l + 1 when ok
+  int attempts = 0;    // batch attempts (>1 = retried faults)
+};
+
 /// Which solver ultimately produced the physical layout.
 enum class ProvisionPath : std::uint8_t {
   /// §V-B LP relaxation + randomized rounding (the intended path).
@@ -146,6 +172,21 @@ class SfpSystem {
   /// telemetry retention policy to its series. Returns false if the
   /// tenant is unknown.
   bool RemoveTenant(dataplane::TenantId tenant);
+
+  /// Re-provisions a tenant through the §V-E atomic-update path: one
+  /// ApplyAtomic batch removes the current allocation (when present)
+  /// and re-admits `sfc` — the authoritative desired chain. All-or-
+  /// nothing: a failed batch rolls back, leaving a previously
+  /// allocated tenant still serving (kFault); only a rollback
+  /// double-fault loses it (kDiverged, admission released). On success
+  /// the eq. 26 charge is re-checked against the re-allocated pass
+  /// count and the admission record updated. Works on tenants whose
+  /// rules were already lost (IsAllocated false ⇒ admit-only batch),
+  /// whether or not their admission record survived. Never touches the
+  /// telemetry series — a recovered tenant keeps its history. Fault
+  /// point "core.reprovision" fails an attempt before the batch runs.
+  ReprovisionResult ReprovisionTenant(const dataplane::Sfc& sfc,
+                                      const AdmitOptions& options = {});
 
   /// Serves one packet through the shared pipeline and records
   /// per-tenant telemetry.

@@ -133,6 +133,13 @@ class DataPlane {
   /// True if the tenant currently has an allocated SFC.
   bool IsAllocated(TenantId tenant) const { return allocations_.contains(tenant); }
 
+  /// The tenant's current allocation (placements + pass count), or
+  /// nullptr when none. Valid until the next (de)allocation.
+  const AllocationResult* FindAllocation(TenantId tenant) const {
+    const auto it = allocations_.find(tenant);
+    return it != allocations_.end() ? &it->second : nullptr;
+  }
+
   /// Runs one packet through the shared pipeline.
   switchsim::ProcessResult Process(const net::Packet& packet) {
     return pipeline_.Process(packet);

@@ -159,7 +159,11 @@ void TelemetryCollector::RecordBatch(std::span<const std::uint32_t> indices,
 void TelemetryCollector::ApplyDelta(const Delta& delta) {
   Shard& shard = state_->shards[ShardOf(delta.tenant)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  Series& series = shard.series[delta.tenant];
+  const auto [it, inserted] = shard.series.try_emplace(delta.tenant);
+  Series& series = it->second;
+  if (inserted) {
+    series.epoch = state_->series_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   series.departed = false;  // traffic revives a departed series
   series.packets += delta.packets;
   series.bytes += delta.bytes;
@@ -183,7 +187,11 @@ void TelemetryCollector::FlushDeltas(const DeltaTable& table) {
         shard = &state_->shards[shard_index];
         lock = std::unique_lock<std::mutex>(shard->mutex);
       }
-      Series& series = shard->series[delta.tenant];
+      const auto [it, inserted] = shard->series.try_emplace(delta.tenant);
+      Series& series = it->second;
+      if (inserted) {
+        series.epoch = state_->series_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+      }
       series.departed = false;
       series.packets += delta.packets;
       series.bytes += delta.bytes;
@@ -236,9 +244,15 @@ TelemetryCollector::Snapshot TelemetryCollector::TakeSnapshot() const {
   AllShardsLock shards(state_->shards);
   Snapshot snapshot;
   std::uint64_t total_latency_fp = 0;
+  struct Row {
+    std::uint16_t tenant;
+    TenantCounters counters;
+    std::uint64_t epoch;
+  };
+  std::vector<Row> rows;
   for (const Shard& shard : state_->shards) {
     for (const auto& [tenant, series] : shard.series) {
-      snapshot.tenants.emplace_back(tenant, series.ToCounters());
+      rows.push_back({tenant, series.ToCounters(), series.epoch});
       if (series.departed) ++snapshot.departed;
       snapshot.total.packets += series.packets;
       snapshot.total.bytes += series.bytes;
@@ -251,9 +265,63 @@ TelemetryCollector::Snapshot TelemetryCollector::TakeSnapshot() const {
     }
   }
   snapshot.total.total_latency_ns = static_cast<double>(total_latency_fp) / kLatencyScale;
-  std::sort(snapshot.tenants.begin(), snapshot.tenants.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.tenant < b.tenant; });
+  snapshot.tenants.reserve(rows.size());
+  snapshot.epochs.reserve(rows.size());
+  for (const Row& row : rows) {
+    snapshot.tenants.emplace_back(row.tenant, row.counters);
+    snapshot.epochs.push_back(row.epoch);
+  }
   return snapshot;
+}
+
+std::vector<TelemetryCollector::TenantDrift> TelemetryCollector::Drift(
+    const Snapshot& before, const Snapshot& after) {
+  std::vector<TenantDrift> drift;
+  std::size_t b = 0;
+  for (std::size_t a = 0; a < after.tenants.size(); ++a) {
+    const auto& [tenant, cur] = after.tenants[a];
+    while (b < before.tenants.size() && before.tenants[b].first < tenant) ++b;
+    const bool known = b < before.tenants.size() && before.tenants[b].first == tenant;
+    const bool same_series = known && b < before.epochs.size() &&
+                             a < after.epochs.size() &&
+                             before.epochs[b] == after.epochs[a];
+    TenantDrift d;
+    d.tenant = tenant;
+    if (same_series) {
+      const TenantCounters& prev = before.tenants[b].second;
+      // Every record bumps packets, so an unchanged packet count means
+      // the whole series is unchanged — an idle tenant this window.
+      if (cur.packets == prev.packets) continue;
+      d.packets = cur.packets - prev.packets;
+      d.bytes = cur.bytes - prev.bytes;
+      d.drops = cur.drops - prev.drops;
+      d.recirculated_packets = cur.recirculated_packets - prev.recirculated_packets;
+      d.total_passes = cur.total_passes - prev.total_passes;
+    } else {
+      // First sight of this series: its absolute counters are the
+      // window delta. `restarted` only when an older series existed —
+      // a brand-new tenant is not a restart.
+      d.restarted = known;
+      d.packets = cur.packets;
+      d.bytes = cur.bytes;
+      d.drops = cur.drops;
+      d.recirculated_packets = cur.recirculated_packets;
+      d.total_passes = cur.total_passes;
+      if (cur.packets == 0) continue;  // created but never recorded into
+    }
+    drift.push_back(d);
+  }
+  return drift;
+}
+
+std::vector<TelemetryCollector::TenantDrift> TelemetryCollector::DriftSince(
+    Snapshot& window_start) const {
+  Snapshot now = TakeSnapshot();
+  auto drift = Drift(window_start, now);
+  window_start = std::move(now);
+  return drift;
 }
 
 void TelemetryCollector::SetRetention(TelemetryRetention policy,

@@ -39,6 +39,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -100,9 +101,50 @@ class TelemetryCollector {
     TenantCounters total;
     /// Ascending by tenant ID.
     std::vector<std::pair<std::uint16_t, TenantCounters>> tenants;
+    /// Series-creation epoch of tenants[i] (parallel array). A fresh
+    /// series — tenant first seen, or seen again after its old series
+    /// was purged, evicted, or Reset away — gets a new, strictly
+    /// increasing epoch, so drift queries can tell a counter restart
+    /// from ordinary forward progress.
+    std::vector<std::uint64_t> epochs;
     /// How many of `tenants` are currently marked departed.
     std::size_t departed = 0;
   };
+
+  /// Per-tenant counter movement between two snapshots (the recovery
+  /// loop's drift query; see docs/SCENARIOS.md).
+  struct TenantDrift {
+    std::uint16_t tenant = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t recirculated_packets = 0;
+    std::uint64_t total_passes = 0;
+    /// The series restarted between the snapshots (purged or evicted,
+    /// then seen again): the fields above are the new series' absolute
+    /// counters. The purged window tail is unobservable by design —
+    /// purged history is never resurrected into a later window.
+    bool restarted = false;
+
+    double DropRate() const {
+      return packets ? static_cast<double>(drops) / packets : 0.0;
+    }
+    double MeanPasses() const {
+      return packets ? static_cast<double>(total_passes) / packets : 0.0;
+    }
+  };
+
+  /// Drift between two snapshots of the same collector: one entry per
+  /// tenant present in `after` that moved, ascending by ID. Tenants
+  /// idle across the window are omitted; a tenant purged between the
+  /// snapshots simply disappears (its history is not re-counted). A
+  /// default-constructed `before` yields every tenant's absolute
+  /// counters (the bootstrap window).
+  static std::vector<TenantDrift> Drift(const Snapshot& before, const Snapshot& after);
+
+  /// Windowed poll primitive: computes the drift since `window_start`
+  /// and advances `window_start` to the fresh snapshot it took.
+  std::vector<TenantDrift> DriftSince(Snapshot& window_start) const;
 
   /// Records one processed packet (its original wire size plus the
   /// pipeline's result). A departed tenant that sends again is revived
@@ -191,6 +233,9 @@ class TelemetryCollector {
     bool departed = false;
     /// Departure order for oldest-first eviction.
     std::uint64_t departed_seq = 0;
+    /// Creation order (strictly increasing, never reused): drift
+    /// queries compare epochs to detect a purged-and-recreated series.
+    std::uint64_t epoch = 0;
 
     TenantCounters ToCounters() const;
     void Accumulate(TenantCounters& out) const;
@@ -237,6 +282,9 @@ class TelemetryCollector {
     TelemetryRetention retention = TelemetryRetention::kKeepDeparted;
     std::size_t max_departed_series = 1024;
     std::uint64_t departure_seq = 0;
+    /// Series-creation counter (atomic: series are created under the
+    /// owning shard's lock, and shards create concurrently).
+    std::atomic<std::uint64_t> series_epoch{0};
   };
 
   void ApplyDelta(const Delta& delta);  // locks the owning shard

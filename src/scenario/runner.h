@@ -1,0 +1,106 @@
+// Scenario driver: executes a ScenarioSpec against a live SfpSystem
+// (docs/SCENARIOS.md).
+//
+// The runner owns the simulated clock. Each tick it advances the fault
+// schedule, applies churn arrivals/departures, synthesizes the tick's
+// offered load (every packet stamped with its simulated ingress time,
+// so the finite recirculation port's virtual-time backlog behaves),
+// serves it through SfpSystem::ProcessBatch, and — on the poll cadence
+// — runs the RecoveryController. Conservation invariants are checked
+// periodically and at the end; a violation fails the run but does not
+// abort it (the report lists every violation).
+//
+// Determinism: with spec.serve_threads = 1 the whole run — packets,
+// drops, fault firings, recovery episodes — is a pure function of
+// spec.seed, which is what the bench/scn_* baselines are gated on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/recovery.h"
+#include "scenario/scenario.h"
+
+namespace sfp::scenario {
+
+/// Everything observable about one scenario run.
+struct ScenarioResult {
+  /// True when the run completed with zero conservation violations and
+  /// no setup error.
+  bool ok = false;
+  /// Setup/conservation failure messages (capped; counts are exact).
+  std::vector<std::string> errors;
+
+  std::uint64_t ticks = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Ticks whose batch hit spec.max_batch and was truncated.
+  std::uint64_t truncated_ticks = 0;
+
+  std::uint64_t tenants_admitted = 0;
+  std::uint64_t tenants_departed = 0;
+  std::uint64_t admit_rejects = 0;
+
+  std::uint64_t conservation_checks = 0;
+  std::uint64_t conservation_violations = 0;
+
+  /// Total fault-point firings across every storm window.
+  std::uint64_t fault_fires = 0;
+
+  /// Final telemetry aggregate (all tenants, departed included).
+  dataplane::TenantCounters total;
+
+  RecoveryCounters recovery;
+  std::vector<RecoveryEpisode> episodes;
+  /// Detection-to-repair times of recovered episodes (simulated ms).
+  double recovery_p50_ms = 0.0;
+  double recovery_p99_ms = 0.0;
+  double recovery_max_ms = 0.0;
+  /// Tenants still flagged when the run (including drain polls) ended.
+  std::uint64_t open_episodes = 0;
+};
+
+/// Percentile over `values` (q in [0, 1]; nearest-rank). 0 when empty.
+double Percentile(std::vector<double> values, double q);
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  /// Executes the scenario once. Call at most once per runner.
+  ScenarioResult Run();
+
+  core::SfpSystem& system() { return *system_; }
+  const RecoveryController& recovery() const { return *recovery_; }
+
+ private:
+  struct ActiveTenant {
+    dataplane::Sfc sfc;
+    int passes = 1;
+    /// Simulated departure time; infinity = stays for the whole run.
+    double departs_s = 0.0;
+    /// Stable position for drift weighting.
+    int rank = 0;
+  };
+
+  /// Builds and admits one tenant; returns true when admitted.
+  bool SpawnTenant(double now_s, double departs_s, Rng& rng);
+  double LoadFactor(double now_s) const;
+  double DriftWeight(double now_s, int rank, int population) const;
+  void CheckConservation(double now_s, ScenarioResult& result);
+
+  ScenarioSpec spec_;
+  std::unique_ptr<core::SfpSystem> system_;
+  std::unique_ptr<RecoveryController> recovery_;
+  std::string setup_error_;
+
+  std::vector<ActiveTenant> active_;
+  dataplane::TenantId next_tenant_ = 1;
+  int next_rank_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace sfp::scenario

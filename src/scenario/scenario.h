@@ -1,0 +1,138 @@
+// Declarative scenario specs: multi-hour simulated operating
+// conditions for the full SFP system (docs/SCENARIOS.md).
+//
+// A scenario is a switch configuration, an initial tenant population,
+// and a script of time-windowed events over a simulated clock:
+//
+//   kFaultStorm    — arms a fault plan (SFP_FAULT points) for the
+//                    window; overlapping storms merge deterministically
+//                    (common::faultinject::FaultSchedule).
+//   kFlashCrowd    — multiplies every tenant's offered load.
+//   kDiurnal       — sinusoidal load factor (day/night swing).
+//   kTenantChurn   — Poisson tenant arrivals with Pareto lifetimes.
+//   kTrafficDrift  — gradually skews load across the tenant
+//                    population (busy tenants get busier).
+//
+// Everything is derived from ScenarioSpec::seed and simulated time;
+// with serve_threads = 1 a scenario replays byte-for-byte, which is
+// what the bench/scn_* baselines are gated on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/faultinject.h"
+#include "nf/nf.h"
+#include "scenario/recovery.h"
+#include "switchsim/pipeline.h"
+
+namespace sfp::scenario {
+
+/// One time-windowed condition. Only the fields of its kind apply.
+struct Event {
+  enum class Kind : std::uint8_t {
+    kFaultStorm = 0,
+    kFlashCrowd,
+    kDiurnal,
+    kTenantChurn,
+    kTrafficDrift,
+  };
+
+  Kind kind = Kind::kFaultStorm;
+  /// Active while start_s <= now < end_s (simulated seconds).
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  /// kFaultStorm: plan armed for the window.
+  common::faultinject::FaultPlan plan;
+
+  /// kFlashCrowd: load factor applied to every tenant.
+  double load_multiplier = 1.0;
+
+  /// kDiurnal: factor = max(0, 1 + amplitude * sin(2π (now-start)/period)).
+  double period_s = 3600.0;
+  double amplitude = 0.5;
+
+  /// kTenantChurn: Poisson arrival rate; lifetimes ~ Pareto(shape, scale).
+  double arrivals_per_s = 0.05;
+  double pareto_shape = 1.5;
+  double pareto_scale_s = 30.0;
+
+  /// kTrafficDrift: by end of the window, per-tenant load factors are
+  /// spread linearly over [1 - f, 1 + f] across the population (f
+  /// ramps from 0 at start to drift_fraction at end), so aggregate
+  /// load stays roughly flat while its distribution shifts.
+  double drift_fraction = 0.5;
+};
+
+const char* EventKindName(Event::Kind kind);
+
+/// A full scenario. Defaults give a small deterministic run; the
+/// builtin catalogue fills in the interesting shapes.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::string description;
+  std::uint64_t seed = 1;
+
+  /// Simulated horizon and driver tick.
+  double duration_s = 600.0;
+  double tick_s = 1.0;
+
+  switchsim::SwitchConfig switch_config;
+  /// Explicit physical layout (stage -> NF types), installed verbatim
+  /// — scenarios avoid the LP solver so runs cannot degrade
+  /// differently across machines. Empty = {{Firewall}, {Router}}.
+  std::vector<std::vector<nf::NfType>> layout;
+
+  /// Initial population admitted at t = 0.
+  int initial_tenants = 6;
+  /// Fraction of generated tenants given a folding (multi-pass) chain.
+  /// Multi-pass tenants are the telemetry-visible ones (see
+  /// docs/SCENARIOS.md, "Detectability boundary").
+  double multi_pass_fraction = 0.75;
+
+  /// Base offered load: packets per tenant per tick at factor 1.0.
+  int packets_per_tenant_tick = 16;
+  /// A tenant's packets within a tick arrive as one contiguous
+  /// microburst, back-to-back at this ingress gap. Burst depth scales
+  /// with offered load, so surges build recirculation backlog (and
+  /// overload-drop) while steady bursts drain inside the queue bound.
+  double packet_gap_ns = 100.0;
+  /// Safety cap on one tick's batch (flash crowds are truncated here).
+  std::size_t max_batch = 8192;
+
+  /// Worker shards for the serve path. 1 (default) keeps per-packet
+  /// fault attribution and timing byte-reproducible for bench
+  /// baselines; > 1 exercises concurrency (invariants only).
+  int serve_threads = 1;
+  /// Serve through the per-tenant compiled-plan path (docs/COMPILER.md).
+  bool use_compiled_plans = false;
+
+  std::vector<Event> events;
+
+  bool enable_recovery = true;
+  RecoveryOptions recovery;
+  /// Recovery poll cadence (simulated seconds).
+  double poll_interval_s = 1.0;
+  /// Extra traffic-free polls after the horizon so in-flight backoffs
+  /// can finish and close their episodes.
+  int drain_polls = 10;
+
+  /// Conservation-invariant check cadence (also always run at end).
+  double check_interval_s = 10.0;
+};
+
+/// The builtin catalogue (one spec per event archetype).
+ScenarioSpec FailureStormScenario();
+ScenarioSpec FlashCrowdScenario();
+ScenarioSpec DiurnalScenario();
+ScenarioSpec TenantChurnScenario();
+ScenarioSpec TrafficDriftScenario();
+
+std::vector<ScenarioSpec> BuiltinScenarios();
+
+/// Looks up a builtin by name; false when unknown.
+bool FindScenario(const std::string& name, ScenarioSpec& out);
+
+}  // namespace sfp::scenario

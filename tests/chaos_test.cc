@@ -169,7 +169,10 @@ void CheckInvariants(SfpSystem& system,
   ASSERT_EQ(system.Telemetry().Total().packets, packets_sent);
 }
 
-TEST(ChaosTest, ConcurrentChurnUnderRandomFaultPlansHoldsInvariants) {
+/// The concurrent churn harness, shared between the interpreted and
+/// compiled serve paths: randomized fault plans over admit / remove /
+/// batch-serve, invariants checked after every quiesced round.
+void RunConcurrentChurn(bool compiled) {
   const int rounds = ChaosRounds();
   SfpSystem system(ChaosSwitch());
   ASSERT_GT(system.ProvisionPhysical({{NfType::kFirewall},
@@ -177,6 +180,10 @@ TEST(ChaosTest, ConcurrentChurnUnderRandomFaultPlansHoldsInvariants) {
                                       {NfType::kFirewall},
                                       {NfType::kRouter}}),
             0);
+  if (compiled) {
+    system.EnableCompiledPlans();
+    ASSERT_TRUE(system.compiled_plans_enabled());
+  }
 
   Rng rng(0xC4A05u);
   std::map<dataplane::TenantId, Sfc> admitted;
@@ -237,6 +244,16 @@ TEST(ChaosTest, ConcurrentChurnUnderRandomFaultPlansHoldsInvariants) {
   admitted.clear();
   CheckInvariants(system, admitted, packets_sent);
   EXPECT_EQ(system.Stats().entries_used, 0);
+}
+
+TEST(ChaosTest, ConcurrentChurnUnderRandomFaultPlansHoldsInvariants) {
+  RunConcurrentChurn(/*compiled=*/false);
+}
+
+TEST(ChaosTest, ConcurrentChurnWithCompiledPlansHoldsInvariants) {
+  // Same rounds through the PR 6 compiled serve path: plan compilation
+  // and cache invalidation under churn must preserve every invariant.
+  RunConcurrentChurn(/*compiled=*/true);
 }
 
 /// One sequential chaos scenario; everything observable is folded into

@@ -1,0 +1,199 @@
+// Tests for the TelemetryCollector drift query (the recovery loop's
+// detection primitive), with emphasis on how windows interact with the
+// retention policy: purged or evicted history must never be
+// resurrected into a later window, and a re-seen tenant must report a
+// restart, not a bogus (or underflowing) delta.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dataplane/telemetry.h"
+
+namespace sfp::dataplane {
+namespace {
+
+using Drift = TelemetryCollector::TenantDrift;
+
+switchsim::ProcessResult Result(std::uint16_t tenant, bool dropped, int passes,
+                                double latency_ns) {
+  switchsim::ProcessResult r;
+  r.meta.tenant_id = tenant;
+  r.meta.dropped = dropped;
+  r.passes = passes;
+  r.latency_ns = latency_ns;
+  return r;
+}
+
+void Send(TelemetryCollector& collector, std::uint16_t tenant, int packets,
+          int drops = 0, int passes = 1) {
+  for (int i = 0; i < packets; ++i) {
+    collector.Record(100, Result(tenant, i < drops, passes, 50.0));
+  }
+}
+
+const Drift* Find(const std::vector<Drift>& drifts, std::uint16_t tenant) {
+  for (const auto& d : drifts) {
+    if (d.tenant == tenant) return &d;
+  }
+  return nullptr;
+}
+
+TEST(TelemetryDriftTest, ReportsPerTenantMovementBetweenSnapshots) {
+  TelemetryCollector collector;
+  Send(collector, 1, 10, 2, 2);
+  Send(collector, 2, 4);
+
+  auto window = collector.TakeSnapshot();
+  Send(collector, 1, 6, 3, 2);
+  Send(collector, 3, 5);
+
+  const auto drifts = collector.DriftSince(window);
+  ASSERT_EQ(drifts.size(), 2u);  // tenant 2 was idle — omitted
+
+  const Drift* t1 = Find(drifts, 1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->packets, 6u);
+  EXPECT_EQ(t1->drops, 3u);
+  EXPECT_EQ(t1->bytes, 600u);
+  EXPECT_FALSE(t1->restarted);
+  EXPECT_NEAR(t1->DropRate(), 0.5, 1e-12);
+  EXPECT_NEAR(t1->MeanPasses(), 2.0, 1e-12);
+
+  // A tenant first seen inside the window reports absolute counters
+  // and is not a restart (there was no prior series to lose).
+  const Drift* t3 = Find(drifts, 3);
+  ASSERT_NE(t3, nullptr);
+  EXPECT_EQ(t3->packets, 5u);
+  EXPECT_FALSE(t3->restarted);
+  EXPECT_EQ(Find(drifts, 2), nullptr);
+}
+
+TEST(TelemetryDriftTest, DriftSinceAdvancesTheWindow) {
+  TelemetryCollector collector;
+  auto window = collector.TakeSnapshot();
+  Send(collector, 1, 3);
+  EXPECT_EQ(collector.DriftSince(window).size(), 1u);
+  // The window moved: with no new traffic the next drift is empty.
+  EXPECT_TRUE(collector.DriftSince(window).empty());
+  Send(collector, 1, 2);
+  const auto drifts = collector.DriftSince(window);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].packets, 2u);
+}
+
+TEST(TelemetryDriftTest, PurgedTenantDisappearsWithoutResurrection) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kPurgeOnDeparture);
+  Send(collector, 1, 10);
+  Send(collector, 2, 4);
+
+  auto window = collector.TakeSnapshot();
+  Send(collector, 1, 5);
+  collector.MarkDeparted(1);  // purges the series, including the 5 in-window packets
+
+  const auto drifts = collector.DriftSince(window);
+  // The purged tenant is simply gone: its pre-window history is not
+  // re-counted and its unobserved tail is not invented.
+  EXPECT_EQ(Find(drifts, 1), nullptr);
+  EXPECT_TRUE(drifts.empty());
+}
+
+TEST(TelemetryDriftTest, ReseenAfterPurgeIsARestartNotADelta) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kPurgeOnDeparture);
+  Send(collector, 1, 10);
+
+  auto window = collector.TakeSnapshot();
+  collector.MarkDeparted(1);
+  Send(collector, 1, 3);  // recovered / re-admitted tenant reuses the id
+
+  const auto drifts = collector.DriftSince(window);
+  const Drift* t1 = Find(drifts, 1);
+  ASSERT_NE(t1, nullptr);
+  // Absolute counters of the fresh series — not 13, not 10-underflow.
+  EXPECT_EQ(t1->packets, 3u);
+  EXPECT_TRUE(t1->restarted);
+}
+
+TEST(TelemetryDriftTest, ReseenPastOldCountIsStillARestart) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kPurgeOnDeparture);
+  Send(collector, 1, 5);
+
+  auto window = collector.TakeSnapshot();
+  collector.MarkDeparted(1);
+  // The fresh series accumulates *past* the old count — a pure counter
+  // comparison could mistake this for forward progress of the old
+  // series; the epoch check must not.
+  Send(collector, 1, 9);
+
+  const auto drifts = collector.DriftSince(window);
+  const Drift* t1 = Find(drifts, 1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->packets, 9u);
+  EXPECT_TRUE(t1->restarted);
+}
+
+TEST(TelemetryDriftTest, DepartedButRetainedSeriesDriftsNormally) {
+  TelemetryCollector collector;  // default kKeepDeparted
+  Send(collector, 1, 10);
+
+  auto window = collector.TakeSnapshot();
+  collector.MarkDeparted(1);
+  Send(collector, 1, 4);  // revives the same series — same epoch
+
+  const auto drifts = collector.DriftSince(window);
+  const Drift* t1 = Find(drifts, 1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->packets, 4u);
+  EXPECT_FALSE(t1->restarted);
+  // No double count: the collector still has exactly 14.
+  EXPECT_EQ(collector.Tenant(1).packets, 14u);
+}
+
+TEST(TelemetryDriftTest, EvictedDepartedSeriesRestartsOnRevival) {
+  TelemetryCollector collector;
+  collector.SetRetention(TelemetryRetention::kKeepDeparted, 1);
+  Send(collector, 1, 10);
+  Send(collector, 2, 20);
+
+  auto window = collector.TakeSnapshot();
+  collector.MarkDeparted(1);
+  collector.MarkDeparted(2);  // cap 1: tenant 1 (oldest departed) is evicted
+  Send(collector, 1, 2);
+
+  const auto drifts = collector.DriftSince(window);
+  const Drift* t1 = Find(drifts, 1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->packets, 2u);
+  EXPECT_TRUE(t1->restarted);
+  // Tenant 2 was idle (its departure alone is not drift).
+  EXPECT_EQ(Find(drifts, 2), nullptr);
+}
+
+TEST(TelemetryDriftTest, BootstrapWindowReportsAbsoluteCounters) {
+  TelemetryCollector collector;
+  Send(collector, 7, 3, 1, 2);
+  const auto drifts =
+      TelemetryCollector::Drift(TelemetryCollector::Snapshot{}, collector.TakeSnapshot());
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].tenant, 7u);
+  EXPECT_EQ(drifts[0].packets, 3u);
+  EXPECT_EQ(drifts[0].drops, 1u);
+  EXPECT_FALSE(drifts[0].restarted);
+}
+
+TEST(TelemetryDriftTest, ResetRestartsEveryReseenSeries) {
+  TelemetryCollector collector;
+  Send(collector, 1, 8);
+  auto window = collector.TakeSnapshot();
+  collector.Reset();
+  Send(collector, 1, 2);
+  const auto drifts = collector.DriftSince(window);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].packets, 2u);
+  EXPECT_TRUE(drifts[0].restarted);
+}
+
+}  // namespace
+}  // namespace sfp::dataplane

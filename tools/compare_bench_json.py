@@ -98,6 +98,24 @@ GATES = [
     # Dropped nodes weaken the dual bound; the calibration solve must
     # never drop any.
     (r"solver\.nodes_dropped$", {"abs_max": 0}),
+    # Scenario benches (scn_*): conservation must never be violated and
+    # no recovery episode may be left open after the drain, whatever
+    # the baseline says.
+    (r"scenario\.conservation_violations$", {"abs_max": 0}),
+    (r"scenario\.open_episodes$", {"abs_max": 0}),
+    # Recovery-time percentiles (simulated microseconds). Sim-time
+    # deltas are integer-exact on one binary, but a boundary-case
+    # admission flip under a different compiler's fp contraction can
+    # legitimately shift an episode — hence a band, plus a hard ceiling
+    # (60 s covers a full max-backoff episode chain at the widest
+    # builtin poll cadence with margin).
+    (r"scenario\.recovery\.(p50|p99|max)_us$",
+     {"tolerance": 0.25, "abs_max": 60_000_000}),
+    # Everything else the scenario runner and recovery loop export is a
+    # pure function of the scenario seed (serve_threads=1): packet and
+    # episode accounting must reproduce exactly.
+    (r"scenario\.", {"exact": True}),
+    (r"system\.recover\.", {"exact": True}),
 ]
 
 

@@ -11,8 +11,14 @@
 //                                         or threads > 0 selects the
 //                                         batched serve path with fused
 //                                         telemetry
+//   sfpctl scenario list                  list the builtin scenarios
+//   sfpctl scenario run NAME [--duration SEC] [--threads N] [--compiled 1]
+//                                         run a scenario with its
+//                                         recovery loop and print the
+//                                         summary (docs/SCENARIOS.md)
 //
-// Exit code 0 on success, 1 on usage/solve errors.
+// Exit code 0 on success, 1 on usage/solve errors (scenario run: also
+// on a conservation violation).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include "core/sfp_system.h"
 #include "net/trace.h"
 #include "p4gen/p4gen.h"
+#include "scenario/runner.h"
 #include "workload/instance_io.h"
 #include "workload/sfc_gen.h"
 
@@ -289,6 +296,68 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+int CmdScenario(int argc, char** argv) {
+  const std::string verb = argc > 2 ? argv[2] : "";
+  if (verb == "list") {
+    std::printf("builtin scenarios:\n");
+    for (const auto& spec : scenario::BuiltinScenarios()) {
+      std::printf("  %-14s %6.0f s  %s\n", spec.name.c_str(), spec.duration_s,
+                  spec.description.c_str());
+    }
+    return 0;
+  }
+  if (verb != "run" || argc < 4) {
+    std::fprintf(stderr, "usage: sfpctl scenario <list|run NAME> [--duration SEC] "
+                         "[--threads N] [--compiled 1]\n");
+    return 1;
+  }
+
+  scenario::ScenarioSpec spec;
+  if (!scenario::FindScenario(argv[3], spec)) {
+    std::fprintf(stderr, "sfpctl scenario: unknown scenario '%s' (try: sfpctl "
+                         "scenario list)\n", argv[3]);
+    return 1;
+  }
+  const auto args = ParseArgs(argc, argv, 4);
+  const double duration = std::atof(Get(args, "duration", "0").c_str());
+  if (duration > 0.0) spec.duration_s = duration;
+  spec.serve_threads = std::atoi(Get(args, "threads", "1").c_str());
+  if (std::atoi(Get(args, "compiled", "0").c_str()) != 0) spec.use_compiled_plans = true;
+
+  std::printf("running %s for %.0f simulated seconds (threads=%d%s)...\n",
+              spec.name.c_str(), spec.duration_s, spec.serve_threads,
+              spec.use_compiled_plans ? ", compiled plans" : "");
+  scenario::ScenarioRunner runner(spec);
+  const auto result = runner.Run();
+
+  std::printf("ticks             : %llu\n", static_cast<unsigned long long>(result.ticks));
+  std::printf("packets           : %llu sent, %llu drops, %llu recirculated\n",
+              static_cast<unsigned long long>(result.packets_sent),
+              static_cast<unsigned long long>(result.total.drops),
+              static_cast<unsigned long long>(result.total.recirculated_packets));
+  std::printf("tenants           : %llu admitted, %llu departed, %llu rejects\n",
+              static_cast<unsigned long long>(result.tenants_admitted),
+              static_cast<unsigned long long>(result.tenants_departed),
+              static_cast<unsigned long long>(result.admit_rejects));
+  std::printf("fault fires       : %llu\n",
+              static_cast<unsigned long long>(result.fault_fires));
+  std::printf("recovery          : %llu detections, %llu attempts, %llu repaired, "
+              "%llu quarantined\n",
+              static_cast<unsigned long long>(result.recovery.detections),
+              static_cast<unsigned long long>(result.recovery.attempts),
+              static_cast<unsigned long long>(result.recovery.successes),
+              static_cast<unsigned long long>(result.recovery.quarantined));
+  std::printf("recovery time     : p50 %.0f ms, p99 %.0f ms, max %.0f ms\n",
+              result.recovery_p50_ms, result.recovery_p99_ms, result.recovery_max_ms);
+  std::printf("conservation      : %llu checks, %llu violations\n",
+              static_cast<unsigned long long>(result.conservation_checks),
+              static_cast<unsigned long long>(result.conservation_violations));
+  for (const auto& error : result.errors) {
+    std::fprintf(stderr, "sfpctl scenario: %s\n", error.c_str());
+  }
+  return result.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,7 +368,9 @@ int main(int argc, char** argv) {
                  "  place --in FILE --algo ip|appro|greedy|anneal [--passes P]\n"
                  "        [--time-limit SEC] [--no-consolidation]\n"
                  "  p4    --layout fw,tc/lb,rt\n"
-                 "  trace --replay FILE [--threads N] [--batch B]\n");
+                 "  trace --replay FILE [--threads N] [--batch B]\n"
+                 "  scenario <list|run NAME> [--duration SEC] [--threads N]\n"
+                 "        [--compiled 1]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -308,6 +379,7 @@ int main(int argc, char** argv) {
   if (command == "place") return CmdPlace(args);
   if (command == "p4") return CmdP4(args);
   if (command == "trace") return CmdTrace(args);
+  if (command == "scenario") return CmdScenario(argc, argv);
   std::fprintf(stderr, "sfpctl: unknown command '%s'\n", command.c_str());
   return 1;
 }
