@@ -1,0 +1,224 @@
+#include "controlplane/admission_lp.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sfp::controlplane {
+namespace {
+
+lp::SimplexOptions WarmOptions(bool warm) {
+  lp::SimplexOptions options;
+  options.warm_dual = warm;
+  options.incremental = true;
+  options.report_values = false;  // decisions read one var via Value()
+  return options;
+}
+
+}  // namespace
+
+IncrementalAdmissionLp::IncrementalAdmissionLp(AdmissionLpOptions options)
+    : options_(std::move(options)) {
+  for (std::size_t s = 0; s < options_.stage_capacity.size(); ++s) {
+    model_.AddRow({}, {}, lp::Sense::kLe, options_.stage_capacity[s],
+                  "stage" + std::to_string(s));
+  }
+  if (options_.backplane_gbps > 0.0) {
+    backplane_row_ = model_.AddRow({}, {}, lp::Sense::kLe, options_.backplane_gbps,
+                                   "backplane");
+  }
+}
+
+lp::VarId IncrementalAdmissionLp::AppendColumn(lp::Model& model,
+                                               const TenantFootprint& footprint,
+                                               double lower, double upper,
+                                               int num_stage_rows,
+                                               lp::RowId backplane_row) {
+  const lp::VarId var =
+      model.AddVar(lower, upper, footprint.bandwidth_gbps, /*is_integer=*/false);
+  for (const auto& [stage, entries] : footprint.stage_entries) {
+    SFP_CHECK_GE(stage, 0);
+    SFP_CHECK_LT(stage, num_stage_rows);
+    if (entries != 0.0) model.AddRowCoefficient(stage, var, entries);
+  }
+  if (backplane_row >= 0 && footprint.BackplaneCharge() != 0.0) {
+    model.AddRowCoefficient(backplane_row, var, footprint.BackplaneCharge());
+  }
+  return var;
+}
+
+lp::VarId IncrementalAdmissionLp::AppendLiveColumn(const TenantFootprint& footprint,
+                                                   double lower, double upper) {
+  const lp::VarId var =
+      AppendColumn(model_, footprint, lower, upper,
+                   static_cast<int>(options_.stage_capacity.size()), backplane_row_);
+  if (simplex_) {
+    // Mirror the model edit into the live solver: the column lands
+    // nonbasic at a bound and the basis factors stay valid.
+    std::vector<lp::RowId> rows;
+    std::vector<double> coeffs;
+    for (const auto& [stage, entries] : footprint.stage_entries) {
+      if (entries == 0.0) continue;
+      rows.push_back(stage);
+      coeffs.push_back(entries);
+    }
+    if (backplane_row_ >= 0 && footprint.BackplaneCharge() != 0.0) {
+      rows.push_back(backplane_row_);
+      coeffs.push_back(footprint.BackplaneCharge());
+    }
+    const lp::VarId mirrored = simplex_->AddColumn(
+        lower, upper, footprint.bandwidth_gbps, rows, coeffs);
+    SFP_CHECK_EQ(mirrored, var);
+  }
+  return var;
+}
+
+AdmissionDecision IncrementalAdmissionLp::DecideFrom(
+    lp::Simplex& simplex, lp::VarId candidate, const lp::Solution& solution) const {
+  AdmissionDecision decision;
+  if (solution.status != lp::SolveStatus::kOptimal) {
+    // The committed set was feasible by induction and the candidate can
+    // always sit at 0, so anything but optimal is a solver failure;
+    // fail closed.
+    return decision;
+  }
+  decision.objective = solution.objective;
+  decision.candidate_value = simplex.Value(candidate);
+  decision.admitted = decision.candidate_value >= 1.0 - options_.admit_tol;
+  return decision;
+}
+
+AdmissionDecision IncrementalAdmissionLp::TryAdmit(TenantKey tenant,
+                                                   const TenantFootprint& footprint) {
+  SFP_CHECK_MSG(!columns_.contains(tenant), "tenant already committed");
+  SFP_CHECK_MSG(footprint.bandwidth_gbps > 0.0,
+                "admission candidate needs positive bandwidth");
+
+  const lp::VarId candidate = AppendLiveColumn(footprint, 0.0, 1.0);
+  if (!simplex_) simplex_.emplace(model_, WarmOptions(options_.warm));
+
+  const auto before = simplex_->stats();
+  const lp::Solution solution = simplex_->Solve();
+  const auto& after = simplex_->stats();
+
+  ++counters_.solves;
+  counters_.warm_attempts += after.warm_attempts - before.warm_attempts;
+  counters_.warm_successes += after.warm_successes - before.warm_successes;
+  counters_.dual_iterations += after.dual_iterations - before.dual_iterations;
+  counters_.total_iterations += after.iterations - before.iterations;
+  counters_.phase1_iterations += after.phase1_iterations - before.phase1_iterations;
+
+  AdmissionDecision decision = DecideFrom(*simplex_, candidate, solution);
+  decision.warm_hit = after.warm_successes > before.warm_successes;
+
+  if (decision.admitted) {
+    // Commit: pin the candidate at 1 so later re-solves treat it as a
+    // fixed column (compressed out of pricing).
+    model_.SetVarBounds(candidate, 1.0, 1.0);
+    simplex_->SetVarBounds(candidate, 1.0, 1.0);
+    columns_.emplace(tenant, Committed{candidate, footprint});
+    ++counters_.admitted;
+  } else {
+    model_.SetVarBounds(candidate, 0.0, 0.0);
+    simplex_->SetVarBounds(candidate, 0.0, 0.0);
+    ++dead_columns_;
+    ++counters_.rejected;
+  }
+  return decision;
+}
+
+void IncrementalAdmissionLp::Commit(TenantKey tenant, const TenantFootprint& footprint) {
+  SFP_CHECK_MSG(!columns_.contains(tenant), "tenant already committed");
+  const lp::VarId var = AppendLiveColumn(footprint, 1.0, 1.0);
+  columns_.emplace(tenant, Committed{var, footprint});
+}
+
+bool IncrementalAdmissionLp::Remove(TenantKey tenant) {
+  const auto it = columns_.find(tenant);
+  if (it == columns_.end()) return false;
+  const lp::VarId var = it->second.var;
+  model_.SetVarBounds(var, 0.0, 0.0);
+  if (simplex_) simplex_->SetVarBounds(var, 0.0, 0.0);
+  columns_.erase(it);
+  ++dead_columns_;
+  if (dead_columns_ > std::max<std::int64_t>(
+                          static_cast<std::int64_t>(columns_.size()),
+                          options_.rebuild_slack)) {
+    RebuildFromLive();
+  }
+  return true;
+}
+
+void IncrementalAdmissionLp::RebuildFromLive() {
+  lp::Model fresh;
+  for (std::size_t s = 0; s < options_.stage_capacity.size(); ++s) {
+    fresh.AddRow({}, {}, lp::Sense::kLe, options_.stage_capacity[s],
+                 "stage" + std::to_string(s));
+  }
+  lp::RowId backplane = -1;
+  if (options_.backplane_gbps > 0.0) {
+    backplane = fresh.AddRow({}, {}, lp::Sense::kLe, options_.backplane_gbps,
+                             "backplane");
+  }
+  for (auto& [tenant, committed] : columns_) {
+    committed.var =
+        AppendColumn(fresh, committed.footprint, 1.0, 1.0,
+                     static_cast<int>(options_.stage_capacity.size()), backplane);
+  }
+  model_ = std::move(fresh);
+  backplane_row_ = backplane;
+  simplex_.reset();  // next TryAdmit cold-starts once, then re-warms
+  dead_columns_ = 0;
+  ++counters_.rebuilds;
+}
+
+AdmissionDecision IncrementalAdmissionLp::ColdReference(
+    TenantKey tenant, const TenantFootprint& footprint) const {
+  SFP_CHECK_MSG(!columns_.contains(tenant), "tenant already committed");
+  lp::Model model;
+  for (std::size_t s = 0; s < options_.stage_capacity.size(); ++s) {
+    model.AddRow({}, {}, lp::Sense::kLe, options_.stage_capacity[s],
+                 "stage" + std::to_string(s));
+  }
+  lp::RowId backplane = -1;
+  if (options_.backplane_gbps > 0.0) {
+    backplane = model.AddRow({}, {}, lp::Sense::kLe, options_.backplane_gbps,
+                             "backplane");
+  }
+  for (const auto& [key, committed] : columns_) {
+    AppendColumn(model, committed.footprint, 1.0, 1.0,
+                 static_cast<int>(options_.stage_capacity.size()), backplane);
+  }
+  const lp::VarId candidate =
+      AppendColumn(model, footprint, 0.0, 1.0,
+                   static_cast<int>(options_.stage_capacity.size()), backplane);
+  lp::Simplex cold(model);  // legacy configuration: slack basis, phase 1
+  return DecideFrom(cold, candidate, cold.Solve());
+}
+
+void IncrementalAdmissionLp::ExportMetrics(common::metrics::Registry& registry) const {
+  registry.GetCounter("solver.warm.solves").Set(static_cast<std::uint64_t>(counters_.solves));
+  registry.GetCounter("solver.warm.admitted")
+      .Set(static_cast<std::uint64_t>(counters_.admitted));
+  registry.GetCounter("solver.warm.rejected")
+      .Set(static_cast<std::uint64_t>(counters_.rejected));
+  registry.GetCounter("solver.warm.attempts")
+      .Set(static_cast<std::uint64_t>(counters_.warm_attempts));
+  registry.GetCounter("solver.warm.successes")
+      .Set(static_cast<std::uint64_t>(counters_.warm_successes));
+  const std::int64_t pct = counters_.warm_attempts > 0
+                               ? counters_.warm_successes * 100 / counters_.warm_attempts
+                               : 0;
+  registry.GetCounter("solver.warm.hit_pct").Set(static_cast<std::uint64_t>(pct));
+  registry.GetCounter("solver.warm.dual_iterations")
+      .Set(static_cast<std::uint64_t>(counters_.dual_iterations));
+  registry.GetCounter("solver.warm.total_iterations")
+      .Set(static_cast<std::uint64_t>(counters_.total_iterations));
+  registry.GetCounter("solver.warm.phase1_iterations")
+      .Set(static_cast<std::uint64_t>(counters_.phase1_iterations));
+  registry.GetCounter("solver.warm.rebuilds")
+      .Set(static_cast<std::uint64_t>(counters_.rebuilds));
+}
+
+}  // namespace sfp::controlplane

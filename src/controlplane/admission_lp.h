@@ -1,0 +1,160 @@
+// Incremental online-admission LP (§V-E arrivals/departures at scale).
+//
+// Models the running admission ledger as one long-lived LP:
+//
+//   maximize  sum_t  T_t * x_t
+//   s.t.      sum_t  entries_{t,s} * x_t <= stage_capacity[s]   (per stage)
+//             sum_t  passes_t * T_t * x_t <= backplane_gbps     (eq. 26)
+//             x_t in [0, 1]
+//
+// Committed tenants are *fixed* at x = 1 and departed tenants at x = 0,
+// so at any moment exactly one variable — the arriving candidate — is
+// free in [0, 1]. The candidate is admitted iff the optimum drives it to
+// 1 (within `admit_tol`): since every coefficient is nonnegative and the
+// candidate's bandwidth is positive, its optimal value is unique
+// (min over binding rows of remaining-capacity / usage, capped at 1),
+// which is what makes the warm and cold paths provably agree.
+//
+// The point of this class is *how* each arrival is solved. The Model and
+// Simplex persist across the tenant stream: an arrival appends one
+// column (Model::AddRowCoefficient + Simplex::AddColumn — the sparse-LU
+// basis factors survive untouched), a departure clamps the column to
+// [0, 0], and every decision re-solves via the dual-simplex warm restart
+// from the previous optimal basis (SimplexOptions::warm_dual +
+// incremental fixed-column compression), so the steady-state admit cost
+// is proportional to the perturbation, not to the million committed
+// columns. `ColdReference` rebuilds the same LP from scratch and solves
+// it from slacks — the differential oracle the churn suites replay
+// against (the same pattern as `LookupReference`/`use_dense_inverse`).
+//
+// Dead (departed) columns are compacted away: once they outnumber the
+// live ones the whole LP is rebuilt from the live set, bounding memory
+// under perpetual churn. Not thread-safe; callers serialize (SfpSystem
+// holds its control mutex across admission).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace sfp::controlplane {
+
+/// Static resources the admission LP allocates.
+struct AdmissionLpOptions {
+  /// Per-stage entry capacity; size() defines the number of stage rows.
+  std::vector<double> stage_capacity;
+  /// eq. 26 backplane capacity (Gbps). <= 0 disables the row.
+  double backplane_gbps = 0.0;
+  /// Warm dual re-solves (false = every decision cold-starts from
+  /// slacks; the A/B switch for `sfpctl churn --warm=off`).
+  bool warm = true;
+  /// x_cand >= 1 - admit_tol counts as admitted.
+  double admit_tol = 1e-6;
+  /// Rebuild the LP from the live set once dead columns exceed
+  /// max(live, rebuild_slack) — bounds memory under perpetual churn.
+  std::int64_t rebuild_slack = 1024;
+};
+
+/// Per-tenant resource usage, the candidate column of the LP.
+struct TenantFootprint {
+  double bandwidth_gbps = 0.0;            // T_t
+  int passes = 1;                         // R_t + 1
+  /// (stage, entries) pairs — table entries the folded chain consumes
+  /// per stage. Stages outside [0, stage_capacity.size()) are invalid.
+  std::vector<std::pair<int, double>> stage_entries;
+
+  double BackplaneCharge() const { return passes * bandwidth_gbps; }
+};
+
+/// Outcome of one admission decision.
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Admitted bandwidth at the optimum (model direction: maximize).
+  double objective = 0.0;
+  /// The candidate's optimal value in [0, 1].
+  double candidate_value = 0.0;
+  /// The dual warm path carried this solve (no phase-1 fallback).
+  bool warm_hit = false;
+};
+
+class IncrementalAdmissionLp {
+ public:
+  /// Key type decoupled from dataplane::TenantId (uint16) so the churn
+  /// bench can stream millions of logical tenants through one LP.
+  using TenantKey = std::uint32_t;
+
+  struct Counters {
+    std::int64_t solves = 0;           // TryAdmit decisions
+    std::int64_t admitted = 0;
+    std::int64_t rejected = 0;
+    std::int64_t warm_attempts = 0;    // solves that tried the dual path
+    std::int64_t warm_successes = 0;   // ... that it carried end to end
+    std::int64_t dual_iterations = 0;  // dual repair pivots
+    std::int64_t total_iterations = 0; // all simplex pivots (incl. cold)
+    std::int64_t phase1_iterations = 0;
+    std::int64_t rebuilds = 0;         // dead-column compactions
+  };
+
+  explicit IncrementalAdmissionLp(AdmissionLpOptions options);
+
+  /// Decides the candidate's admission against the committed set. On
+  /// admit the tenant is committed (fixed at 1); on reject its column
+  /// is clamped to 0 and may be re-offered later with any footprint
+  /// (re-offers append a fresh column). `tenant` must not be currently
+  /// committed.
+  AdmissionDecision TryAdmit(TenantKey tenant, const TenantFootprint& footprint);
+
+  /// Commits a tenant without an admission decision (fixed at 1) —
+  /// used to seed the LP from an admission ledger that predates it.
+  void Commit(TenantKey tenant, const TenantFootprint& footprint);
+
+  /// Releases a committed tenant's resources. Returns false if the
+  /// tenant is not committed.
+  bool Remove(TenantKey tenant);
+
+  bool Contains(TenantKey tenant) const { return columns_.contains(tenant); }
+  std::size_t num_admitted() const { return columns_.size(); }
+
+  /// Differential oracle: rebuilds the LP of the current committed set
+  /// plus this candidate from scratch and solves it cold (legacy
+  /// simplex configuration, slack basis). Does not mutate state.
+  AdmissionDecision ColdReference(TenantKey tenant,
+                                  const TenantFootprint& footprint) const;
+
+  const Counters& counters() const { return counters_; }
+
+  /// Exports solver.warm.* (docs/METRICS.md).
+  void ExportMetrics(common::metrics::Registry& registry) const;
+
+ private:
+  struct Committed {
+    lp::VarId var;
+    TenantFootprint footprint;
+  };
+
+  /// Appends the footprint as a column to `model` (shared by the live
+  /// LP and the cold oracle). Returns the new var.
+  static lp::VarId AppendColumn(lp::Model& model, const TenantFootprint& footprint,
+                                double lower, double upper, int num_stage_rows,
+                                lp::RowId backplane_row);
+  lp::VarId AppendLiveColumn(const TenantFootprint& footprint, double lower,
+                             double upper);
+  AdmissionDecision DecideFrom(lp::Simplex& simplex, lp::VarId candidate,
+                               const lp::Solution& solution) const;
+  void RebuildFromLive();
+
+  AdmissionLpOptions options_;
+  lp::Model model_;
+  std::optional<lp::Simplex> simplex_;
+  lp::RowId backplane_row_ = -1;
+  std::unordered_map<TenantKey, Committed> columns_;
+  std::int64_t dead_columns_ = 0;
+  Counters counters_;
+};
+
+}  // namespace sfp::controlplane

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "controlplane/admission_lp.h"
 #include "controlplane/approx_solver.h"
 #include "dataplane/data_plane.h"
 #include "dataplane/telemetry.h"
@@ -163,6 +164,19 @@ class SfpSystem {
   void EnableCompiledPlans();
   bool compiled_plans_enabled() const { return data_plane_.compiled_plans_enabled(); }
 
+  /// Switches the eq. 26 admission check onto the incremental
+  /// admission LP (controlplane/admission_lp.h): the running ledger
+  /// becomes a persistent LP whose basis warm-restarts across
+  /// arrivals/departures via dual-simplex repair, so steady-state
+  /// admit cost stays proportional to the perturbation as the tenant
+  /// population grows. Decisions are equivalent to the legacy
+  /// sum-over-admissions check (both accept iff used + passes*T fits
+  /// the backplane). Already-admitted tenants are seeded in. `warm` =
+  /// false keeps the LP but cold-starts every solve (A/B baseline).
+  /// Off by default; when off, admission behaves exactly as before.
+  void EnableIncrementalAdmission(bool warm = true);
+  bool incremental_admission_enabled() const { return admission_lp_ != nullptr; }
+
   /// Admits a tenant SFC (§IV allocation + eq. 26 admission control).
   /// Transient install faults are retried per `options`; the result
   /// carries the structured reject code.
@@ -237,6 +251,9 @@ class SfpSystem {
   static controlplane::SfcSpec ToSpec(const dataplane::Sfc& sfc);
 
  private:
+  /// Files one AdmitTenant wall-clock sample (control_mutex_ held).
+  void RecordAdmitLatency(bool timed, std::chrono::steady_clock::time_point started);
+
   dataplane::DataPlane data_plane_;
   /// tenant -> (bandwidth, passes) of admitted SFCs.
   struct Admission {
@@ -244,6 +261,15 @@ class SfpSystem {
     int passes;
   };
   std::map<dataplane::TenantId, Admission> admissions_;
+  /// Incremental admission LP (EnableIncrementalAdmission); null = the
+  /// legacy sum-over-admissions eq. 26 check. Guarded by control_mutex_.
+  std::unique_ptr<controlplane::IncrementalAdmissionLp> admission_lp_;
+  /// AdmitTenant wall-clock accounting (only measured while the
+  /// admission LP is enabled; exported as system.admit.latency.*).
+  /// Guarded by control_mutex_.
+  std::uint64_t admit_latency_count_ = 0;
+  std::uint64_t admit_latency_total_ns_ = 0;
+  std::uint64_t admit_latency_max_ns_ = 0;
   dataplane::TelemetryCollector telemetry_;
   /// Admission outcome taxonomy (exported as system.admit.*).
   common::metrics::RelaxedCounter admits_ok_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -81,8 +82,159 @@ void Simplex::SetVarBounds(VarId var, double lower, double upper) {
   SFP_CHECK_GE(var, 0);
   SFP_CHECK_LT(var, num_struct_);
   SFP_CHECK_LE(lower, upper);
-  lower_[var] = lower;
-  upper_[var] = upper;
+  if (!options_.incremental || fixed_dirty_ || pricing_dirty_) {
+    lower_[var] = lower;
+    upper_[var] = upper;
+    return;
+  }
+  // Keep the fixed-column compression state in sync with the edit.
+  const std::size_t v = static_cast<std::size_t>(var);
+  const bool basic = status_[v] == VStatus::kBasic;
+  const bool was_fixed = Fixed(var);
+  if (!basic && was_fixed) AddFixedContribution(var, x_[v], -1.0);
+  lower_[v] = lower;
+  upper_[v] = upper;
+  if (basic) return;  // ApplyStep files the contribution if it leaves fixed
+  if (Fixed(var)) {
+    status_[v] = VStatus::kAtLower;
+    x_[v] = lower;
+    AddFixedContribution(var, lower, +1.0);
+    if (!was_fixed && in_pricing_list_[v]) ++pricing_dead_;
+  } else if (was_fixed) {
+    if (in_pricing_list_[v]) {
+      --pricing_dead_;
+    } else {
+      // Unfixed after being compacted out of the pricing list: the
+      // list is no longer a superset of the candidates.
+      pricing_dirty_ = true;
+      fixed_dirty_ = true;
+    }
+  }
+}
+
+VarId Simplex::AddColumn(double lower, double upper, double objective,
+                         std::span<const RowId> rows,
+                         std::span<const double> coeffs) {
+  SFP_CHECK_LE(lower, upper);
+  SFP_CHECK_EQ(rows.size(), coeffs.size());
+  const std::int32_t v = num_struct_;
+
+  Column col;
+  {
+    std::vector<std::pair<std::int32_t, double>> entries;
+    entries.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SFP_CHECK_GE(rows[i], 0);
+      SFP_CHECK_LT(rows[i], num_rows_);
+      if (coeffs[i] != 0.0) entries.emplace_back(rows[i], coeffs[i]);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [r, c] : entries) {
+      if (!col.rows.empty() && col.rows.back() == r) {
+        col.vals.back() += c;
+      } else {
+        col.rows.push_back(r);
+        col.vals.push_back(c);
+      }
+    }
+  }
+  columns_.push_back(std::move(col));
+
+  // Internal layout is [struct | slacks]: the new column slots in just
+  // before the slacks (O(rows) shifts), and every slack id moves up by
+  // one. The basis *set* is untouched, so the LU factors stay valid.
+  const auto pos = static_cast<std::ptrdiff_t>(v);
+  lower_.insert(lower_.begin() + pos, lower);
+  upper_.insert(upper_.begin() + pos, upper);
+  cost_.insert(cost_.begin() + pos, maximize_ ? -objective : objective);
+  VStatus st = VStatus::kFreeNb;
+  double xv = 0.0;
+  if (IsFinite(lower)) {
+    st = VStatus::kAtLower;
+    xv = lower;
+  } else if (IsFinite(upper)) {
+    st = VStatus::kAtUpper;
+    xv = upper;
+  }
+  status_.insert(status_.begin() + pos, st);
+  x_.insert(x_.begin() + pos, xv);
+  for (std::int32_t& b : basis_) {
+    if (b >= v) ++b;
+  }
+  ++num_struct_;
+  ++num_total_;
+
+  if (options_.incremental) {
+    if (fixed_dirty_ || pricing_dirty_) {
+      in_pricing_list_.push_back(0);  // rebuilt at the next Solve()
+    } else if (Fixed(v)) {
+      AddFixedContribution(v, xv, +1.0);
+      in_pricing_list_.push_back(0);
+    } else {
+      pricing_list_.push_back(v);  // largest id: list stays ascending
+      in_pricing_list_.push_back(1);
+    }
+  }
+  return v;
+}
+
+RowId Simplex::AddRow(Sense sense, double rhs, std::span<const VarId> vars,
+                      std::span<const double> coeffs) {
+  SFP_CHECK_EQ(vars.size(), coeffs.size());
+  const std::int32_t r = num_rows_;
+  rhs_.push_back(rhs);
+  double slack_lo = 0.0;
+  double slack_up = 0.0;
+  switch (sense) {
+    case Sense::kLe:
+      slack_up = kInf;
+      break;
+    case Sense::kGe:
+      slack_lo = -kInf;
+      break;
+    case Sense::kEq:
+      break;
+  }
+  lower_.push_back(slack_lo);
+  upper_.push_back(slack_up);
+  cost_.push_back(0.0);
+  status_.push_back(VStatus::kBasic);
+  x_.push_back(0.0);
+
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    SFP_CHECK_GE(vars[i], 0);
+    SFP_CHECK_LT(vars[i], num_struct_);
+    if (coeffs[i] == 0.0) continue;
+    Column& col = columns_[static_cast<std::size_t>(vars[i])];
+    if (!col.rows.empty() && col.rows.back() == r) {
+      col.vals.back() += coeffs[i];  // duplicate var in this row
+    } else {
+      col.rows.push_back(r);
+      col.vals.push_back(coeffs[i]);
+    }
+  }
+
+  // The new row's slack enters the basis, which keeps the basis square
+  // and primal statuses coherent but invalidates the factorization.
+  basis_.push_back(num_struct_ + r);
+  ++num_rows_;
+  ++num_total_;
+  if (basis_valid_) needs_refactor_ = true;
+
+  if (options_.incremental) {
+    double activity = 0.0;
+    if (!fixed_dirty_ && !pricing_dirty_) {
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        const std::size_t v = static_cast<std::size_t>(vars[i]);
+        if (Fixed(vars[i]) && status_[v] != VStatus::kBasic) {
+          activity += coeffs[i] * x_[v];
+        }
+      }
+    }
+    fixed_activity_.push_back(activity);
+  }
+  return r;
 }
 
 void Simplex::ResetBasis() { basis_valid_ = false; }
@@ -94,24 +246,64 @@ Simplex::BasisState Simplex::SaveBasis() const {
   for (std::size_t v = 0; v < status_.size(); ++v) {
     state.status[v] = static_cast<std::uint8_t>(status_[v]);
   }
+  state.num_struct = num_struct_;
+  state.num_rows = num_rows_;
   return state;
 }
 
 void Simplex::RestoreBasis(const BasisState& state) {
-  if (state.basis.size() != static_cast<std::size_t>(num_rows_) ||
-      state.status.size() != static_cast<std::size_t>(num_total_)) {
+  // Unstamped snapshots (num_struct < 0) keep the legacy contract:
+  // exact current shape or cold start. Stamped snapshots may be
+  // *smaller* than this instance (taken before AddColumn/AddRow grew
+  // it); appended variables default to a bound and appended rows'
+  // slacks join the basis.
+  const std::int32_t ns = state.num_struct >= 0 ? state.num_struct : num_struct_;
+  const std::int32_t nr = state.num_rows >= 0 ? state.num_rows : num_rows_;
+  if (ns > num_struct_ || nr > num_rows_ ||
+      state.basis.size() != static_cast<std::size_t>(nr) ||
+      state.status.size() != static_cast<std::size_t>(ns + nr)) {
     basis_valid_ = false;  // incompatible snapshot: cold start instead
     return;
   }
-  basis_ = state.basis;
-  for (std::size_t v = 0; v < state.status.size(); ++v) {
-    status_[v] = static_cast<VStatus>(state.status[v]);
+  for (std::int32_t v = 0; v < ns; ++v) {
+    status_[static_cast<std::size_t>(v)] =
+        static_cast<VStatus>(state.status[static_cast<std::size_t>(v)]);
+  }
+  for (std::int32_t v = ns; v < num_struct_; ++v) {
+    if (IsFinite(lower_[static_cast<std::size_t>(v)])) {
+      status_[static_cast<std::size_t>(v)] = VStatus::kAtLower;
+    } else if (IsFinite(upper_[static_cast<std::size_t>(v)])) {
+      status_[static_cast<std::size_t>(v)] = VStatus::kAtUpper;
+    } else {
+      status_[static_cast<std::size_t>(v)] = VStatus::kFreeNb;
+    }
+  }
+  for (std::int32_t r = 0; r < nr; ++r) {
+    status_[static_cast<std::size_t>(num_struct_ + r)] =
+        static_cast<VStatus>(state.status[static_cast<std::size_t>(ns + r)]);
+  }
+  for (std::int32_t r = nr; r < num_rows_; ++r) {
+    status_[static_cast<std::size_t>(num_struct_ + r)] = VStatus::kBasic;
+  }
+  for (std::int32_t p = 0; p < nr; ++p) {
+    const std::int32_t vid = state.basis[static_cast<std::size_t>(p)];
+    basis_[static_cast<std::size_t>(p)] =
+        vid < ns ? vid : num_struct_ + (vid - ns);
+  }
+  for (std::int32_t p = nr; p < num_rows_; ++p) {
+    basis_[static_cast<std::size_t>(p)] = num_struct_ + p;
   }
   basis_valid_ = true;
   needs_refactor_ = true;
+  if (options_.incremental) {
+    // Statuses changed wholesale; rebuild the compression state.
+    fixed_dirty_ = true;
+    pricing_dirty_ = true;
+  }
 }
 
 void Simplex::ResetBasisToSlacks() {
+  ++basis_epoch_;
   for (std::int32_t r = 0; r < num_rows_; ++r) {
     basis_[r] = num_struct_ + r;
     status_[num_struct_ + r] = VStatus::kBasic;
@@ -136,10 +328,59 @@ void Simplex::ResetBasisToSlacks() {
   pivots_since_refactor_ = 0;
   basis_valid_ = true;
   needs_refactor_ = false;
+  if (options_.incremental) RecomputeFixedState();
+}
+
+void Simplex::RecomputeFixedState() {
+  fixed_activity_.assign(static_cast<std::size_t>(num_rows_), 0.0);
+  fixed_obj_ = 0.0;
+  pricing_list_.clear();
+  in_pricing_list_.assign(static_cast<std::size_t>(num_struct_), 0);
+  pricing_dead_ = 0;
+  for (std::int32_t v = 0; v < num_struct_; ++v) {
+    if (Fixed(v) && status_[static_cast<std::size_t>(v)] != VStatus::kBasic) {
+      status_[static_cast<std::size_t>(v)] = VStatus::kAtLower;
+      x_[static_cast<std::size_t>(v)] = lower_[static_cast<std::size_t>(v)];
+      AddFixedContribution(v, x_[static_cast<std::size_t>(v)], +1.0);
+    } else {
+      pricing_list_.push_back(v);
+      in_pricing_list_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  pricing_dirty_ = false;
+  fixed_dirty_ = false;
+}
+
+void Simplex::RebuildPricingList() { RecomputeFixedState(); }
+
+void Simplex::CompactPricingList() {
+  std::vector<std::int32_t> kept;
+  kept.reserve(pricing_list_.size());
+  for (std::int32_t v : pricing_list_) {
+    // Keep nonfixed vars and fixed *basic* vars (the latter may leave
+    // the basis later and must then be priceable again on unfix).
+    if (!Fixed(v) || status_[static_cast<std::size_t>(v)] == VStatus::kBasic) {
+      kept.push_back(v);
+    } else {
+      in_pricing_list_[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  pricing_list_ = std::move(kept);
+  pricing_dead_ = 0;
+}
+
+void Simplex::AddFixedContribution(std::int32_t v, double value, double sign) {
+  if (value == 0.0) return;
+  const Column& col = columns_[static_cast<std::size_t>(v)];
+  const double scaled = sign * value;
+  for (std::size_t t = 0; t < col.rows.size(); ++t) {
+    fixed_activity_[static_cast<std::size_t>(col.rows[t])] += col.vals[t] * scaled;
+  }
+  fixed_obj_ += cost_[static_cast<std::size_t>(v)] * scaled;
 }
 
 void Simplex::SnapNonbasicToBounds() {
-  for (std::int32_t v = 0; v < num_total_; ++v) {
+  const auto snap = [&](std::int32_t v) {
     switch (status_[v]) {
       case VStatus::kBasic:
         break;
@@ -180,17 +421,45 @@ void Simplex::SnapNonbasicToBounds() {
         }
         break;
     }
+  };
+  if (IncActive()) {
+    // Fixed nonbasic variables were snapped when they became fixed;
+    // only the pricing candidates and the slacks can have moved.
+    for (std::int32_t v : pricing_list_) snap(v);
+    for (std::int32_t v = num_struct_; v < num_total_; ++v) snap(v);
+  } else {
+    for (std::int32_t v = 0; v < num_total_; ++v) snap(v);
   }
 }
 
 void Simplex::ComputeBasicValues() {
   // residual = b - sum over nonbasic columns of A_j * x_j.
-  std::vector<double> residual = rhs_;
-  for (std::int32_t v = 0; v < num_struct_; ++v) {
-    if (status_[v] == VStatus::kBasic || x_[v] == 0.0) continue;
-    const Column& col = columns_[static_cast<std::size_t>(v)];
-    for (std::size_t t = 0; t < col.rows.size(); ++t) {
-      residual[static_cast<std::size_t>(col.rows[t])] -= col.vals[t] * x_[v];
+  std::vector<double> residual;
+  if (IncActive()) {
+    residual.resize(static_cast<std::size_t>(num_rows_));
+    for (std::int32_t r = 0; r < num_rows_; ++r) {
+      residual[static_cast<std::size_t>(r)] =
+          rhs_[static_cast<std::size_t>(r)] - fixed_activity_[static_cast<std::size_t>(r)];
+    }
+    for (std::int32_t v : pricing_list_) {
+      if (status_[static_cast<std::size_t>(v)] == VStatus::kBasic || Fixed(v) ||
+          x_[static_cast<std::size_t>(v)] == 0.0) {
+        continue;
+      }
+      const Column& col = columns_[static_cast<std::size_t>(v)];
+      for (std::size_t t = 0; t < col.rows.size(); ++t) {
+        residual[static_cast<std::size_t>(col.rows[t])] -=
+            col.vals[t] * x_[static_cast<std::size_t>(v)];
+      }
+    }
+  } else {
+    residual = rhs_;
+    for (std::int32_t v = 0; v < num_struct_; ++v) {
+      if (status_[v] == VStatus::kBasic || x_[v] == 0.0) continue;
+      const Column& col = columns_[static_cast<std::size_t>(v)];
+      for (std::size_t t = 0; t < col.rows.size(); ++t) {
+        residual[static_cast<std::size_t>(col.rows[t])] -= col.vals[t] * x_[v];
+      }
     }
   }
   for (std::int32_t r = 0; r < num_rows_; ++r) {
@@ -222,6 +491,10 @@ bool Simplex::Refactorize() {
   const bool ok =
       options_.use_dense_inverse ? RefactorizeDense() : RefactorizeSparse();
   if (ok) pivots_since_refactor_ = 0;
+  // Resync point for the incrementally maintained fixed-column state:
+  // the += / -= bookkeeping accumulates rounding over long churn runs,
+  // so it is rebuilt from scratch on the refactorization cadence.
+  if (ok && IncActive()) RecomputeFixedState();
   return ok;
 }
 
@@ -368,10 +641,11 @@ Simplex::Entering Simplex::PriceEntering(const std::vector<double>& cost,
                                          bool bland) const {
   Entering best;
   double best_score = options_.opt_tol;
-  for (std::int32_t j = 0; j < num_total_; ++j) {
+  // Returns true when the scan should stop (Bland: first eligible).
+  const auto consider = [&](std::int32_t j) -> bool {
     const VStatus st = status_[j];
-    if (st == VStatus::kBasic) continue;
-    if (upper_[j] - lower_[j] <= 0.0) continue;  // fixed variable
+    if (st == VStatus::kBasic) return false;
+    if (upper_[j] - lower_[j] <= 0.0) return false;  // fixed variable
     const double d = ReducedCost(j, cost, y);
     int direction = 0;
     if (st == VStatus::kAtLower && d < -options_.opt_tol) {
@@ -381,13 +655,13 @@ Simplex::Entering Simplex::PriceEntering(const std::vector<double>& cost,
     } else if (st == VStatus::kFreeNb && std::abs(d) > options_.opt_tol) {
       direction = d < 0.0 ? +1 : -1;
     } else {
-      continue;
+      return false;
     }
     if (bland) {  // first eligible index
       best.var = j;
       best.direction = direction;
       best.reduced_cost = d;
-      return best;
+      return true;
     }
     const double score = std::abs(d);
     if (score > best_score) {
@@ -395,6 +669,22 @@ Simplex::Entering Simplex::PriceEntering(const std::vector<double>& cost,
       best.var = j;
       best.direction = direction;
       best.reduced_cost = d;
+    }
+    return false;
+  };
+  if (IncActive()) {
+    // The pricing list is ascending and a superset of the nonfixed
+    // structural candidates, so even Bland's first-eligible order
+    // matches the full scan.
+    for (std::int32_t j : pricing_list_) {
+      if (consider(j)) return best;
+    }
+    for (std::int32_t j = num_struct_; j < num_total_; ++j) {
+      if (consider(j)) return best;
+    }
+  } else {
+    for (std::int32_t j = 0; j < num_total_; ++j) {
+      if (consider(j)) return best;
     }
   }
   return best;
@@ -510,6 +800,12 @@ void Simplex::ApplyStep(const Entering& e, const std::vector<double>& w,
   x_[static_cast<std::size_t>(leaving)] = r.leaving_at_upper
                                               ? upper_[static_cast<std::size_t>(leaving)]
                                               : lower_[static_cast<std::size_t>(leaving)];
+  if (IncActive() && leaving < num_struct_ && Fixed(leaving)) {
+    // A variable fixed while basic just left the basis: it now counts
+    // toward the compressed fixed activity and is dead for pricing.
+    AddFixedContribution(leaving, x_[static_cast<std::size_t>(leaving)], +1.0);
+    if (in_pricing_list_[static_cast<std::size_t>(leaving)]) ++pricing_dead_;
+  }
   basis_[p] = e.var;
   status_[j] = VStatus::kBasic;
 
@@ -567,6 +863,28 @@ void Simplex::BuildPhase1Cost(std::vector<double>& cost) const {
   }
 }
 
+double Simplex::CurrentObjective() const {
+  if (!IncActive()) {
+    double metric = 0.0;
+    for (std::int32_t v = 0; v < num_total_; ++v) {
+      metric += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+    }
+    return metric;
+  }
+  double metric = fixed_obj_;
+  for (std::int32_t v : pricing_list_) {
+    if (status_[static_cast<std::size_t>(v)] == VStatus::kBasic || Fixed(v)) continue;
+    metric += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+  }
+  for (std::int32_t p = 0; p < num_rows_; ++p) {
+    const std::int32_t var = basis_[p];
+    if (var < num_struct_) {
+      metric += cost_[static_cast<std::size_t>(var)] * x_[static_cast<std::size_t>(var)];
+    }
+  }
+  return metric;  // nonbasic slacks carry zero cost
+}
+
 SolveStatus Simplex::Iterate(const std::vector<double>& cost, bool phase1) {
   std::vector<double> working_cost;
   std::vector<double> y;
@@ -616,8 +934,7 @@ SolveStatus Simplex::Iterate(const std::vector<double>& cost, bool phase1) {
     if (phase1) {
       metric = TotalInfeasibility();
     } else {
-      metric = 0.0;
-      for (std::int32_t v = 0; v < num_total_; ++v) metric += cost[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+      metric = CurrentObjective();
     }
     if (metric < last_progress_metric - 1e-10) {
       last_progress_metric = metric;
@@ -629,6 +946,204 @@ SolveStatus Simplex::Iterate(const std::vector<double>& cost, bool phase1) {
   }
 }
 
+Simplex::DualOutcome Simplex::TryDualWarmStart() {
+  const std::size_t m = static_cast<std::size_t>(num_rows_);
+  const double tol = options_.feas_tol;
+  std::vector<double> y;
+  ComputeDuals(cost_, y);
+
+  // Dual-feasibility repair: a nonbasic variable whose reduced cost
+  // points away from its bound flips to the opposite finite bound
+  // (typically the fresh candidate column with an attractive cost).
+  // A flip with no finite opposite bound, or a free variable with a
+  // nonzero reduced cost, cannot be repaired without primal pivots —
+  // degrade to phase 1. The scan is two-pass on purpose: flips are
+  // collected first and applied only once the whole set proves
+  // repairable, so a fallback leaves x_/status_ exactly as the caller
+  // left them (a half-applied flip set breaks Ax = b for phase 1).
+  bool repairable = true;
+  std::vector<std::int32_t> flips;
+  const auto repair = [&](std::int32_t j) {
+    if (!repairable) return;
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (status_[sj] == VStatus::kBasic) return;
+    if (upper_[sj] - lower_[sj] <= 0.0) return;  // fixed: vacuously dual ok
+    const double d = ReducedCost(j, cost_, y);
+    if (status_[sj] == VStatus::kAtLower && d < -options_.opt_tol) {
+      if (!IsFinite(upper_[sj])) {
+        repairable = false;
+        return;
+      }
+      flips.push_back(j);
+    } else if (status_[sj] == VStatus::kAtUpper && d > options_.opt_tol) {
+      if (!IsFinite(lower_[sj])) {
+        repairable = false;
+        return;
+      }
+      flips.push_back(j);
+    } else if (status_[sj] == VStatus::kFreeNb && std::abs(d) > options_.opt_tol) {
+      repairable = false;
+    }
+  };
+  if (IncActive()) {
+    for (std::int32_t j : pricing_list_) repair(j);
+    for (std::int32_t j = num_struct_; j < num_total_ && repairable; ++j) repair(j);
+  } else {
+    for (std::int32_t j = 0; j < num_total_ && repairable; ++j) repair(j);
+  }
+  if (!repairable) return DualOutcome::kFallback;
+  for (std::int32_t j : flips) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (status_[sj] == VStatus::kAtLower) {
+      status_[sj] = VStatus::kAtUpper;
+      x_[sj] = upper_[sj];
+    } else {
+      status_[sj] = VStatus::kAtLower;
+      x_[sj] = lower_[sj];
+    }
+  }
+  if (!flips.empty()) ComputeBasicValues();
+
+  std::int64_t budget = options_.max_dual_iterations > 0
+                            ? options_.max_dual_iterations
+                            : std::max<std::int64_t>(200, 4 * num_rows_);
+  const std::int64_t epoch = basis_epoch_;
+  std::vector<double> rho;
+  std::vector<double> w;
+
+  for (;;) {
+    // A singular refactorization inside ApplyStep resets the basis to
+    // slacks mid-flight; the dual state is then meaningless.
+    if (basis_epoch_ != epoch) return DualOutcome::kFallback;
+
+    // Leaving choice: the most primal-infeasible basic variable.
+    std::int32_t p = -1;
+    double delta = 0.0;  // x - violated bound (sign = side of violation)
+    bool at_upper = false;
+    double worst = tol;
+    for (std::int32_t q = 0; q < num_rows_; ++q) {
+      const std::size_t var = static_cast<std::size_t>(basis_[q]);
+      const double v = x_[var];
+      if (v < lower_[var] - worst) {
+        worst = lower_[var] - v;
+        p = q;
+        delta = v - lower_[var];
+        at_upper = false;
+      } else if (v > upper_[var] + worst) {
+        worst = v - upper_[var];
+        p = q;
+        delta = v - upper_[var];
+        at_upper = true;
+      }
+    }
+    if (p < 0) return DualOutcome::kPrimalFeasible;
+    if (budget-- <= 0) return DualOutcome::kFallback;
+    if (stats_.iterations - iterations_at_solve_start_ >= options_.max_iterations) {
+      return DualOutcome::kFallback;
+    }
+
+    // rho = row p of Binv; alpha_j = rho . A_j is the pivot-row entry.
+    if (options_.use_dense_inverse) {
+      const double* row = &binv_[static_cast<std::size_t>(p) * m];
+      rho.assign(row, row + m);
+    } else {
+      rho.assign(m, 0.0);
+      rho[static_cast<std::size_t>(p)] = 1.0;
+      lu_.Btran(rho);
+    }
+    ComputeDuals(cost_, y);
+
+    // Entering choice: smallest dual ratio |d_j| / |alpha_j| among the
+    // nonbasic columns whose admissible move drives x_B[p] toward its
+    // violated bound, i.e. sign(direction * alpha_j) == sign(delta).
+    // Ties break toward the larger |alpha| for numerical stability.
+    std::int32_t best_j = -1;
+    int best_dir = 0;
+    double best_theta = kInf;
+    double best_alpha_mag = 0.0;
+    double best_d = 0.0;
+    const auto consider = [&](std::int32_t j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (status_[sj] == VStatus::kBasic) return;
+      if (upper_[sj] - lower_[sj] <= 0.0) return;  // fixed
+      double alpha;
+      if (j < num_struct_) {
+        const Column& col = columns_[sj];
+        alpha = 0.0;
+        for (std::size_t t = 0; t < col.rows.size(); ++t) {
+          alpha += rho[static_cast<std::size_t>(col.rows[t])] * col.vals[t];
+        }
+      } else {
+        alpha = rho[static_cast<std::size_t>(j - num_struct_)];
+      }
+      if (std::abs(alpha) < 1e-9) return;
+      int dir;
+      if (status_[sj] == VStatus::kAtLower) {
+        dir = +1;
+      } else if (status_[sj] == VStatus::kAtUpper) {
+        dir = -1;
+      } else {  // free: pick whichever direction helps
+        dir = (delta * alpha > 0.0) ? +1 : -1;
+      }
+      if ((dir * alpha > 0.0) != (delta > 0.0)) return;  // wrong direction
+      const double d = ReducedCost(j, cost_, y);
+      const double theta = std::abs(d) / std::abs(alpha);
+      if (theta < best_theta - 1e-12 ||
+          (theta < best_theta + 1e-12 && std::abs(alpha) > best_alpha_mag)) {
+        best_theta = theta;
+        best_j = j;
+        best_dir = dir;
+        best_alpha_mag = std::abs(alpha);
+        best_d = d;
+      }
+    };
+    if (IncActive()) {
+      for (std::int32_t j : pricing_list_) consider(j);
+      for (std::int32_t j = num_struct_; j < num_total_; ++j) consider(j);
+    } else {
+      for (std::int32_t j = 0; j < num_total_; ++j) consider(j);
+    }
+    if (best_j < 0) {
+      // No column can move row p back inside its bounds: the row is a
+      // primal-infeasibility certificate. The caller confirms via
+      // phase 1 rather than trusting the warm path's verdict.
+      return DualOutcome::kInfeasible;
+    }
+
+    Entering e;
+    e.var = best_j;
+    e.direction = best_dir;
+    e.reduced_cost = best_d;
+    Ftran(best_j, w);
+    const double alpha_p = w[static_cast<std::size_t>(p)];
+    if (std::abs(alpha_p) < 1e-9 ||
+        ((best_dir * alpha_p > 0.0) != (delta > 0.0))) {
+      // The fresh Ftran disagrees with the Btran row: numerics are
+      // drifting, let phase 1 take over.
+      return DualOutcome::kFallback;
+    }
+    const double step = delta / (best_dir * alpha_p);  // > 0 by the sign rules
+
+    RatioResult r;
+    const double span = upper_[static_cast<std::size_t>(best_j)] -
+                        lower_[static_cast<std::size_t>(best_j)];
+    if (status_[static_cast<std::size_t>(best_j)] != VStatus::kFreeNb &&
+        IsFinite(span) && span < step) {
+      // The entering variable hits its opposite bound first: bound
+      // flip, then re-examine the (reduced) violation of row p.
+      r.step = span;
+      r.leaving_pos = -1;
+    } else {
+      r.step = step;
+      r.leaving_pos = p;
+      r.leaving_at_upper = at_upper;
+    }
+    ApplyStep(e, w, r);
+    ++stats_.iterations;
+    ++stats_.dual_iterations;
+  }
+}
+
 Solution Simplex::Solve() {
   Solution solution;
   iterations_at_solve_start_ = stats_.iterations;
@@ -636,31 +1151,70 @@ Solution Simplex::Solve() {
     solution.status = SolveStatus::kOptimal;
     return solution;
   }
+  bool warm = basis_valid_;
   if (!basis_valid_) {
     ResetBasisToSlacks();
   } else if (needs_refactor_) {
-    // A restored snapshot: factorize it; a singular one (stale numerics
-    // after bound changes) falls back to the slack basis.
+    // A restored snapshot or appended row: factorize it; a singular one
+    // (stale numerics after bound changes) falls back to the slack basis.
     if (Refactorize()) {
       needs_refactor_ = false;
     } else {
       ResetBasisToSlacks();
+      warm = false;
+    }
+  }
+  if (options_.incremental) {
+    if (fixed_dirty_ || pricing_dirty_) {
+      RecomputeFixedState();
+    } else if (pricing_dead_ * 2 >
+               static_cast<std::int64_t>(pricing_list_.size())) {
+      CompactPricingList();
     }
   }
   SnapNonbasicToBounds();
   ComputeBasicValues();
 
-  SolveStatus status = Iterate(cost_, /*phase1=*/true);
+  bool primal_feasible = false;
+  if (warm && options_.warm_dual) {
+    ++stats_.warm_attempts;
+    if (TryDualWarmStart() == DualOutcome::kPrimalFeasible) {
+      ++stats_.warm_successes;
+      primal_feasible = true;
+    }
+    // kInfeasible and kFallback both degrade to composite phase 1 from
+    // wherever the dual pivots left the basis — the dual path is an
+    // accelerator, never the arbiter of feasibility.
+  }
+
+  SolveStatus status =
+      primal_feasible ? SolveStatus::kOptimal : Iterate(cost_, /*phase1=*/true);
   if (status == SolveStatus::kOptimal) {
     status = Iterate(cost_, /*phase1=*/false);
   }
 
   solution.status = status;
   if (status == SolveStatus::kOptimal || status == SolveStatus::kIterationLimit) {
-    solution.values.assign(x_.begin(), x_.begin() + num_struct_);
+    if (options_.report_values) {
+      solution.values.assign(x_.begin(), x_.begin() + num_struct_);
+    }
     double obj = 0.0;
-    for (std::int32_t v = 0; v < num_struct_; ++v) {
-      obj += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+    if (IncActive()) {
+      obj = fixed_obj_;
+      for (std::int32_t v : pricing_list_) {
+        if (status_[static_cast<std::size_t>(v)] == VStatus::kBasic || Fixed(v)) continue;
+        obj += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+      }
+      for (std::int32_t p = 0; p < num_rows_; ++p) {
+        const std::int32_t var = basis_[p];
+        if (var < num_struct_) {
+          obj += cost_[static_cast<std::size_t>(var)] * x_[static_cast<std::size_t>(var)];
+        }
+      }
+    } else {
+      for (std::int32_t v = 0; v < num_struct_; ++v) {
+        obj += cost_[static_cast<std::size_t>(v)] * x_[static_cast<std::size_t>(v)];
+      }
     }
     solution.objective = maximize_ ? -obj : obj;
   }

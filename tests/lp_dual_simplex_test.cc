@@ -1,0 +1,373 @@
+// Dual-simplex warm restarts and incremental model growth
+// (SimplexOptions::warm_dual / ::incremental, Simplex::AddColumn /
+// AddRow, BasisState remapping). Every warm answer is checked against a
+// cold solve of the same model from scratch — the dual path may change
+// cost, never the answer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace sfp::lp {
+namespace {
+
+SimplexOptions WarmOpts() {
+  SimplexOptions options;
+  options.warm_dual = true;
+  options.incremental = true;
+  return options;
+}
+
+Solution ColdSolve(const Model& model) {
+  Simplex cold(model);  // legacy configuration: slack basis, phase 1
+  return cold.Solve();
+}
+
+void ExpectMatchesCold(const Model& model, const Solution& warm, const char* where) {
+  const Solution cold = ColdSolve(model);
+  ASSERT_EQ(warm.status, cold.status) << where;
+  if (cold.status == SolveStatus::kOptimal) {
+    const double tol = 1e-6 * std::max(1.0, std::abs(cold.objective));
+    EXPECT_NEAR(warm.objective, cold.objective, tol) << where;
+  }
+}
+
+/// Random packing LP: maximize c'x, Ax <= b, x in [0, 1], all
+/// coefficients nonnegative (the admission-model shape).
+Model RandomPackingLp(Rng& rng, int num_vars, int num_rows) {
+  Model model;
+  for (int v = 0; v < num_vars; ++v) {
+    model.AddVar(0.0, 1.0, rng.UniformDouble(0.5, 2.0), /*is_integer=*/false);
+  }
+  for (int r = 0; r < num_rows; ++r) {
+    std::vector<VarId> vars;
+    std::vector<double> coeffs;
+    for (int v = 0; v < num_vars; ++v) {
+      if (rng.Bernoulli(0.4)) {
+        vars.push_back(v);
+        coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+      }
+    }
+    if (vars.empty()) {
+      vars.push_back(static_cast<VarId>(rng.UniformInt(0, num_vars - 1)));
+      coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+    }
+    // Tight enough that rows bind at the optimum.
+    model.AddRow(std::move(vars), std::move(coeffs), Sense::kLe,
+                 rng.UniformDouble(0.4, 1.4));
+  }
+  return model;
+}
+
+TEST(LpDualSimplexTest, BoundChurnMatchesColdAcrossSeeds) {
+  std::int64_t attempts = 0;
+  std::int64_t successes = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    Model model = RandomPackingLp(rng, 12, 6);
+    Simplex warm(model, WarmOpts());
+    ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+
+    for (int op = 0; op < 30; ++op) {
+      const VarId v = static_cast<VarId>(rng.UniformInt(0, model.num_vars() - 1));
+      double lo = 0.0, hi = 1.0;
+      switch (rng.UniformInt(0, 2)) {
+        case 0: lo = hi = 0.0; break;          // departure
+        case 1: lo = hi = 1.0; break;          // committed arrival
+        default: break;                        // relax back to [0, 1]
+      }
+      model.SetVarBounds(v, lo, hi);
+      warm.SetVarBounds(v, lo, hi);
+      const Solution solution = warm.Solve();
+      ExpectMatchesCold(model, solution, "bound churn");
+      if (HasFatalFailure()) return;
+    }
+    attempts += warm.stats().warm_attempts;
+    successes += warm.stats().warm_successes;
+  }
+  // The traces deliberately wander through infeasible stretches, where
+  // every attempt legitimately falls back to phase 1 (and the first
+  // solves after recovery start from a phase-1-terminal basis). The
+  // dual path still has to carry a meaningful share of the total churn.
+  EXPECT_GT(attempts, 0);
+  EXPECT_GE(successes, attempts / 8);
+}
+
+TEST(LpDualSimplexTest, AddColumnWarmMatchesCold) {
+  Rng rng(7);
+  Model model = RandomPackingLp(rng, 8, 5);
+  Simplex warm(model, WarmOpts());
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+  const auto before = warm.stats();
+
+  for (int k = 0; k < 12; ++k) {
+    std::vector<RowId> rows;
+    std::vector<double> coeffs;
+    for (RowId r = 0; r < model.num_rows(); ++r) {
+      if (rng.Bernoulli(0.5)) {
+        rows.push_back(r);
+        coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+      }
+    }
+    const double objective = rng.UniformDouble(0.5, 2.0);
+    const VarId in_model = model.AddVar(0.0, 1.0, objective, /*is_integer=*/false);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      model.AddRowCoefficient(rows[i], in_model, coeffs[i]);
+    }
+    const VarId mirrored = warm.AddColumn(0.0, 1.0, objective, rows, coeffs);
+    ASSERT_EQ(mirrored, in_model);
+    ExpectMatchesCold(model, warm.Solve(), "column append");
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(warm.stats().warm_attempts - before.warm_attempts, 12);
+  // Column appends leave the basis primal feasible or one dual repair
+  // away; phase 1 must not be re-entered.
+  EXPECT_GE(warm.stats().warm_successes - before.warm_successes, 11);
+}
+
+TEST(LpDualSimplexTest, AddRowWarmMatchesCold) {
+  Rng rng(11);
+  Model model = RandomPackingLp(rng, 10, 4);
+  Simplex warm(model, WarmOpts());
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+
+  for (int k = 0; k < 6; ++k) {
+    std::vector<VarId> vars;
+    std::vector<double> coeffs;
+    for (VarId v = 0; v < model.num_vars(); ++v) {
+      if (rng.Bernoulli(0.5)) {
+        vars.push_back(v);
+        coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+      }
+    }
+    if (vars.empty()) continue;
+    // Cut below the current activity about half the time so the new
+    // row actually perturbs the optimum.
+    const double rhs = rng.UniformDouble(0.3, 1.2);
+    const RowId in_model =
+        model.AddRow(vars, coeffs, Sense::kLe, rhs);
+    const RowId mirrored = warm.AddRow(Sense::kLe, rhs, vars, coeffs);
+    ASSERT_EQ(mirrored, in_model);
+    ExpectMatchesCold(model, warm.Solve(), "row append");
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(LpDualSimplexTest, RestoreBasisRemapsAcrossGrowth) {
+  Rng rng(23);
+  Model model = RandomPackingLp(rng, 9, 5);
+  Simplex parent(model, WarmOpts());
+  ASSERT_EQ(parent.Solve().status, SolveStatus::kOptimal);
+  const Simplex::BasisState snapshot = parent.SaveBasis();
+  EXPECT_EQ(snapshot.num_struct, 9);
+  EXPECT_EQ(snapshot.num_rows, 5);
+
+  // Grow the model past the snapshot: two columns and one row.
+  for (int k = 0; k < 2; ++k) {
+    const VarId v = model.AddVar(0.0, 1.0, 1.0, /*is_integer=*/false);
+    model.AddRowCoefficient(0, v, 0.5);
+  }
+  std::vector<VarId> vars = {0, 9, 10};
+  std::vector<double> coeffs = {0.5, 0.5, 0.5};
+  model.AddRow(vars, coeffs, Sense::kLe, 1.0);
+
+  Simplex child(model, WarmOpts());
+  child.RestoreBasis(snapshot);  // stale shape: must remap, not crash
+  const int refactors_before = child.stats().refactorizations;
+  const Solution solution = child.Solve();
+  ExpectMatchesCold(model, solution, "restored snapshot after growth");
+  // The transplanted basis must be refactorized, never silently reused.
+  EXPECT_GT(child.stats().refactorizations, refactors_before);
+}
+
+TEST(LpDualSimplexTest, SingularSnapshotFallsBackToSlackBasis) {
+  Rng rng(31);
+  Model model = RandomPackingLp(rng, 6, 4);
+  Simplex warm(model, WarmOpts());
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+
+  // Deliberately corrupt: variable 0 occupies every basis slot, which
+  // can never factorize. Solve() must detect this and restart from the
+  // slack basis instead of reusing garbage.
+  Simplex::BasisState bogus;
+  bogus.basis.assign(4, 0);
+  bogus.status.assign(static_cast<std::size_t>(model.num_vars() + model.num_rows()),
+                      0);  // all "at lower"
+  bogus.num_struct = model.num_vars();
+  bogus.num_rows = model.num_rows();
+  warm.RestoreBasis(bogus);
+  ExpectMatchesCold(model, warm.Solve(), "singular snapshot");
+}
+
+TEST(LpDualSimplexTest, InfeasibleBoundEditAgreesWithCold) {
+  Model model;
+  const VarId x = model.AddVar(0.0, 2.0, 1.0, false);
+  const VarId y = model.AddVar(0.0, 2.0, 1.0, false);
+  model.AddRow({x, y}, {1.0, 1.0}, Sense::kGe, 3.0);
+  Simplex warm(model, WarmOpts());
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+
+  // Fixing both below the covering requirement is infeasible; the dual
+  // path may detect it but phase 1 must confirm it.
+  model.SetVarBounds(x, 0.0, 0.0);
+  model.SetVarBounds(y, 0.5, 0.5);
+  warm.SetVarBounds(x, 0.0, 0.0);
+  warm.SetVarBounds(y, 0.5, 0.5);
+  EXPECT_EQ(warm.Solve().status, SolveStatus::kInfeasible);
+  EXPECT_EQ(ColdSolve(model).status, SolveStatus::kInfeasible);
+
+  // Relaxing again re-solves back to the cold answer.
+  model.SetVarBounds(x, 0.0, 2.0);
+  model.SetVarBounds(y, 0.0, 2.0);
+  warm.SetVarBounds(x, 0.0, 2.0);
+  warm.SetVarBounds(y, 0.0, 2.0);
+  ExpectMatchesCold(model, warm.Solve(), "relax after infeasible");
+}
+
+TEST(LpDualSimplexTest, UncongestedAppendIsPivotFreeBoundFlip) {
+  Model model;
+  const VarId x = model.AddVar(0.0, 1.0, 1.0, false);
+  const RowId cap = model.AddRow({x}, {1.0}, Sense::kLe, 100.0);
+  Simplex warm(model, WarmOpts());
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+  const auto before = warm.stats();
+
+  // Plenty of slack: the fresh profitable column just flips to its
+  // upper bound during dual-feasibility repair — no pivots at all.
+  const VarId y = model.AddVar(0.0, 1.0, 2.0, false);
+  model.AddRowCoefficient(cap, y, 1.0);
+  std::vector<RowId> rows = {cap};
+  std::vector<double> coeffs = {1.0};
+  ASSERT_EQ(warm.AddColumn(0.0, 1.0, 2.0, rows, coeffs), y);
+  const Solution solution = warm.Solve();
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+  EXPECT_NEAR(warm.Value(y), 1.0, 1e-9);
+  EXPECT_EQ(warm.stats().warm_successes, before.warm_successes + 1);
+  EXPECT_EQ(warm.stats().dual_iterations, before.dual_iterations);
+  EXPECT_EQ(warm.stats().iterations, before.iterations);
+}
+
+TEST(LpDualSimplexTest, IncrementalCompressionMatchesLegacy) {
+  for (std::uint64_t seed = 100; seed < 103; ++seed) {
+    Rng rng(seed);
+    Model model = RandomPackingLp(rng, 14, 6);
+    SimplexOptions inc;
+    inc.incremental = true;  // compression without the dual path
+    Simplex compressed(model, inc);
+    Simplex legacy(model);
+    for (int op = 0; op < 20; ++op) {
+      const VarId v = static_cast<VarId>(rng.UniformInt(0, model.num_vars() - 1));
+      const double fixed = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+      const bool relax = rng.Bernoulli(0.3);
+      const double lo = relax ? 0.0 : fixed;
+      const double hi = relax ? 1.0 : fixed;
+      compressed.SetVarBounds(v, lo, hi);
+      legacy.SetVarBounds(v, lo, hi);
+      const Solution a = compressed.Solve();
+      const Solution b = legacy.Solve();
+      ASSERT_EQ(a.status, b.status);
+      if (a.status == SolveStatus::kOptimal) {
+        EXPECT_NEAR(a.objective, b.objective, 1e-7 * std::max(1.0, std::abs(b.objective)));
+      }
+    }
+  }
+}
+
+TEST(LpDualSimplexTest, TinyDualBudgetDegradesToPhase1NotWrongAnswers) {
+  Rng rng(55);
+  Model model = RandomPackingLp(rng, 12, 6);
+  SimplexOptions options = WarmOpts();
+  options.max_dual_iterations = 1;  // starve the repair loop
+  Simplex warm(model, options);
+  ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+  for (int op = 0; op < 15; ++op) {
+    const VarId v = static_cast<VarId>(rng.UniformInt(0, model.num_vars() - 1));
+    const double fixed = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    model.SetVarBounds(v, fixed, fixed);
+    warm.SetVarBounds(v, fixed, fixed);
+    ExpectMatchesCold(model, warm.Solve(), "starved dual budget");
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(warm.stats().warm_attempts, 0);
+}
+
+TEST(LpDualSimplexTest, ReportValuesOffStillServesValueAccessor) {
+  Rng rng(77);
+  Model model = RandomPackingLp(rng, 10, 5);
+  SimplexOptions options = WarmOpts();
+  options.report_values = false;
+  Simplex warm(model, options);
+  const Solution lean = warm.Solve();
+  const Solution cold = ColdSolve(model);
+  ASSERT_EQ(lean.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(lean.values.empty());
+  EXPECT_NEAR(lean.objective, cold.objective, 1e-7 * std::max(1.0, std::abs(cold.objective)));
+  // Value() reads the internal primal vector regardless.
+  double recomputed = 0.0;
+  for (VarId v = 0; v < model.num_vars(); ++v) {
+    recomputed += model.var(v).objective * warm.Value(v);
+  }
+  EXPECT_NEAR(recomputed, lean.objective, 1e-6 * std::max(1.0, std::abs(lean.objective)));
+}
+
+TEST(LpDualSimplexTest, RandomizedChurnTraceDifferential) {
+  // Mixed-operation fuzz: bound edits + column appends + row appends,
+  // every step checked against a cold solve (the warm-vs-cold contract
+  // the CI lp-stress shard replays at SFP_LP_DIFF_INSTANCES scale).
+  for (std::uint64_t seed = 500; seed < 504; ++seed) {
+    Rng rng(seed);
+    Model model = RandomPackingLp(rng, 6, 4);
+    Simplex warm(model, WarmOpts());
+    ASSERT_EQ(warm.Solve().status, SolveStatus::kOptimal);
+    for (int op = 0; op < 25; ++op) {
+      const int kind = static_cast<int>(rng.UniformInt(0, 3));
+      if (kind == 0 && model.num_vars() > 1) {  // fix/relax
+        const VarId v = static_cast<VarId>(rng.UniformInt(0, model.num_vars() - 1));
+        const double fixed = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+        const bool relax = rng.Bernoulli(0.3);
+        const double lo = relax ? 0.0 : fixed;
+        const double hi = relax ? 1.0 : fixed;
+        model.SetVarBounds(v, lo, hi);
+        warm.SetVarBounds(v, lo, hi);
+      } else if (kind == 1) {  // column append
+        std::vector<RowId> rows;
+        std::vector<double> coeffs;
+        for (RowId r = 0; r < model.num_rows(); ++r) {
+          if (rng.Bernoulli(0.6)) {
+            rows.push_back(r);
+            coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+          }
+        }
+        const double obj = rng.UniformDouble(0.5, 2.0);
+        const VarId v = model.AddVar(0.0, 1.0, obj, false);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          model.AddRowCoefficient(rows[i], v, coeffs[i]);
+        }
+        ASSERT_EQ(warm.AddColumn(0.0, 1.0, obj, rows, coeffs), v);
+      } else if (kind == 2 && model.num_rows() < 12) {  // row append
+        std::vector<VarId> vars;
+        std::vector<double> coeffs;
+        for (VarId v = 0; v < model.num_vars(); ++v) {
+          if (rng.Bernoulli(0.4)) {
+            vars.push_back(v);
+            coeffs.push_back(rng.UniformDouble(0.1, 1.0));
+          }
+        }
+        if (vars.empty()) continue;
+        const double rhs = rng.UniformDouble(0.5, 2.0);
+        ASSERT_EQ(warm.AddRow(Sense::kLe, rhs, vars, coeffs),
+                  model.AddRow(vars, coeffs, Sense::kLe, rhs));
+      }
+      ExpectMatchesCold(model, warm.Solve(), "mixed churn");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfp::lp

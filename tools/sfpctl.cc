@@ -16,9 +16,19 @@
 //                                         run a scenario with its
 //                                         recovery loop and print the
 //                                         summary (docs/SCENARIOS.md)
+//   sfpctl churn --tenants N [--arrivals A] [--seed S] [--warm=off]
+//                                         replay a Pareto-lifetime
+//                                         admission churn trace through
+//                                         the incremental admission LP
+//                                         (the ext3 bench's generator)
+//                                         and print warm-restart and
+//                                         latency stats
 //
 // Exit code 0 on success, 1 on usage/solve errors (scenario run: also
 // on a conservation violation).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "controlplane/admission_lp.h"
 #include "controlplane/annealing_solver.h"
 #include "controlplane/approx_solver.h"
 #include "controlplane/greedy_solver.h"
@@ -37,6 +48,7 @@
 #include "net/trace.h"
 #include "p4gen/p4gen.h"
 #include "scenario/runner.h"
+#include "workload/churn.h"
 #include "workload/instance_io.h"
 #include "workload/sfc_gen.h"
 
@@ -45,15 +57,17 @@ namespace {
 using namespace sfp;
 using namespace sfp::controlplane;
 
-/// --key value argument map (flags without values unsupported except
-/// --no-consolidation).
+/// --key value / --key=value argument map (flags without values
+/// unsupported except --no-consolidation).
 std::map<std::string, std::string> ParseArgs(int argc, char** argv, int first) {
   std::map<std::string, std::string> args;
   for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
-    if (key == "no-consolidation") {
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      args[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (key == "no-consolidation") {
       args[key] = "1";
     } else if (i + 1 < argc) {
       args[key] = argv[++i];
@@ -296,6 +310,121 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+int CmdChurn(const std::map<std::string, std::string>& args) {
+  workload::ChurnOptions churn;
+  churn.target_population = std::atoll(Get(args, "tenants", "1000").c_str());
+  if (churn.target_population < 1) {
+    std::fprintf(stderr, "sfpctl churn: --tenants must be >= 1\n");
+    return 1;
+  }
+  churn.num_arrivals =
+      std::atoll(Get(args, "arrivals",
+                     std::to_string(2 * churn.target_population).c_str())
+                     .c_str());
+  const auto seed =
+      static_cast<std::uint64_t>(std::atoll(Get(args, "seed", "1").c_str()));
+  const bool warm = Get(args, "warm", "on") != "off";
+
+  Rng rng(seed);
+  const auto trace = workload::GenerateChurnTrace(churn, rng);
+
+  // Capacity calibration mirrors bench/ext3_admission_churn: 105% of
+  // the live demand at the midpoint arrival, so the second half of the
+  // trace runs at capacity and decisions ride binding rows.
+  std::vector<double> stage(static_cast<std::size_t>(churn.num_stages), 0.0);
+  double backplane = 0.0;
+  {
+    std::map<controlplane::IncrementalAdmissionLp::TenantKey,
+             const controlplane::TenantFootprint*>
+        live;
+    std::int64_t arrivals_seen = 0;
+    const std::int64_t midpoint = churn.num_arrivals / 2;
+    for (const auto& event : trace) {
+      if (event.kind == workload::ChurnEvent::Kind::kArrive) {
+        for (const auto& [s, entries] : event.footprint.stage_entries) {
+          stage[static_cast<std::size_t>(s)] += entries;
+        }
+        backplane += event.footprint.BackplaneCharge();
+        live.emplace(event.tenant, &event.footprint);
+        if (++arrivals_seen == midpoint) break;
+      } else if (const auto it = live.find(event.tenant); it != live.end()) {
+        for (const auto& [s, entries] : it->second->stage_entries) {
+          stage[static_cast<std::size_t>(s)] -= entries;
+        }
+        backplane -= it->second->BackplaneCharge();
+        live.erase(it);
+      }
+    }
+  }
+  controlplane::AdmissionLpOptions lp_options;
+  lp_options.stage_capacity.reserve(stage.size());
+  for (const double demand : stage) lp_options.stage_capacity.push_back(demand * 1.05);
+  lp_options.backplane_gbps = backplane * 1.05;
+  lp_options.warm = warm;
+  controlplane::IncrementalAdmissionLp lp(lp_options);
+
+  std::vector<std::uint64_t> latencies_ns;
+  latencies_ns.reserve(trace.size());
+  std::size_t live_now = 0;
+  std::size_t peak_live = 0;
+  for (const auto& event : trace) {
+    if (event.kind == workload::ChurnEvent::Kind::kDepart) {
+      if (lp.Remove(event.tenant)) --live_now;
+      continue;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    const auto decision = lp.TryAdmit(event.tenant, event.footprint);
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    if (decision.admitted && ++live_now > peak_live) peak_live = live_now;
+  }
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto pct = [&](double q) -> unsigned long long {
+    if (latencies_ns.empty()) return 0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ns.size() - 1) + 0.5);
+    return latencies_ns[std::min(idx, latencies_ns.size() - 1)];
+  };
+
+  const auto& counters = lp.counters();
+  const double hit_pct =
+      counters.warm_attempts > 0
+          ? 100.0 * static_cast<double>(counters.warm_successes) /
+                static_cast<double>(counters.warm_attempts)
+          : 0.0;
+  std::printf("churn trace       : %lld arrivals toward %lld live tenants "
+              "(seed %llu, warm %s)\n",
+              static_cast<long long>(churn.num_arrivals),
+              static_cast<long long>(churn.target_population),
+              static_cast<unsigned long long>(seed), warm ? "on" : "off");
+  std::printf("decisions         : %lld admitted, %lld rejected "
+              "(%zu live at end, peak %zu)\n",
+              static_cast<long long>(counters.admitted),
+              static_cast<long long>(counters.rejected), lp.num_admitted(),
+              peak_live);
+  std::printf("warm restarts     : %lld/%lld carried by dual repair "
+              "(%.1f%%), %lld rebuilds\n",
+              static_cast<long long>(counters.warm_successes),
+              static_cast<long long>(counters.warm_attempts), hit_pct,
+              static_cast<long long>(counters.rebuilds));
+  std::printf("simplex pivots    : %lld dual, %lld phase-1, %lld total "
+              "(%.2f per decision)\n",
+              static_cast<long long>(counters.dual_iterations),
+              static_cast<long long>(counters.phase1_iterations),
+              static_cast<long long>(counters.total_iterations),
+              counters.solves > 0
+                  ? static_cast<double>(counters.total_iterations) /
+                        static_cast<double>(counters.solves)
+                  : 0.0);
+  std::printf("admit latency     : p50 %llu ns, p99 %llu ns, max %llu ns\n",
+              pct(0.50), pct(0.99),
+              latencies_ns.empty()
+                  ? 0ULL
+                  : static_cast<unsigned long long>(latencies_ns.back()));
+  return 0;
+}
+
 int CmdScenario(int argc, char** argv) {
   const std::string verb = argc > 2 ? argv[2] : "";
   if (verb == "list") {
@@ -363,14 +492,15 @@ int CmdScenario(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: sfpctl <gen|place|p4|trace> [--key value ...]\n"
+                 "usage: sfpctl <gen|place|p4|trace|scenario|churn> [--key value ...]\n"
                  "  gen   --sfcs N [--types I] [--seed S] [--out FILE]\n"
                  "  place --in FILE --algo ip|appro|greedy|anneal [--passes P]\n"
                  "        [--time-limit SEC] [--no-consolidation]\n"
                  "  p4    --layout fw,tc/lb,rt\n"
                  "  trace --replay FILE [--threads N] [--batch B]\n"
                  "  scenario <list|run NAME> [--duration SEC] [--threads N]\n"
-                 "        [--compiled 1]\n");
+                 "        [--compiled 1]\n"
+                 "  churn --tenants N [--arrivals A] [--seed S] [--warm=off]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -380,6 +510,7 @@ int main(int argc, char** argv) {
   if (command == "p4") return CmdP4(args);
   if (command == "trace") return CmdTrace(args);
   if (command == "scenario") return CmdScenario(argc, argv);
+  if (command == "churn") return CmdChurn(args);
   std::fprintf(stderr, "sfpctl: unknown command '%s'\n", command.c_str());
   return 1;
 }
