@@ -5,17 +5,65 @@
 // recirculation from inter-SFC contention), each a chain of 8 NFs
 // drawn from 10 types — longer than the 8-stage pipeline, so ordering
 // conflicts are common and folding matters.
+//
+// A second series measures intra-chain NF parallelism (DESIGN.md) end
+// to end on the simulated data plane: the same concrete tenant chains
+// are admitted into twin switches with packing off and on, and both
+// the control-plane pass counts and the per-packet virtual latency
+// (passes x one pipeline traversal) are compared.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "controlplane/approx_solver.h"
+#include "dataplane/data_plane.h"
+#include "nf/rate_limiter.h"
 #include "workload/sfc_gen.h"
+#include "workload/traffic.h"
 
 using namespace sfp;
 using namespace sfp::controlplane;
 
+namespace {
+
+/// One full pipeline traversal of the virtual switch (ingress to
+/// recirculation port), used to turn pass counts into a deterministic
+/// latency figure — machine-independent, unlike wall-clock ns.
+constexpr double kPassTraversalNs = 450.0;
+
+double Percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto at = static_cast<std::size_t>(q * (static_cast<double>(values.size()) - 1));
+  return values[at];
+}
+
+/// A data plane hosting every NF type once, on a seed-shuffled stage
+/// layout (so chain order and stage order disagree as in Fig. 3).
+dataplane::DataPlane MakePlane(bool parallel, const std::vector<int>& stages) {
+  switchsim::SwitchConfig config;
+  config.num_stages = nf::kNumNfTypes;
+  config.nf_parallelism = parallel;
+  dataplane::DataPlane plane(config);
+  for (int t = 0; t < nf::kNumNfTypes; ++t) {
+    const auto type = static_cast<nf::NfType>(t);
+    const int stage = stages[static_cast<std::size_t>(t)];
+    plane.InstallPhysicalNf(stage, type);
+    if (type == nf::NfType::kRateLimiter) {
+      static_cast<nf::RateLimiter*>(plane.PhysicalNf(stage, type))->AddBucket(100.0, 10.0);
+    }
+  }
+  return plane;
+}
+
+}  // namespace
+
 int main() {
   bench::PrintHeader("Fig. 7", "throughput + utilization vs recirculation times");
+  bench::BenchReport report("fig07_recirculation",
+                            "throughput + utilization vs recirculation times; "
+                            "intra-chain NF parallelism pass savings");
   const int seeds = bench::NumSeeds();
 
   Table table({"recirc", "SFP thr (Gbps)", "Base thr (Gbps)", "SFP blocks", "Base blocks",
@@ -67,5 +115,91 @@ int main() {
       "already fit one pass, so recirc=0 places the bulk; one recirculation "
       "admits the order-conflicted remainder (paper: 138.3 -> 142.0 Gbps); "
       "more than one adds nothing. SFP > baseline entries throughout.");
+  report.AddTable("recirculation", table);
+
+  // ---- intra-chain NF parallelism: packed vs sequential passes -----
+  bench::PrintHeader("Fig. 7b", "pass packing: sequential vs packed layouts");
+  Table packing({"chain len", "seq passes", "packed passes", "saved %",
+                 "seq p50 (ns)", "packed p50 (ns)", "seq p99 (ns)", "packed p99 (ns)"});
+  std::int64_t grand_seq = 0, grand_packed = 0;
+  std::int64_t l6_seq = 0, l6_packed = 0;
+  double l6_seq_p99 = 0, l6_packed_p99 = 0;
+  for (int chain_len = 2; chain_len <= 6; ++chain_len) {
+    std::int64_t seq_passes = 0, packed_passes = 0;
+    std::vector<double> seq_lat, packed_lat;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(9100 + static_cast<std::uint64_t>(seed) * 31 +
+              static_cast<std::uint64_t>(chain_len) * 977);
+      std::vector<int> stages(static_cast<std::size_t>(nf::kNumNfTypes));
+      for (int t = 0; t < nf::kNumNfTypes; ++t) stages[static_cast<std::size_t>(t)] = t;
+      rng.Shuffle(stages);
+      auto sequential = MakePlane(false, stages);
+      auto packed = MakePlane(true, stages);
+
+      for (dataplane::TenantId tenant = 1; tenant <= 20; ++tenant) {
+        const auto sfc =
+            workload::GenerateConcreteSfc(tenant, chain_len, 10.0, rng, /*rules_per_nf=*/8);
+        const auto seq_result = sequential.AllocateSfc(sfc);
+        const auto packed_result = packed.AllocateSfc(sfc);
+        if (!seq_result.ok || !packed_result.ok) continue;
+        seq_passes += seq_result.passes;
+        packed_passes += packed_result.passes;
+
+        workload::PacketSizeProfile profile;
+        const auto packets =
+            workload::GenerateFlows(tenant, /*num_flows=*/4, /*count=*/25, profile, rng);
+        for (const auto& packet : packets) {
+          seq_lat.push_back(sequential.Process(packet).passes * kPassTraversalNs);
+          packed_lat.push_back(packed.Process(packet).passes * kPassTraversalNs);
+        }
+      }
+    }
+    grand_seq += seq_passes;
+    grand_packed += packed_passes;
+    const double saved_pct =
+        seq_passes > 0
+            ? 100.0 * static_cast<double>(seq_passes - packed_passes) /
+                  static_cast<double>(seq_passes)
+            : 0.0;
+    const double sp99 = Percentile(seq_lat, 0.99);
+    const double pp99 = Percentile(packed_lat, 0.99);
+    if (chain_len == 6) {
+      l6_seq = seq_passes;
+      l6_packed = packed_passes;
+      l6_seq_p99 = sp99;
+      l6_packed_p99 = pp99;
+    }
+    packing.Row()
+        .Add(static_cast<std::int64_t>(chain_len))
+        .Add(seq_passes)
+        .Add(packed_passes)
+        .Add(saved_pct, 1)
+        .Add(Percentile(seq_lat, 0.50), 0)
+        .Add(Percentile(packed_lat, 0.50), 0)
+        .Add(sp99, 0)
+        .Add(pp99, 0);
+  }
+  packing.Print(std::cout);
+  bench::PrintNote(
+      "same tenants, same shuffled stage layout: packing merges independent "
+      "chain segments into shared passes, so both the solver-visible pass "
+      "budget and the tail latency (passes x traversal) drop; the saved-% "
+      "column is the acceptance metric (>=30% on mixed 6-NF chains).");
+  report.AddTable("nf_parallelism", packing);
+
+  // Deterministic acceptance counters (integer percent, gated in
+  // tools/compare_bench_json.py).
+  auto pct_saved = [](std::int64_t seq, std::int64_t packed) -> std::uint64_t {
+    if (seq <= 0 || packed >= seq) return 0;
+    return static_cast<std::uint64_t>(100 * (seq - packed) / seq);
+  };
+  report.metrics().GetCounter("parallelism.passes_saved_pct").Set(pct_saved(grand_seq, grand_packed));
+  report.metrics().GetCounter("parallelism.passes_saved_pct_l6").Set(pct_saved(l6_seq, l6_packed));
+  const std::uint64_t p99_saved_pct =
+      l6_seq_p99 > 0 && l6_packed_p99 < l6_seq_p99
+          ? static_cast<std::uint64_t>(100.0 * (l6_seq_p99 - l6_packed_p99) / l6_seq_p99)
+          : 0;
+  report.metrics().GetCounter("parallelism.p99_saved_pct_l6").Set(p99_saved_pct);
+  report.Write();
   return 0;
 }

@@ -1,10 +1,12 @@
 #include "dataplane/data_plane.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 #include "common/faultinject.h"
 #include "common/logging.h"
+#include "dataplane/nf_deps.h"
 #include "switchsim/compiler/plan_cache.h"
 
 namespace sfp::dataplane {
@@ -119,27 +121,9 @@ nf::NetworkFunction* DataPlane::PhysicalNf(int stage, nf::NfType type) {
   return slot != nullptr ? slot->nf.get() : nullptr;
 }
 
-AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_passes) {
-  AllocationResult result;
-  const int pass_limit = max_passes.value_or(pipeline_.config().max_passes);
-
-  if (sfc.chain.empty()) {
-    result.code = AllocCode::kEmptyChain;
-    result.error = "empty chain";
-    return result;
-  }
-  if (allocations_.contains(sfc.tenant)) {
-    result.code = AllocCode::kAlreadyAllocated;
-    result.error = "tenant already allocated";
-    return result;
-  }
-
-  // ---- plan (pure): match logical NFs to physical slots --------------
-  struct PlanStep {
-    PhysicalNfSlot* slot;
-    NfPlacement placement;
-  };
-  std::vector<PlanStep> plan;
+bool DataPlane::PlanSequential(const Sfc& sfc, int pass_limit,
+                               std::vector<PlanStep>& plan) {
+  plan.clear();
   // Prospective extra entries per table, so capacity checks account for
   // earlier NFs of this same SFC landing in the same table.
   std::map<const switchsim::MatchActionTable*, std::int64_t> pending;
@@ -166,16 +150,179 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
       // the pipeline in the next pass").
       ++pass;
       cursor = 0;
-      if (pass >= pass_limit) {
-        result.code = AllocCode::kNoPlacement;
-        result.error = "cannot place NF '" + std::string(nf::NfFullName(logical.type)) +
-                       "' within the recirculation budget";
-        return result;
-      }
+      if (pass >= pass_limit) return false;
     }
     pending[chosen->table] += entries;
-    plan.push_back({chosen, NfPlacement{chosen->stage, pass}});
+    plan.push_back({chosen, NfPlacement{chosen->stage, pass}, false});
   }
+  return true;
+}
+
+bool DataPlane::PlanPacked(const Sfc& sfc, int pass_limit, std::vector<PlanStep>& plan,
+                           std::vector<std::uint64_t>& rejects) {
+  const std::size_t n = sfc.chain.size();
+  plan.assign(n, PlanStep{});
+
+  // Precedence edges: a conflicting pair (i before j in the chain)
+  // must also execute in that order on the switch — either pass(i) <
+  // pass(j), or the same pass with stage(i) < stage(j), which is
+  // exactly the §IV same-pass semantics. An independent pair carries
+  // no edge at all: either side may run first, even in an earlier
+  // pass. Runs of mutually independent NFs (MergeRuns) are the
+  // edge-free special case and collapse into one pass here.
+  std::vector<NfEffects> effects;
+  effects.reserve(n);
+  for (const auto& logical : sfc.chain) effects.push_back(SummarizeNf(logical));
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      MergeReject why = MergeReject::kNone;
+      if (!Independent(effects[i], effects[j], &why)) {
+        preds[j].push_back(i);
+        ++rejects[static_cast<std::size_t>(why)];
+      }
+    }
+  }
+
+  // Greedy list scheduling in chain order: each NF takes the earliest
+  // (pass, stage) that (a) hosts its type with table capacity left,
+  // (b) is not already claimed by this chain in that pass (two logical
+  // NFs in one table would merge their (tenant, pass) rule sets), and
+  // (c) executes after every conflicting predecessor.
+  std::map<const switchsim::MatchActionTable*, std::int64_t> pending;
+  std::vector<std::vector<const switchsim::MatchActionTable*>> claimed(
+      static_cast<std::size_t>(pass_limit));
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& logical = sfc.chain[j];
+    const std::int64_t entries = static_cast<std::int64_t>(logical.rules.size()) + 1;
+    PhysicalNfSlot* chosen = nullptr;
+    int chosen_pass = 0;
+    for (int p = 0; p < pass_limit && chosen == nullptr; ++p) {
+      // Stage floor within pass p from the precedence edges; a
+      // predecessor scheduled after pass p rules the pass out.
+      int floor = 0;
+      bool feasible = true;
+      for (const std::size_t i : preds[j]) {
+        if (plan[i].placement.pass > p) {
+          feasible = false;
+          break;
+        }
+        if (plan[i].placement.pass == p) {
+          floor = std::max(floor, plan[i].placement.stage + 1);
+        }
+      }
+      if (!feasible) continue;
+      const auto& used = claimed[static_cast<std::size_t>(p)];
+      for (int k = floor; k < pipeline_.num_stages(); ++k) {
+        auto* slot = FindSlot(k, logical.type);
+        if (slot == nullptr) continue;
+        if (std::find(used.begin(), used.end(), slot->table) != used.end()) continue;
+        const std::int64_t already = pending[slot->table];
+        if (!pipeline_.stage(k).CanAddEntries(*slot->table, already + entries)) continue;
+        chosen = slot;
+        chosen_pass = p;
+        break;
+      }
+    }
+    if (chosen == nullptr) return false;  // no pass within the budget fits
+    pending[chosen->table] += entries;
+    claimed[static_cast<std::size_t>(chosen_pass)].push_back(chosen->table);
+    plan[j] = PlanStep{chosen, NfPlacement{chosen->stage, chosen_pass}, false};
+  }
+  return true;
+}
+
+int DataPlane::AssignRecMarks(std::vector<PlanStep>& plan) const {
+  // Execution order within a pass is (stage, table position within the
+  // stage) — the interpreter walks stages in order and each stage's
+  // tables in creation order. The last-executed step of every
+  // non-final pass carries REC so the packet recirculates into the
+  // next pass.
+  auto exec_key = [this](const PlanStep& step) {
+    const auto& tables = pipeline_.stage(step.placement.stage).tables();
+    int table_pos = 0;
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (tables[t].get() == step.slot->table) {
+        table_pos = static_cast<int>(t);
+        break;
+      }
+    }
+    return std::pair<int, int>(step.placement.stage, table_pos);
+  };
+
+  int total_passes = 0;
+  for (const PlanStep& step : plan) {
+    total_passes = std::max(total_passes, step.placement.pass + 1);
+  }
+  std::vector<std::size_t> last(static_cast<std::size_t>(total_passes));
+  std::vector<bool> seen(static_cast<std::size_t>(total_passes), false);
+  for (std::size_t j = 0; j < plan.size(); ++j) {
+    const auto p = static_cast<std::size_t>(plan[j].placement.pass);
+    if (!seen[p] || exec_key(plan[last[p]]) < exec_key(plan[j])) {
+      last[p] = j;
+      seen[p] = true;
+    }
+    plan[j].rec = false;
+  }
+  for (int p = 0; p + 1 < total_passes; ++p) {
+    plan[last[static_cast<std::size_t>(p)]].rec = true;
+  }
+  return total_passes;
+}
+
+AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_passes) {
+  AllocationResult result;
+  const int pass_limit = max_passes.value_or(pipeline_.config().max_passes);
+
+  if (sfc.chain.empty()) {
+    result.code = AllocCode::kEmptyChain;
+    result.error = "empty chain";
+    return result;
+  }
+  if (allocations_.contains(sfc.tenant)) {
+    result.code = AllocCode::kAlreadyAllocated;
+    result.error = "tenant already allocated";
+    return result;
+  }
+
+  // ---- plan (pure): match logical NFs to physical slots --------------
+  std::vector<PlanStep> plan;
+  std::vector<PlanStep> sequential;
+  const bool sequential_ok = PlanSequential(sfc, pass_limit, sequential);
+  const int sequential_passes = sequential_ok ? AssignRecMarks(sequential) : 0;
+
+  switchsim::Pipeline::PassPackingStats stats;
+  bool use_packed = false;
+  int total_passes = sequential_passes;
+  if (pipeline_.config().nf_parallelism) {
+    std::vector<std::uint64_t> rejects(3, 0);
+    std::vector<PlanStep> packed;
+    const bool packed_ok = PlanPacked(sfc, pass_limit, packed, rejects);
+    const int packed_passes = packed_ok ? AssignRecMarks(packed) : 0;
+    stats.reject_field_conflict =
+        rejects[static_cast<std::size_t>(MergeReject::kFieldConflict)];
+    stats.reject_drop_gate = rejects[static_cast<std::size_t>(MergeReject::kDropGate)];
+    // Never-worse fallback: keep the sequential reference layout when
+    // greedy packing needs at least as many passes (or failed).
+    use_packed = packed_ok && (!sequential_ok || packed_passes < sequential_passes);
+    if (sequential_ok && packed_ok && packed_passes >= sequential_passes) {
+      stats.fallback_sequential = 1;
+    }
+    if (use_packed) {
+      plan = std::move(packed);
+      total_passes = packed_passes;
+    }
+  }
+  if (!use_packed) {
+    if (!sequential_ok) {
+      result.code = AllocCode::kNoPlacement;
+      result.error = "cannot place the chain within the recirculation budget";
+      return result;
+    }
+    plan = std::move(sequential);
+  }
+  stats.sequential = static_cast<std::uint64_t>(sequential_passes);
+  stats.packed = static_cast<std::uint64_t>(total_passes);
 
   // ---- install: copy rules with the (tenant, pass) prefix ------------
   // A rule install can fail transiently under fault injection
@@ -194,14 +341,12 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
     result.error = std::string("transient rule-install failure (") + where + ")";
   };
 
-  const int total_passes = plan.back().placement.pass + 1;
   for (std::size_t j = 0; j < plan.size(); ++j) {
     const auto& step = plan[j];
     const auto& logical = sfc.chain[j];
-    const bool last_in_pass =
-        j + 1 == plan.size() || plan[j + 1].placement.pass != step.placement.pass;
-    // Only non-final passes recirculate.
-    const bool rec = last_in_pass && step.placement.pass + 1 < total_passes;
+    // AssignRecMarks flagged the execution-order-last step of every
+    // non-final pass.
+    const bool rec = step.rec;
 
     for (const auto& rule : logical.rules) {
       const std::string action_name = rec ? rule.action + "_rec" : rule.action;
@@ -240,6 +385,8 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
 
   result.ok = true;
   result.passes = total_passes;
+  result.sequential_passes = sequential_passes;
+  if (pipeline_.config().nf_parallelism) pipeline_.RecordPassPacking(stats);
   allocations_[sfc.tenant] = result;
   // The tenant's rules just changed under any previously compiled plan
   // (re-admission after departure); the per-packet epoch check would

@@ -59,6 +59,11 @@ struct AllocationResult {
   std::vector<NfPlacement> placements;
   /// Total passes the tenant's traffic makes (R_l + 1).
   int passes = 0;
+  /// Passes the chain-order reference plan needs (== passes unless
+  /// SwitchConfig::nf_parallelism packed independent NFs together; 0
+  /// when even the sequential plan is infeasible within the pass
+  /// budget but packing found a layout).
+  int sequential_passes = 0;
 
   /// True when retrying the same call may succeed (injected transient
   /// install failure rather than a deterministic capacity/shape miss).
@@ -192,6 +197,34 @@ class DataPlane {
 
   PhysicalNfSlot* FindSlot(int stage, nf::NfType type);
   const PhysicalNfSlot* FindSlot(int stage, nf::NfType type) const;
+
+  /// One planned rule-copy target: which physical slot hosts logical
+  /// NF j, at which (stage, pass), and whether its rules carry the REC
+  /// variant (execution-order-last step of a non-final pass).
+  struct PlanStep {
+    PhysicalNfSlot* slot = nullptr;
+    NfPlacement placement;
+    bool rec = false;
+  };
+
+  /// Chain-order §IV planner: each NF lands at the nearest later stage
+  /// of its type with spare memory; the chain folds into the next pass
+  /// at the pipeline end. Pure (no installs). Returns false when the
+  /// chain cannot be placed within `pass_limit` (plan is then invalid).
+  bool PlanSequential(const Sfc& sfc, int pass_limit, std::vector<PlanStep>& plan);
+
+  /// Dependency-aware planner (DESIGN.md "Intra-chain NF parallelism"):
+  /// partitions the chain into maximal runs of mutually independent
+  /// NFs (nf_deps.h) and places each run inside one pass, so
+  /// out-of-order but commuting NFs stop forcing recirculations.
+  /// `rejects` tallies failed merges by MergeReject. Pure.
+  bool PlanPacked(const Sfc& sfc, int pass_limit, std::vector<PlanStep>& plan,
+                  std::vector<std::uint64_t>& rejects);
+
+  /// Marks the execution-order-last step of every non-final pass with
+  /// the REC flag (stage order, then table order within the stage —
+  /// the interpreter's execution order) and returns the pass count.
+  int AssignRecMarks(std::vector<PlanStep>& plan) const;
 
   /// Drops `tenant`'s compiled plan after a rule mutation (no-op while
   /// the compiler is off or the tenant has no cached plan).

@@ -1,0 +1,90 @@
+#include "dataplane/nf_deps.h"
+
+#include <algorithm>
+
+#include "switchsim/compiler/ir.h"
+
+namespace sfp::dataplane {
+
+using switchsim::compiler::FieldBit;
+using switchsim::compiler::IsWildcardMatch;
+using switchsim::compiler::kNoFields;
+
+NfEffects SummarizeNf(const nf::NfConfig& config) {
+  NfEffects effects;
+  const auto nf = nf::MakeNf(config.type);
+  const auto key = nf->KeySpec();
+  for (const auto& rule : config.rules) {
+    // Match-key reads: only fields this rule concretely constrains — a
+    // wildcarded key field cannot influence the lookup result (same
+    // test the compiler's lift uses for IrSlot::reads). Rules with
+    // fewer patterns than key fields are malformed and rejected at
+    // install; treat the overlap defensively.
+    const std::size_t fields = std::min(rule.matches.size(), key.size());
+    for (std::size_t f = 0; f < fields; ++f) {
+      if (!IsWildcardMatch(rule.matches[f], key[f].kind, key[f].field)) {
+        effects.reads |= FieldBit(key[f].field);
+      }
+    }
+    const auto traits = nf->TraitsOf(rule.action);
+    effects.reads |= traits.reads;
+    effects.writes |= traits.writes;
+    effects.may_drop = effects.may_drop || traits.may_drop;
+    effects.stateful = effects.stateful || traits.stateful;
+  }
+  return effects;
+}
+
+bool Independent(const NfEffects& a, const NfEffects& b, MergeReject* why) {
+  if ((a.writes & b.reads) != kNoFields || (b.writes & a.reads) != kNoFields ||
+      (a.writes & b.writes) != kNoFields) {
+    if (why != nullptr) *why = MergeReject::kFieldConflict;
+    return false;
+  }
+  // A stateful NF reordered before a dropper would charge its state
+  // (e.g. token buckets) for packets the dropper kills, diverging
+  // future verdicts. Two stateless droppers commute: the drop set is
+  // the union either way and the reason is kNfAction in both orders.
+  if ((a.may_drop && b.stateful) || (b.may_drop && a.stateful)) {
+    if (why != nullptr) *why = MergeReject::kDropGate;
+    return false;
+  }
+  if (why != nullptr) *why = MergeReject::kNone;
+  return true;
+}
+
+std::vector<int> MergeRuns(const std::vector<nf::NfConfig>& chain,
+                           std::vector<std::uint64_t>* rejects) {
+  std::vector<int> run_of(chain.size(), 0);
+  if (chain.empty()) return run_of;
+
+  std::vector<NfEffects> effects;
+  effects.reserve(chain.size());
+  for (const auto& config : chain) effects.push_back(SummarizeNf(config));
+
+  int run = 0;
+  std::size_t run_begin = 0;
+  for (std::size_t j = 1; j < chain.size(); ++j) {
+    MergeReject first_reject = MergeReject::kNone;
+    bool joins = true;
+    for (std::size_t m = run_begin; m < j; ++m) {
+      MergeReject why = MergeReject::kNone;
+      if (!Independent(effects[m], effects[j], &why)) {
+        joins = false;
+        if (first_reject == MergeReject::kNone) first_reject = why;
+        break;
+      }
+    }
+    if (!joins) {
+      if (rejects != nullptr) {
+        ++(*rejects)[static_cast<std::size_t>(first_reject)];
+      }
+      ++run;
+      run_begin = j;
+    }
+    run_of[j] = run;
+  }
+  return run_of;
+}
+
+}  // namespace sfp::dataplane

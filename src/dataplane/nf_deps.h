@@ -1,0 +1,75 @@
+// NF dependency analysis for intra-chain parallelism (DESIGN.md,
+// "Intra-chain NF parallelism").
+//
+// Two adjacent NFs of a tenant chain may share a recirculation pass —
+// saving one ≈341 ns pass plus recirculation-port bandwidth — iff
+// reordering them is unobservable. This module aggregates each logical
+// NF's read/write/drop/state footprint from its rules and the NF
+// library's ActionTraits, and decides pairwise independence:
+//
+//   A ∥ B  iff  writes(A) ∩ reads(B) = ∅
+//          and  writes(B) ∩ reads(A) = ∅
+//          and  writes(A) ∩ writes(B) = ∅
+//          and  neither's drop decision gates the other's state
+//               (¬(may_drop(A) ∧ stateful(B)) ∧ ¬(may_drop(B) ∧ stateful(A)))
+//
+// reads(X) = the match-key fields X's rules actually constrain (a
+// wildcarded key field is not a read — the lookup result cannot depend
+// on it) plus the action bodies' declared reads. writes(X) = the
+// action bodies' declared writes, including the virtual effect bits
+// (egress port, scratch, TTL) that no key can match but ProcessResult
+// exposes. DataPlane::AllocateSfc turns every *dependent* pair into a
+// directed ordering edge (keep chain order across passes, or by stage
+// within one pass) and list-schedules the chain under those edges;
+// runs of mutually independent NFs (MergeRuns) are the edge-free
+// special case and collapse into a single pass (see data_plane.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nf/nf.h"
+#include "switchsim/compiler/action_traits.h"
+
+namespace sfp::dataplane {
+
+/// Aggregated footprint of one logical NF (rules + action traits).
+struct NfEffects {
+  switchsim::compiler::FieldSet reads = switchsim::compiler::kNoFields;
+  switchsim::compiler::FieldSet writes = switchsim::compiler::kNoFields;
+  /// Any rule's action may drop the packet.
+  bool may_drop = false;
+  /// Any rule's action mutates NF-instance state.
+  bool stateful = false;
+};
+
+/// Why a candidate NF could not join the run under construction.
+enum class MergeReject : std::uint8_t {
+  kNone = 0,
+  /// A field-level conflict (read-after-write, write-after-read, or
+  /// write-after-write) with a run member.
+  kFieldConflict,
+  /// A drop decision would gate a stateful member (or vice versa).
+  kDropGate,
+};
+
+/// Summarizes `config`'s rules against its NF type's key spec and
+/// action traits. Unknown action names aggregate as fully conservative
+/// (reads/writes everything, may drop, stateful), so they never merge.
+NfEffects SummarizeNf(const nf::NfConfig& config);
+
+/// True iff A and B commute (see the relation above). When false and
+/// `why` is non-null, *why names the first violated clause.
+bool Independent(const NfEffects& a, const NfEffects& b, MergeReject* why = nullptr);
+
+/// Partitions `chain` into maximal runs of mutually independent NFs:
+/// returns one entry per chain element giving its run index (runs are
+/// contiguous, numbered 0, 1, ... in chain order). A candidate joins
+/// the current run only if independent of *every* member. Each failed
+/// join is tallied into `rejects` by reason (field conflicts before
+/// drop gates when both apply — Independent reports the first clause).
+/// `rejects` must have at least 3 elements (indexable by MergeReject).
+std::vector<int> MergeRuns(const std::vector<nf::NfConfig>& chain,
+                           std::vector<std::uint64_t>* rejects = nullptr);
+
+}  // namespace sfp::dataplane

@@ -83,13 +83,22 @@ std::vector<NfRule> LoadBalancer::GenerateRules(Rng& rng, int count) const {
 
 switchsim::compiler::ActionTraits LoadBalancer::TraitsOf(const std::string& action) const {
   using switchsim::compiler::ActionTraits;
+  using switchsim::FieldId;
+  using switchsim::compiler::FieldBit;
   if (action == "set_backend") return ActionTraits::SetBackend();
-  // pool_select is stateful (hashes into this instance's pools), so it
-  // stays an opaque call — but its write set is known, which keeps it
-  // fusable.
+  // pool_select hashes the 5-tuple into this instance's pools, so it
+  // stays an opaque call — but its effects are known, which keeps it
+  // fusable and packable: it reads the hash inputs, rewrites the
+  // destination (and scratch), and the pool table itself is
+  // configuration, not per-packet state.
   if (action == "pool_select") {
-    return ActionTraits::Opaque(switchsim::compiler::FieldBit(switchsim::FieldId::kDstIp),
-                                /*may_drop=*/false);
+    return ActionTraits::Opaque(
+        FieldBit(FieldId::kDstIp) | switchsim::compiler::kEffectScratch,
+        /*may_drop=*/false,
+        FieldBit(FieldId::kSrcIp) | FieldBit(FieldId::kDstIp) |
+            FieldBit(FieldId::kSrcPort) | FieldBit(FieldId::kDstPort) |
+            FieldBit(FieldId::kIpProto),
+        /*stateful=*/false);
   }
   return ActionTraits::Opaque();
 }

@@ -79,9 +79,13 @@ std::vector<NfRule> RateLimiter::GenerateRules(Rng& rng, int count) const {
 switchsim::compiler::ActionTraits RateLimiter::TraitsOf(const std::string& action) const {
   using switchsim::compiler::ActionTraits;
   // police mutates the shared token bucket and may drop, but writes no
-  // matchable field.
+  // matchable field and reads only the packet's size and timestamp
+  // (neither is writable by any action). stateful: its verdict depends
+  // on which packets drained the bucket before, so the pass packer
+  // must not reorder it relative to dropping actions.
   if (action == "police") {
-    return ActionTraits::Opaque(switchsim::compiler::kNoFields, /*may_drop=*/true);
+    return ActionTraits::Opaque(switchsim::compiler::kNoFields, /*may_drop=*/true,
+                                switchsim::compiler::kNoFields, /*stateful=*/true);
   }
   return ActionTraits::Opaque();
 }

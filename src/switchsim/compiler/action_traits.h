@@ -1,19 +1,24 @@
-// Action metadata consumed by the pipeline compiler.
+// Action metadata consumed by the pipeline compiler and the data
+// plane's pass packer.
 //
 // The compiler specializes a tenant's tables into straight-line match
 // code, so it must know what each registered action *does* without
 // peeking inside its std::function: which match-relevant fields it may
-// write (for the match-fusion pass), whether it can drop, and whether
-// it has an inline opcode the executor can dispatch without the
-// std::function call. NF implementations declare these traits
+// read or write (for the match-fusion pass and the dependency-aware
+// pass packer, DESIGN.md "Intra-chain NF parallelism"), whether it can
+// drop, whether it mutates NF-instance state, and whether it has an
+// inline opcode the executor can dispatch without the std::function
+// call. NF implementations declare these traits
 // (NetworkFunction::TraitsOf); DataPlane aggregates them per table into
-// an ActionMetadata when compiled plans are enabled.
+// an ActionMetadata when compiled plans are enabled, and per logical NF
+// into NfEffects (dataplane/nf_deps.h) when pass packing is enabled.
 //
 // Traits are an optimization contract, not a correctness one: an action
 // with no traits (or whose args don't fit its inline opcode) compiles
 // to Kind::kOpaque — the executor calls the registered callback, which
-// is always exact — with maximally conservative writes/may_drop, so
-// fusion and folding simply stay out of its way.
+// is always exact — with maximally conservative reads/writes/may_drop/
+// stateful, so fusion, folding and pass packing simply stay out of its
+// way.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +33,11 @@ namespace sfp::switchsim::compiler {
 /// Number of FieldId enumerators (kTenantId .. kEthType).
 inline constexpr unsigned kNumFields = 10;
 
-/// Bitmask over FieldId: the match-relevant fields an action writes.
+/// Bitmask over FieldId plus the virtual effect bits below. The low
+/// kNumFields bits are the match-relevant fields; higher bits name
+/// observable packet/metadata state that no table can match on but
+/// that actions still read or write (the pass packer must order
+/// around them; match fusion ignores them since no key reads them).
 using FieldSet = std::uint32_t;
 
 constexpr FieldSet FieldBit(FieldId field) {
@@ -37,6 +46,19 @@ constexpr FieldSet FieldBit(FieldId field) {
 
 inline constexpr FieldSet kNoFields = 0;
 inline constexpr FieldSet kAllFields = (FieldSet{1} << kNumFields) - 1;
+
+/// Virtual effect bits: observable action effects outside the
+/// matchable field space. kEgressPort and kScratch live in PacketMeta,
+/// kTtl in the packet bytes; all three are visible in ProcessResult,
+/// so reordering an action that writes one past an action that reads
+/// (or also writes) it would be observable.
+inline constexpr FieldSet kEffectEgressPort = FieldSet{1} << kNumFields;
+inline constexpr FieldSet kEffectScratch = FieldSet{1} << (kNumFields + 1);
+inline constexpr FieldSet kEffectTtl = FieldSet{1} << (kNumFields + 2);
+inline constexpr FieldSet kAllEffects = kEffectEgressPort | kEffectScratch | kEffectTtl;
+
+/// Conservative "may touch anything" mask (fields + effects).
+inline constexpr FieldSet kAllState = kAllFields | kAllEffects;
 
 /// What the compiler may assume about one registered action.
 struct ActionTraits {
@@ -65,29 +87,50 @@ struct ActionTraits {
   };
 
   Kind kind = Kind::kOpaque;
-  /// Match-relevant fields the action may write. The default is
-  /// everything: an undeclared action blocks fusion across it.
-  FieldSet writes = kAllFields;
+  /// Fields and effects the action may write. The default is
+  /// everything: an undeclared action blocks fusion and packing
+  /// across it.
+  FieldSet writes = kAllState;
   bool may_drop = true;
   /// True for the data plane's "_rec" variants: after the action body,
   /// request recirculation unless the packet dropped (the REC wrapper
   /// of RegisterWithRecVariant). Set by DataPlane, not by the NF.
   bool recirculate = false;
+  /// Fields and effects the action body reads (match-key reads are
+  /// accounted separately, from the installed rules' concrete
+  /// patterns — see dataplane/nf_deps.cc).
+  FieldSet reads = kAllState;
+  /// True when the action mutates NF-instance state (rate-limiter
+  /// token buckets): its outcome depends on which packets reached it
+  /// before, so it must not be reordered relative to any action that
+  /// can drop (DESIGN.md, "Intra-chain NF parallelism").
+  bool stateful = true;
 
-  static ActionTraits Opaque(FieldSet writes = kAllFields, bool may_drop = true) {
-    return {Kind::kOpaque, writes, may_drop, false};
+  static ActionTraits Opaque(FieldSet writes = kAllState, bool may_drop = true,
+                             FieldSet reads = kAllState, bool stateful = true) {
+    return {Kind::kOpaque, writes, may_drop, false, reads, stateful};
   }
-  static ActionTraits Noop() { return {Kind::kNoop, kNoFields, false, false}; }
-  static ActionTraits Drop() { return {Kind::kDrop, kNoFields, true, false}; }
+  static ActionTraits Noop() {
+    return {Kind::kNoop, kNoFields, false, false, kNoFields, false};
+  }
+  static ActionTraits Drop() {
+    return {Kind::kDrop, kNoFields, true, false, kNoFields, false};
+  }
   static ActionTraits SetFlowClass() {
-    return {Kind::kSetFlowClass, FieldBit(FieldId::kFlowClass), false, false};
+    return {Kind::kSetFlowClass, FieldBit(FieldId::kFlowClass), false, false, kNoFields,
+            false};
   }
-  static ActionTraits Route() { return {Kind::kRoute, kNoFields, true, false}; }
+  static ActionTraits Route() {
+    // Writes the egress port and decrements TTL (reading it first);
+    // drops at TTL zero.
+    return {Kind::kRoute, kEffectEgressPort | kEffectTtl, true, false, kEffectTtl, false};
+  }
   static ActionTraits SetBackend() {
-    return {Kind::kSetBackend, FieldBit(FieldId::kDstIp), false, false};
+    return {Kind::kSetBackend, FieldBit(FieldId::kDstIp) | kEffectScratch, false, false,
+            kNoFields, false};
   }
   static ActionTraits SetSrcIp() {
-    return {Kind::kSetSrcIp, FieldBit(FieldId::kSrcIp), false, false};
+    return {Kind::kSetSrcIp, FieldBit(FieldId::kSrcIp), false, false, kNoFields, false};
   }
 };
 

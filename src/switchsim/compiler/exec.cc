@@ -244,15 +244,20 @@ void Pipeline::ExecuteCompiled(const compiler::CompiledPlan& plan,
       // Eager matching (the fusion pass guarantees no member's action
       // writes a field a later member reads): resolve each slot's
       // winning entry index before any action runs.
+      // winner[] is indexed by *live* slot position: dead slots never
+      // resolve an entry, and the fusion cap (kMaxFusedSlots) counts
+      // only live members, so a group may hold more total slots than
+      // winner has entries.
       std::int32_t winner[compiler::kMaxFusedSlots];
+      std::uint32_t live = 0;
       for (std::uint32_t s = 0; s < group.slot_count; ++s) {
         const compiler::CompiledSlot& slot = pass.slots[group.slot_begin + s];
-        winner[s] = -1;
+        if (slot.kind == SlotKind::kDead) continue;
+        winner[live] = -1;
         if (slot.kind == SlotKind::kAlways) {
-          winner[s] = 0;
+          winner[live++] = 0;
           continue;
         }
-        if (slot.kind == SlotKind::kDead) continue;
         const std::size_t entries = slot.op_begin.size();
         for (std::size_t e = 0; e < entries; ++e) {
           const std::uint32_t begin = slot.op_begin[e];
@@ -267,14 +272,18 @@ void Pipeline::ExecuteCompiled(const compiler::CompiledPlan& plan,
           if (match) {
             // Entries are pre-sorted in winner order, so the first
             // full match is the lookup winner.
-            winner[s] = static_cast<std::int32_t>(e);
+            winner[live] = static_cast<std::int32_t>(e);
             break;
           }
         }
+        ++live;
       }
-      // Commit counters and run actions in slot (program) order.
+      // Commit counters and run actions in slot (program) order. Dead
+      // slots take the miss/default path without consuming a winner.
+      live = 0;
       for (std::uint32_t s = 0; s < group.slot_count; ++s) {
         const compiler::CompiledSlot& slot = pass.slots[group.slot_begin + s];
+        const std::int32_t w = slot.kind == SlotKind::kDead ? -1 : winner[live++];
         if (slot.stage != current_stage) {
           // Cross stage boundaries in O(1): the stage being left
           // contributes its activity flag once; every stage skipped
@@ -285,10 +294,10 @@ void Pipeline::ExecuteCompiled(const compiler::CompiledPlan& plan,
           current_stage = slot.stage;
         }
         compiler::PlanDeltas::TableCounts& counts = deltas.tables[slot.table_index];
-        if (winner[s] >= 0) {
+        if (w >= 0) {
           counts.hits += 1;
           stage_active = true;
-          compiler::ApplyAction(plan, slot.actions[static_cast<std::size_t>(winner[s])],
+          compiler::ApplyAction(plan, slot.actions[static_cast<std::size_t>(w)],
                                 result.packet, result.meta);
         } else {
           counts.misses += 1;

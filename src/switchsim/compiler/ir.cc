@@ -114,7 +114,9 @@ std::uint64_t FieldMaxValue(FieldId field) {
 bool IsWildcardMatch(const FieldMatch& match, MatchKind kind, FieldId field) {
   switch (kind) {
     case MatchKind::kExact:
-      return false;  // exact fields always constrain the packet
+      // mask == 0 is FieldMatch::Any(): even exact-kind fields can be
+      // wildcarded (per-pass catch-alls on exact-key NFs).
+      return match.mask == 0;
     case MatchKind::kTernary:
       return match.mask == 0;
     case MatchKind::kLpm:

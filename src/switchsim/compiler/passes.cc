@@ -58,7 +58,14 @@ int MatchFusion(TenantIr& ir) {
       // no earlier member's action can write a field this slot reads
       // (actions still run in slot order, so write-before-write and
       // read-own-write hazards cannot arise).
-      const bool join = group_size > 0 && group_size < kMaxFusedSlots &&
+      // kMaxFusedSlots caps the *live* members: only they consume a
+      // winner index at execution time, so dead slots never split a
+      // group. Packed multi-NF passes (DESIGN.md "Intra-chain NF
+      // parallelism") rely on this to keep one extraction group per
+      // recirculation pass.
+      const bool join = group_size > 0 &&
+                        group_live + (slot.kind != SlotKind::kDead ? 1 : 0) <=
+                            kMaxFusedSlots &&
                         (slot.reads & group_writes) == kNoFields;
       if (!join) {
         ++group;

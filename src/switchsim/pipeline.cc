@@ -347,6 +347,26 @@ void Pipeline::ProcessBatchInto(std::span<const net::Packet> packets,
   });
 }
 
+void Pipeline::RecordPassPacking(const PassPackingStats& stats) {
+  if (stats.sequential != 0) passes_sequential_.Add(stats.sequential);
+  if (stats.packed != 0) passes_packed_.Add(stats.packed);
+  if (stats.reject_field_conflict != 0) {
+    pack_reject_conflict_.Add(stats.reject_field_conflict);
+  }
+  if (stats.reject_drop_gate != 0) pack_reject_gate_.Add(stats.reject_drop_gate);
+  if (stats.fallback_sequential != 0) pack_fallback_.Add(stats.fallback_sequential);
+}
+
+Pipeline::PassPackingStats Pipeline::pass_packing() const {
+  PassPackingStats stats;
+  stats.sequential = passes_sequential_.Value();
+  stats.packed = passes_packed_.Value();
+  stats.reject_field_conflict = pack_reject_conflict_.Value();
+  stats.reject_drop_gate = pack_reject_gate_.Value();
+  stats.fallback_sequential = pack_fallback_.Value();
+  return stats;
+}
+
 void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.packets").Set(packets_.Value());
   registry.GetCounter("pipeline.drops").Set(drops_.Value());
@@ -359,6 +379,15 @@ void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.cache.hits").Set(cache_hits_.Value());
   registry.GetCounter("pipeline.cache.misses").Set(cache_misses_.Value());
   registry.GetCounter("pipeline.cache.evictions").Set(cache_evictions_.Value());
+  registry.GetCounter("pipeline.passes.sequential").Set(passes_sequential_.Value());
+  registry.GetCounter("pipeline.passes.packed").Set(passes_packed_.Value());
+  registry.GetCounter("pipeline.passes.saved")
+      .Set(passes_sequential_.Value() - passes_packed_.Value());
+  registry.GetCounter("pipeline.passes.merge_rejects.field_conflict")
+      .Set(pack_reject_conflict_.Value());
+  registry.GetCounter("pipeline.passes.merge_rejects.drop_gate")
+      .Set(pack_reject_gate_.Value());
+  registry.GetCounter("pipeline.passes.fallback_sequential").Set(pack_fallback_.Value());
   if (plan_cache_ != nullptr) {
     registry.GetCounter("compiler.plans_compiled").Set(plan_cache_->PlansCompiled());
     registry.GetCounter("compiler.recompiles").Set(plan_cache_->Recompiles());

@@ -56,6 +56,13 @@ struct SwitchConfig {
   /// instead of letting it exit with a truncated chain. Off by default
   /// to preserve the historical truncation semantics.
   bool drop_on_recirculation_guard = false;
+  /// Intra-chain NF parallelism (DESIGN.md): when true, AllocateSfc
+  /// packs maximal runs of mutually independent NFs into shared
+  /// recirculation passes instead of placing strictly in chain order.
+  /// Opt-in; off preserves the sequential §IV layout exactly. Packed
+  /// and sequential layouts are verdict- and telemetry-equivalent
+  /// (pass counts and latency excluded — reducing them is the point).
+  bool nf_parallelism = false;
   TimingModel timing;
 };
 
@@ -189,6 +196,26 @@ class Pipeline {
   std::uint64_t flow_cache_misses() const { return cache_misses_.Value(); }
   std::uint64_t flow_cache_evictions() const { return cache_evictions_.Value(); }
 
+  /// Pass-packing tallies from the data plane's allocator (exported as
+  /// pipeline.passes.*; see docs/METRICS.md). All zero unless
+  /// SwitchConfig::nf_parallelism allocations happened.
+  struct PassPackingStats {
+    /// Passes the chain-order reference plan would have used.
+    std::uint64_t sequential = 0;
+    /// Passes the installed (packed) plan uses.
+    std::uint64_t packed = 0;
+    /// Adjacent-NF merges rejected by a field-level conflict.
+    std::uint64_t reject_field_conflict = 0;
+    /// Merges rejected because a drop decision gates a stateful NF.
+    std::uint64_t reject_drop_gate = 0;
+    /// Packed plans discarded for the sequential reference (the
+    /// never-worse fallback: greedy packing needed more passes).
+    std::uint64_t fallback_sequential = 0;
+  };
+  /// Accumulates one allocation's packing tallies (data plane only).
+  void RecordPassPacking(const PassPackingStats& stats);
+  PassPackingStats pass_packing() const;
+
   /// Turns on the per-tenant pipeline compiler (docs/COMPILER.md):
   /// batch workers serve tenants whose rules lift cleanly from a
   /// CompiledPlan and interpret the rest. Results, drops, and counters
@@ -275,6 +302,11 @@ class Pipeline {
   common::metrics::RelaxedCounter cache_hits_;
   common::metrics::RelaxedCounter cache_misses_;
   common::metrics::RelaxedCounter cache_evictions_;
+  common::metrics::RelaxedCounter passes_sequential_;
+  common::metrics::RelaxedCounter passes_packed_;
+  common::metrics::RelaxedCounter pack_reject_conflict_;
+  common::metrics::RelaxedCounter pack_reject_gate_;
+  common::metrics::RelaxedCounter pack_fallback_;
   /// Virtual time at which the recirculation port next frees up.
   common::metrics::RelaxedDouble recirc_busy_until_ns_;
   /// Set by EnableCompiler; shared with the batch workers' per-shard

@@ -74,6 +74,13 @@ bool MatchActionTable::IsPureEntry(const TableEntry& entry) const {
   return true;
 }
 
+bool MatchActionTable::HasWildcardExact(const TableEntry& entry) const {
+  for (const std::size_t f : exact_fields_) {
+    if (entry.matches[f].mask == 0) return true;
+  }
+  return false;
+}
+
 std::vector<std::uint64_t> MatchActionTable::ExactKeyOf(const TableEntry& entry) const {
   std::vector<std::uint64_t> key;
   key.reserve(exact_fields_.size());
@@ -91,6 +98,17 @@ int MatchActionTable::PrefixScore(const TableEntry& entry) const {
 
 void MatchActionTable::IndexEntryLocked(std::size_t index) {
   const TableEntry& entry = entries_[index];
+  if (HasWildcardExact(entry)) {
+    // A wildcarded exact field matches every probe value, so the entry
+    // is unreachable from any single hash bucket; park it in the side
+    // tier (priority desc, handle asc — the new entry has the largest
+    // handle, so it slots after its priority peers).
+    const auto pos = std::upper_bound(
+        wildcard_spill_.begin(), wildcard_spill_.end(), entry.priority,
+        [this](int priority, std::size_t i) { return entries_[i].priority < priority; });
+    wildcard_spill_.insert(pos, index);
+    return;
+  }
   Bucket& bucket = index_[ExactKeyOf(entry)];
   if (IsPureEntry(entry)) {
     // The pure tier's winner is fully determined at install time:
@@ -115,6 +133,7 @@ void MatchActionTable::IndexEntryLocked(std::size_t index) {
 
 void MatchActionTable::RebuildIndexLocked() {
   index_.clear();
+  wildcard_spill_.clear();
   for (std::size_t i = 0; i < entries_.size(); ++i) IndexEntryLocked(i);
 }
 
@@ -202,28 +221,55 @@ const TableEntry* MatchActionTable::LookupIndexedLocked(const std::uint64_t* val
   std::size_t n = 0;
   for (const std::size_t f : exact_fields_) exact[n++] = values[f];
   const auto it = index_.find(std::span<const std::uint64_t>(exact, n));
-  if (it == index_.end()) return nullptr;
-  const Bucket& bucket = it->second;
 
   const TableEntry* best = nullptr;
   int best_priority = 0;
   int best_prefix = -1;
   EntryHandle best_handle = 0;
-  if (bucket.pure != Bucket::npos) {
-    best = &entries_[bucket.pure];
-    best_priority = best->priority;
-    best_prefix = PrefixScore(*best);
-    best_handle = best->handle;
+  if (it != index_.end()) {
+    const Bucket& bucket = it->second;
+    if (bucket.pure != Bucket::npos) {
+      best = &entries_[bucket.pure];
+      best_priority = best->priority;
+      best_prefix = PrefixScore(*best);
+      best_handle = best->handle;
+    }
+    for (const std::size_t index : bucket.spill) {
+      const TableEntry& entry = entries_[index];
+      // Spill is priority-sorted: once the candidate's priority falls
+      // below the best match, nothing later can outrank it (equal
+      // priority can still win on LPM prefix, so only strictly-lower
+      // priorities are skipped).
+      if (best != nullptr && entry.priority < best_priority) break;
+      bool match = true;
+      for (const std::size_t f : nonexact_fields_) {
+        if (!FieldMatches(entry.matches[f], key_[f].kind, values[f])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      const int prefix = PrefixScore(entry);
+      if (best == nullptr || entry.priority > best_priority ||
+          (entry.priority == best_priority &&
+           (prefix > best_prefix ||
+            (prefix == best_prefix && entry.handle < best_handle)))) {
+        best = &entry;
+        best_priority = entry.priority;
+        best_prefix = prefix;
+        best_handle = entry.handle;
+      }
+    }
   }
-  for (const std::size_t index : bucket.spill) {
+  // Side tier: entries with a wildcarded exact field (per-pass
+  // catch-alls on exact-key NFs). Same priority-sorted early break;
+  // concrete fields — exact and non-exact alike — are verified in
+  // full because the hash probe never vetted them.
+  for (const std::size_t index : wildcard_spill_) {
     const TableEntry& entry = entries_[index];
-    // Spill is priority-sorted: once the candidate's priority falls
-    // below the best match, nothing later can outrank it (equal
-    // priority can still win on LPM prefix, so only strictly-lower
-    // priorities are skipped).
     if (best != nullptr && entry.priority < best_priority) break;
     bool match = true;
-    for (const std::size_t f : nonexact_fields_) {
+    for (std::size_t f = 0; f < key_.size(); ++f) {
       if (!FieldMatches(entry.matches[f], key_[f].kind, values[f])) {
         match = false;
         break;

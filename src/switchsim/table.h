@@ -217,6 +217,10 @@ class MatchActionTable {
   /// True if `entry` qualifies for the pure hash tier (every non-exact
   /// key field is a full wildcard).
   bool IsPureEntry(const TableEntry& entry) const;
+  /// True if `entry` wildcards at least one exact-kind key field
+  /// (mask == 0, the FieldMatch::Any() signature) and therefore lives
+  /// in wildcard_spill_ instead of the value-hashed index.
+  bool HasWildcardExact(const TableEntry& entry) const;
   std::vector<std::uint64_t> ExactKeyOf(const TableEntry& entry) const;
   /// Adds entries_[index] to the index (incremental insert).
   void IndexEntryLocked(std::size_t index);
@@ -243,6 +247,16 @@ class MatchActionTable {
   std::vector<TableEntry> entries_;
   std::unordered_map<std::vector<std::uint64_t>, Bucket, ExactKeyHash, ExactKeyEqual>
       index_;
+  /// Entries that wildcard at least one exact-kind key field
+  /// (FieldMatch::Any(), mask == 0) cannot live in the value-hashed
+  /// index: they must match *every* probe value for that field. They
+  /// sit in this side tier, sorted by (priority desc, handle asc), and
+  /// are scanned after the bucket with full-key verification. The tier
+  /// is expected to stay tiny — the data plane only puts per-(tenant,
+  /// pass) recirculation catch-alls here — and because such entries
+  /// carry deeply negative priority, the priority-sorted early break
+  /// makes the scan O(1) whenever any real rule matched.
+  std::vector<std::size_t> wildcard_spill_;
   EntryHandle next_handle_ = 1;
   common::metrics::RelaxedCounter hits_;
   common::metrics::RelaxedCounter misses_;

@@ -114,7 +114,10 @@ std::uint64_t GetField(const net::Packet& packet, const PacketMeta& meta, FieldI
 bool FieldMatches(const FieldMatch& match, MatchKind kind, std::uint64_t value) {
   switch (kind) {
     case MatchKind::kExact:
-      return value == match.value;
+      // mask == 0 is the FieldMatch::Any() signature: an exact-kind
+      // field can be wildcarded (used by the data plane's per-pass
+      // catch-alls on NFs whose own key is exact, e.g. NAT/LB).
+      return match.mask == 0 || value == match.value;
     case MatchKind::kTernary:
       return (value & match.mask) == (match.value & match.mask);
     case MatchKind::kLpm: {

@@ -60,6 +60,11 @@ FieldMatch RandomMatch(Rng& rng, const FieldDomain& domain) {
   const bool wildcard = rng.Bernoulli(0.35);
   switch (domain.kind) {
     case MatchKind::kExact:
+      // Exact fields can be wildcarded too (FieldMatch::Any(), the
+      // data plane's per-pass catch-all shape) — such entries live in
+      // the table's wildcard side tier and must agree with the
+      // reference scan like everything else.
+      if (wildcard) return FieldMatch::Any();
       return FieldMatch::Exact(
           static_cast<std::uint64_t>(rng.UniformInt(0, static_cast<std::int64_t>(domain.max_value))));
     case MatchKind::kTernary: {
@@ -177,6 +182,55 @@ TEST_P(IndexEquivalenceTest, IndexedLookupMatchesReferenceUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomTables, IndexEquivalenceTest, ::testing::Range(0, 20));
+
+// Pin the catch-all shape the data plane installs on exact-key NFs
+// (NAT/LB): a low-priority entry with concrete (tenant, pass) prefix
+// and FieldMatch::Any() on the NF's own exact key field must be
+// reachable for *every* probe value, not just value 0 — it lives in
+// the wildcard side tier, loses to any concrete rule, and still honors
+// its own concrete prefix fields.
+TEST(WildcardExactTest, CatchAllOnExactKeyFieldIsReachable) {
+  MatchActionTable table("nat", {{FieldId::kTenantId, MatchKind::kExact},
+                                 {FieldId::kPass, MatchKind::kExact},
+                                 {FieldId::kSrcIp, MatchKind::kExact}});
+  const auto noop =
+      table.RegisterAction("noop", [](net::Packet&, PacketMeta&, const ActionArgs&) {});
+  const auto translate =
+      table.RegisterAction("translate", [](net::Packet&, PacketMeta&, const ActionArgs&) {});
+  const auto rule = table.AddEntry(
+      {FieldMatch::Exact(7), FieldMatch::Exact(0), FieldMatch::Exact(0x0A010203)},
+      translate, {}, 0, 7);
+  const auto catch_all = table.AddEntry(
+      {FieldMatch::Exact(7), FieldMatch::Exact(0), FieldMatch::Any()}, noop, {},
+      -1000, 7);
+  ASSERT_NE(rule, kInvalidEntryHandle);
+  ASSERT_NE(catch_all, kInvalidEntryHandle);
+
+  const auto probe = [&](std::uint16_t tenant, std::uint8_t pass, std::uint32_t src) {
+    auto packet = net::MakeTcpPacket(tenant, Ipv4Address{src},
+                                     Ipv4Address{0x0A000064}, 1024, 80, 64);
+    PacketMeta meta;
+    meta.tenant_id = tenant;
+    meta.pass = pass;
+    return table.Lookup(packet, meta);
+  };
+
+  // Concrete rule wins where it matches; any other source falls
+  // through to the catch-all (this is the recirculation guarantee).
+  const TableEntry* hit = probe(7, 0, 0x0A010203);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->handle, rule);
+  const TableEntry* fallback = probe(7, 0, 0xC0A80001);
+  ASSERT_NE(fallback, nullptr);
+  EXPECT_EQ(fallback->handle, catch_all);
+  // The catch-all's concrete prefix fields still constrain it: other
+  // tenants and other passes miss outright.
+  EXPECT_EQ(probe(8, 0, 0xC0A80001), nullptr);
+  EXPECT_EQ(probe(7, 1, 0xC0A80001), nullptr);
+  // Removal rebuilds the wildcard tier along with the index.
+  EXPECT_TRUE(table.RemoveEntry(catch_all));
+  EXPECT_EQ(probe(7, 0, 0xC0A80001), nullptr);
+}
 
 // The cached Apply path must produce decisions and counters identical
 // to the uncached one, for the same random workload.

@@ -36,10 +36,11 @@ Regenerate baselines (from the repo root, Release build):
       ./build/bench/fig04_throughput   # and fig05_latency,
                                        # ext1_latency_under_load,
                                        # ext2_system_throughput,
+                                       # fig07_recirculation,
                                        # fig08_solver_time, fig09_early_stop,
                                        # fig10_algorithms (solver benches:
                                        # also set SFP_BENCH_IP_CAP=5),
-                                       # ext3_admission_churn
+                                       # ext3_admission_churn, scn_*
 
 Usage:
   tools/compare_bench_json.py --baseline bench/baseline --candidate bench-out
@@ -112,6 +113,16 @@ GATES = [
     (r"compiler\.(plans_compiled|recompiles|invalidations|fallback_tenants|"
      r"fused_stages|dead_tables_eliminated|folded_tables)$", {"exact": True}),
     (r"telemetry\.", {"exact": True}),
+    # Pass-packing telemetry (DESIGN.md "Intra-chain NF parallelism"):
+    # pass counts and merge-reject tallies are pure functions of the
+    # admitted chains and the conflict analysis — byte-reproducible.
+    (r"pipeline\.passes\.", {"exact": True}),
+    # fig07b acceptance floors (integer percent, deterministic for the
+    # fixed seeds): packing must save >= 30% of the passes on mixed
+    # 6-NF chains and strictly lower the virtual p99.
+    (r"parallelism\.passes_saved_pct_l6$", {"abs_min": 30}),
+    (r"parallelism\.p99_saved_pct_l6$", {"abs_min": 1}),
+    (r"parallelism\.passes_saved_pct$", {"exact": True}),
     # Branch & bound calibration (fig08's uncapped deterministic solve):
     # node/pivot counts are deterministic on one binary but drift a few
     # percent across the compiler matrix (fp-contract changes LP pivot

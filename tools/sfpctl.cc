@@ -7,13 +7,16 @@
 //                                         solve and print the placement
 //   sfpctl p4    --layout fw,tc/lb,rt     emit P4 for a physical layout
 //   sfpctl trace --replay FILE [--threads N] [--batch B]
+//                [--nf-parallel on|off] [--tenants N] [--seed S]
 //                                         replay an SFPT trace; batch > 1
 //                                         or threads > 0 selects the
 //                                         batched serve path with fused
-//                                         telemetry
+//                                         telemetry; --tenants admits N
+//                                         generated chains first and
+//                                         prints the per-tenant pass map
 //   sfpctl scenario list                  list the builtin scenarios
 //   sfpctl scenario run NAME [--duration SEC] [--threads N] [--compiled 1]
-//                                         run a scenario with its
+//                [--nf-parallel on|off]   run a scenario with its
 //                                         recovery loop and print the
 //                                         summary (docs/SCENARIOS.md)
 //   sfpctl churn --tenants N [--arrivals A] [--seed S] [--warm=off]
@@ -35,6 +38,7 @@
 #include <initializer_list>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -242,11 +246,87 @@ void PrintStats(const core::SfpSystem& system, std::initializer_list<const char*
   }
 }
 
+/// Parses an on|off flag; returns `fallback` when absent, complains
+/// and returns nullopt on anything else.
+std::optional<bool> GetOnOff(const std::map<std::string, std::string>& args,
+                             const std::string& key, bool fallback) {
+  const std::string value = Get(args, key, fallback ? "on" : "off");
+  if (value == "on") return true;
+  if (value == "off") return false;
+  std::fprintf(stderr, "sfpctl: --%s must be on or off (got '%s')\n", key.c_str(),
+               value.c_str());
+  return std::nullopt;
+}
+
+/// Admits `count` generated tenants and prints each one's pass map:
+/// which (stage, pass) every logical NF landed on, and what the
+/// chain-order reference would have cost. Lets `--nf-parallel on|off`
+/// be compared tenant by tenant on the same command line.
+bool AdmitGeneratedTenants(core::SfpSystem& system, int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::printf("tenant pass map (%s):\n",
+              system.data_plane().pipeline().config().nf_parallelism
+                  ? "nf-parallel on"
+                  : "nf-parallel off");
+  for (int t = 1; t <= count; ++t) {
+    const auto tenant = static_cast<dataplane::TenantId>(t);
+    const int chain_len = static_cast<int>(rng.UniformInt(3, 6));
+    const auto sfc = workload::GenerateConcreteSfc(tenant, chain_len, 5.0, rng,
+                                                   /*rules_per_nf=*/8);
+    const auto admit = system.AdmitTenant(sfc);
+    if (!admit.admitted) {
+      std::printf("  tenant %-3d REJECTED: %s\n", t, admit.reason.c_str());
+      continue;
+    }
+    const auto* alloc = system.data_plane().FindAllocation(tenant);
+    std::ostringstream map;
+    for (std::size_t j = 0; j < sfc.chain.size(); ++j) {
+      if (j > 0) map << " -> ";
+      map << nf::NfShortName(sfc.chain[j].type) << "@s"
+          << alloc->placements[j].stage << "p" << alloc->placements[j].pass;
+    }
+    std::printf("  tenant %-3d passes %d (sequential %d)  %s\n", t, alloc->passes,
+                alloc->sequential_passes, map.str().c_str());
+  }
+  return true;
+}
+
 int CmdTrace(const std::map<std::string, std::string>& args) {
   const std::string path = Get(args, "replay", "");
-  if (path.empty()) {
-    std::fprintf(stderr, "sfpctl trace: --replay FILE required\n");
+  const int threads = std::atoi(Get(args, "threads", "0").c_str());
+  const int batch = std::atoi(Get(args, "batch", "1").c_str());
+  if (batch < 1 || threads < 0) {
+    std::fprintf(stderr, "sfpctl trace: --batch must be >= 1 and --threads >= 0\n");
     return 1;
+  }
+  const auto parallel = GetOnOff(args, "nf-parallel", false);
+  if (!parallel) return 1;
+  const int tenants = std::atoi(Get(args, "tenants", "0").c_str());
+  if (tenants < 0) {
+    std::fprintf(stderr, "sfpctl trace: --tenants must be >= 0\n");
+    return 1;
+  }
+  if (path.empty() && tenants == 0) {
+    std::fprintf(stderr, "sfpctl trace: --replay FILE or --tenants N required\n");
+    return 1;
+  }
+
+  switchsim::SwitchConfig config;
+  config.nf_parallelism = *parallel;
+  core::SfpSystem system{config};
+  for (int t = 0; t < nf::kNumNfTypes; ++t) {
+    system.data_plane().InstallPhysicalNf(t % system.data_plane().pipeline().num_stages(),
+                                          static_cast<nf::NfType>(t));
+  }
+  if (tenants > 0) {
+    const auto seed =
+        static_cast<std::uint64_t>(std::atoll(Get(args, "seed", "1").c_str()));
+    AdmitGeneratedTenants(system, tenants, seed);
+  }
+  if (path.empty()) {
+    // Pass-map-only mode: the admission output above is the result.
+    PrintStats(system, {"pipeline.passes."});
+    return 0;
   }
   const auto trace = net::Trace::Load(path);
   if (!trace) {
@@ -255,19 +335,6 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   }
   std::printf("%zu frames, %.1f KB, duration %.1f us, offered %.2f Gbps\n", trace->size(),
               trace->TotalBytes() / 1e3, trace->DurationNs() / 1e3, trace->OfferedGbps());
-
-  const int threads = std::atoi(Get(args, "threads", "0").c_str());
-  const int batch = std::atoi(Get(args, "batch", "1").c_str());
-  if (batch < 1 || threads < 0) {
-    std::fprintf(stderr, "sfpctl trace: --batch must be >= 1 and --threads >= 0\n");
-    return 1;
-  }
-
-  core::SfpSystem system{switchsim::SwitchConfig{}};
-  for (int t = 0; t < nf::kNumNfTypes; ++t) {
-    system.data_plane().InstallPhysicalNf(t % system.data_plane().pipeline().num_stages(),
-                                          static_cast<nf::NfType>(t));
-  }
   int parse_errors = 0;
   if (batch > 1 || threads > 0) {
     // Batched replay: parse up to --batch frames, then serve them via
@@ -306,7 +373,7 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   std::printf("replayed: %llu packets, %d parse errors, mean latency %.0f ns\n",
               static_cast<unsigned long long>(total.packets), parse_errors,
               total.MeanLatencyNs());
-  PrintStats(system, {"telemetry.", "pipeline.cache."});
+  PrintStats(system, {"telemetry.", "pipeline.cache.", "pipeline.passes."});
   return 0;
 }
 
@@ -437,7 +504,7 @@ int CmdScenario(int argc, char** argv) {
   }
   if (verb != "run" || argc < 4) {
     std::fprintf(stderr, "usage: sfpctl scenario <list|run NAME> [--duration SEC] "
-                         "[--threads N] [--compiled 1]\n");
+                         "[--threads N] [--compiled 1] [--nf-parallel on|off]\n");
     return 1;
   }
 
@@ -452,10 +519,14 @@ int CmdScenario(int argc, char** argv) {
   if (duration > 0.0) spec.duration_s = duration;
   spec.serve_threads = std::atoi(Get(args, "threads", "1").c_str());
   if (std::atoi(Get(args, "compiled", "0").c_str()) != 0) spec.use_compiled_plans = true;
+  const auto parallel = GetOnOff(args, "nf-parallel", spec.switch_config.nf_parallelism);
+  if (!parallel) return 1;
+  spec.switch_config.nf_parallelism = *parallel;
 
-  std::printf("running %s for %.0f simulated seconds (threads=%d%s)...\n",
+  std::printf("running %s for %.0f simulated seconds (threads=%d%s%s)...\n",
               spec.name.c_str(), spec.duration_s, spec.serve_threads,
-              spec.use_compiled_plans ? ", compiled plans" : "");
+              spec.use_compiled_plans ? ", compiled plans" : "",
+              spec.switch_config.nf_parallelism ? ", nf-parallel" : "");
   scenario::ScenarioRunner runner(spec);
   const auto result = runner.Run();
 
@@ -498,8 +569,9 @@ int main(int argc, char** argv) {
                  "        [--time-limit SEC] [--no-consolidation]\n"
                  "  p4    --layout fw,tc/lb,rt\n"
                  "  trace --replay FILE [--threads N] [--batch B]\n"
+                 "        [--nf-parallel on|off] [--tenants N] [--seed S]\n"
                  "  scenario <list|run NAME> [--duration SEC] [--threads N]\n"
-                 "        [--compiled 1]\n"
+                 "        [--compiled 1] [--nf-parallel on|off]\n"
                  "  churn --tenants N [--arrivals A] [--seed S] [--warm=off]\n");
     return 1;
   }
