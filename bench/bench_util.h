@@ -19,6 +19,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -87,7 +88,18 @@ class BenchReport {
     os << "{\"schema\": \"sfp.bench.v1\", \"bench\": \"" << metrics::JsonEscape(name_)
        << "\", \"caption\": \"" << metrics::JsonEscape(caption_)
        << "\", \"unix_time_s\": " << static_cast<long long>(std::time(nullptr))
-       << ", \"seeds\": " << NumSeeds() << ", \"notes\": [";
+       << ", \"seeds\": " << NumSeeds()
+       // Build/host provenance: timing counters from a Debug build or a
+       // loaded box are not comparable to the Release baselines, and
+       // this stamp is how a reviewer tells the two apart in the JSON.
+       << ", \"build_type\": \""
+#ifdef NDEBUG
+       << "release"
+#else
+       << "debug"
+#endif
+       << "\", \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ", \"notes\": [";
     for (std::size_t i = 0; i < notes_.size(); ++i) {
       if (i > 0) os << ", ";
       os << '"' << metrics::JsonEscape(notes_[i]) << '"';

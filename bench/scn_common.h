@@ -17,6 +17,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -25,8 +26,13 @@
 namespace sfp::bench {
 
 /// Runs `spec`, prints its summary, exports metrics into `report`, and
-/// returns the process exit code.
-inline int RunScenarioBench(const scenario::ScenarioSpec& spec) {
+/// returns the process exit code. `extend`, when set, runs right
+/// before the report is written so a bench can append extra tables and
+/// counters to the same JSON (the builtin scenario run itself is
+/// untouched — its counters stay byte-identical with or without an
+/// extension).
+inline int RunScenarioBench(const scenario::ScenarioSpec& spec,
+                            const std::function<void(BenchReport&)>& extend = {}) {
   PrintHeader(("scenario: " + spec.name).c_str(), spec.description.c_str());
   BenchReport report("scn_" + spec.name, spec.description);
 
@@ -92,6 +98,7 @@ inline int RunScenarioBench(const scenario::ScenarioSpec& spec) {
 
   report.AddNote("serve_threads=1 and simulated-time packet stamps make every "
                  "exported counter byte-reproducible for the regression gate.");
+  if (extend) extend(report);
   report.Write();
 
   if (!result.ok) {

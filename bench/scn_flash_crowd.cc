@@ -1,7 +1,79 @@
 // Scenario bench: the builtin flash_crowd scenario (see bench/scn_common.h
-// for the report format and docs/SCENARIOS.md for the scenario).
+// for the report format and docs/SCENARIOS.md for the scenario), plus an
+// admit-horizon sweep for cross-tenant pass co-scheduling (DESIGN.md
+// "Cross-tenant pass sharing").
+//
+// The sweep admits the engineered 50-tenant population of
+// bench/xt_population.h into twin planes — per-tenant packing vs the
+// stage-window co-scheduler — and counts how many tenants each plane
+// sustains before the aggregate recirculation demand
+// (sum of (passes - 1) x bandwidth) exceeds a 25 Gbps recirculation
+// port, the flash-crowd admission question in miniature: folded
+// tenants charge the port, single-pass tenants don't. The builtin
+// scenario run is byte-identical to before the sweep existed; all
+// sweep counters live under scenario.xt.*.
 #include "bench/scn_common.h"
+#include "bench/xt_population.h"
+
+namespace {
+
+/// Recirculation port budget for the sweep, matching the flash-crowd
+/// scenario's switch (25 Gbps).
+constexpr double kRecircPortGbps = 25.0;
+constexpr double kTenantBandwidthGbps = 2.0;
+
+/// Admits the population in order and returns the number of tenants
+/// admitted before aggregate recirculation demand first exceeded the
+/// port budget (the "admit horizon"; 50 when it never does).
+int AdmitHorizon(bool cross_tenant) {
+  auto plane = sfp::bench::xt::MakeXtPlane(cross_tenant);
+  const auto population = sfp::bench::xt::BuildXtPopulation(kTenantBandwidthGbps);
+  double demand_gbps = 0.0;
+  int horizon = 0;
+  bool overloaded = false;
+  for (const auto& sfc : population) {
+    const auto result = plane.AllocateSfc(sfc);
+    if (!result.ok) break;
+    demand_gbps += static_cast<double>(result.passes - 1) * sfc.bandwidth_gbps;
+    if (overloaded) continue;
+    if (demand_gbps > kRecircPortGbps) {
+      overloaded = true;
+    } else {
+      ++horizon;
+    }
+  }
+  return horizon;
+}
+
+void AddAdmitHorizonSeries(sfp::bench::BenchReport& report) {
+  const int per_tenant = AdmitHorizon(/*cross_tenant=*/false);
+  const int cross_tenant = AdmitHorizon(/*cross_tenant=*/true);
+
+  sfp::Table table({"planner", "admit horizon (tenants)"});
+  table.Row().Add("per-tenant packed").Add(static_cast<std::int64_t>(per_tenant));
+  table.Row().Add("cross-tenant co-scheduled").Add(static_cast<std::int64_t>(cross_tenant));
+  table.Print(std::cout);
+  sfp::bench::PrintNote(
+      "tenants sustained before aggregate recirculation demand exceeds the "
+      "25 Gbps recirculation port: co-scheduling folds fewer tenants, so the "
+      "flash crowd admits further before overload.");
+  report.AddTable("xt_admit_horizon", table);
+
+  auto& metrics = report.metrics();
+  metrics.GetCounter("scenario.xt.admit_horizon.per_tenant")
+      .Set(static_cast<std::uint64_t>(per_tenant));
+  metrics.GetCounter("scenario.xt.admit_horizon.cross_tenant")
+      .Set(static_cast<std::uint64_t>(cross_tenant));
+  const std::uint64_t gain_pct =
+      per_tenant > 0 && cross_tenant > per_tenant
+          ? static_cast<std::uint64_t>(100 * (cross_tenant - per_tenant) / per_tenant)
+          : 0;
+  metrics.GetCounter("scenario.xt.admit_horizon_gain_pct").Set(gain_pct);
+}
+
+}  // namespace
 
 int main() {
-  return sfp::bench::RunScenarioBench(sfp::scenario::FlashCrowdScenario());
+  return sfp::bench::RunScenarioBench(sfp::scenario::FlashCrowdScenario(),
+                                      AddAdmitHorizonSeries);
 }

@@ -383,6 +383,11 @@ AdmitResult SfpSystem::AdmitTenant(const dataplane::Sfc& sfc, const AdmitOptions
 ReprovisionResult SfpSystem::ReprovisionTenant(const dataplane::Sfc& sfc,
                                                const AdmitOptions& options) {
   std::lock_guard<std::mutex> lock(*control_mutex_);
+  return ReprovisionTenantLocked(sfc, options);
+}
+
+ReprovisionResult SfpSystem::ReprovisionTenantLocked(const dataplane::Sfc& sfc,
+                                                     const AdmitOptions& options) {
   ReprovisionResult result;
 
   using UpdateOp = dataplane::DataPlane::UpdateOp;
@@ -487,7 +492,38 @@ bool SfpSystem::RemoveTenant(dataplane::TenantId tenant) {
   admissions_.erase(tenant);
   if (admission_lp_) admission_lp_->Remove(tenant);
   telemetry_.MarkDeparted(tenant);
+  if (data_plane_.pipeline().config().cross_tenant_packing) CompactAfterDeparture();
   return true;
+}
+
+void SfpSystem::CompactAfterDeparture() {
+  // Bounded so a single departure cannot stall the control plane: at
+  // most this many §V-E moves per departure. Each successful move
+  // strictly reduces the population's aggregate pass count, so the
+  // loop also terminates without the bound.
+  constexpr int kMaxMovesPerDeparture = 8;
+  for (int move = 0; move < kMaxMovesPerDeparture; ++move) {
+    const auto candidates = data_plane_.PlanCompaction();
+    if (candidates.empty()) return;
+    const auto& best = candidates.front();
+    const auto* sfc = data_plane_.RetainedSfc(best.tenant);
+    if (sfc == nullptr) return;
+    const auto before = best.current_passes;
+    // No backoff: a transiently faulted move is simply skipped — the
+    // next departure probes again. kDiverged inside the batch is
+    // handled by ReprovisionTenantLocked (admission released); the
+    // recovery loop repairs such tenants like any other structural
+    // damage.
+    AdmitOptions options;
+    options.max_attempts = 1;
+    const auto result = ReprovisionTenantLocked(*sfc, options);
+    if (!result.ok) return;
+    if (result.passes >= before) return;  // lateral move: stop compacting
+    data_plane_.pipeline().RecordXtCompaction(
+        static_cast<std::uint64_t>(before - result.passes));
+    SFP_LOG_DEBUG << "compacted tenant " << best.tenant << " from " << before << " to "
+                  << result.passes << " pass(es) after a departure";
+  }
 }
 
 SfpStats SfpSystem::Stats() const {

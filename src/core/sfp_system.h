@@ -184,7 +184,14 @@ class SfpSystem {
 
   /// Removes a tenant, releases its resources, and applies the
   /// telemetry retention policy to its series. Returns false if the
-  /// tenant is unknown.
+  /// tenant is unknown. With SwitchConfig::cross_tenant_packing the
+  /// departure also runs window compaction: remaining multi-pass
+  /// tenants whose chains now re-plan into fewer passes (the departed
+  /// tenant's windows freed capacity) are moved through the §V-E
+  /// atomic-update path, biggest saving first, bounded per departure.
+  /// A compaction move only ever *reduces* a tenant's pass count — and
+  /// with it its eq. 26 backplane charge — and never touches its
+  /// telemetry series.
   bool RemoveTenant(dataplane::TenantId tenant);
 
   /// Re-provisions a tenant through the §V-E atomic-update path: one
@@ -253,6 +260,16 @@ class SfpSystem {
  private:
   /// Files one AdmitTenant wall-clock sample (control_mutex_ held).
   void RecordAdmitLatency(bool timed, std::chrono::steady_clock::time_point started);
+
+  /// ReprovisionTenant body; control_mutex_ must be held.
+  ReprovisionResult ReprovisionTenantLocked(const dataplane::Sfc& sfc,
+                                            const AdmitOptions& options);
+
+  /// Departure-time window compaction (control_mutex_ held): applies
+  /// DataPlane::PlanCompaction candidates through ReprovisionTenantLocked
+  /// until no candidate improves, a move stops paying off, or the
+  /// per-departure move bound is hit. Cross_tenant_packing only.
+  void CompactAfterDeparture();
 
   dataplane::DataPlane data_plane_;
   /// tenant -> (bandwidth, passes) of admitted SFCs.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "common/check.h"
 #include "common/faultinject.h"
@@ -173,16 +174,7 @@ bool DataPlane::PlanPacked(const Sfc& sfc, int pass_limit, std::vector<PlanStep>
   std::vector<NfEffects> effects;
   effects.reserve(n);
   for (const auto& logical : sfc.chain) effects.push_back(SummarizeNf(logical));
-  std::vector<std::vector<std::size_t>> preds(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < j; ++i) {
-      MergeReject why = MergeReject::kNone;
-      if (!Independent(effects[i], effects[j], &why)) {
-        preds[j].push_back(i);
-        ++rejects[static_cast<std::size_t>(why)];
-      }
-    }
-  }
+  const auto preds = BuildPrecedence(effects, &rejects);
 
   // Greedy list scheduling in chain order: each NF takes the earliest
   // (pass, stage) that (a) hosts its type with table capacity left,
@@ -228,6 +220,128 @@ bool DataPlane::PlanPacked(const Sfc& sfc, int pass_limit, std::vector<PlanStep>
     pending[chosen->table] += entries;
     claimed[static_cast<std::size_t>(chosen_pass)].push_back(chosen->table);
     plan[j] = PlanStep{chosen, NfPlacement{chosen->stage, chosen_pass}, false};
+  }
+  return true;
+}
+
+bool DataPlane::PlanCoScheduled(const Sfc& sfc, int pass_limit,
+                                std::vector<PlanStep>& plan,
+                                std::optional<TenantId> replan_tenant) {
+  const std::size_t n = sfc.chain.size();
+  plan.assign(n, PlanStep{});
+
+  std::vector<NfEffects> effects;
+  effects.reserve(n);
+  for (const auto& logical : sfc.chain) effects.push_back(SummarizeNf(logical));
+  const auto preds = BuildPrecedence(effects);
+  const auto successor_free = SuccessorFree(preds);
+
+  // Compaction probes plan as if the tenant had already departed: its
+  // installed entries are discounted from every capacity check and its
+  // own claims don't count as open windows.
+  std::map<const switchsim::MatchActionTable*, std::int64_t> pending;
+  if (replan_tenant.has_value()) {
+    for (const auto& [table, entries] : xt_ledger_.TenantFootprint(*replan_tenant)) {
+      pending[table] = -entries;
+    }
+  }
+  auto window_open = [this, &replan_tenant](int pass, int stage) {
+    return replan_tenant.has_value()
+               ? xt_ledger_.WindowOpenExcluding(pass, stage, *replan_tenant)
+               : xt_ledger_.WindowOpen(pass, stage);
+  };
+
+  std::vector<std::vector<const switchsim::MatchActionTable*>> claimed(
+      static_cast<std::size_t>(pass_limit));
+  int max_pass = -1;  // highest pass index placed so far (-1: none)
+
+  // Stage floor for NF j within pass p under the already-placed
+  // precedence edges; false when a predecessor lands after pass p.
+  auto pass_floor = [&](std::size_t j, int p, int& floor) {
+    floor = 0;
+    for (const std::size_t i : preds[j]) {
+      if (plan[i].placement.pass > p) return false;
+      if (plan[i].placement.pass == p) {
+        floor = std::max(floor, plan[i].placement.stage + 1);
+      }
+    }
+    return true;
+  };
+
+  auto commit = [&](std::size_t j, PhysicalNfSlot* slot, int p, std::int64_t entries) {
+    pending[slot->table] += entries;
+    claimed[static_cast<std::size_t>(p)].push_back(slot->table);
+    plan[j] = PlanStep{slot, NfPlacement{slot->stage, p}, false};
+    max_pass = std::max(max_pass, p);
+  };
+
+  // Phase 1: NFs some later NF depends on take the earliest feasible
+  // (pass, stage), exactly like PlanPacked. Every predecessor of any
+  // NF carries a successor by definition, so this prefix is closed
+  // under the precedence relation: phase-2 NFs find all their
+  // predecessors already placed.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (successor_free[j]) continue;
+    const auto& logical = sfc.chain[j];
+    const std::int64_t entries = static_cast<std::int64_t>(logical.rules.size()) + 1;
+    PhysicalNfSlot* chosen = nullptr;
+    for (int p = 0; p < pass_limit && chosen == nullptr; ++p) {
+      int floor = 0;
+      if (!pass_floor(j, p, floor)) continue;
+      const auto& used = claimed[static_cast<std::size_t>(p)];
+      for (int k = floor; k < pipeline_.num_stages(); ++k) {
+        auto* slot = FindSlot(k, logical.type);
+        if (slot == nullptr) continue;
+        if (std::find(used.begin(), used.end(), slot->table) != used.end()) continue;
+        const std::int64_t already = pending[slot->table];
+        if (!pipeline_.stage(k).CanAddEntries(*slot->table, already + entries)) continue;
+        chosen = slot;
+        commit(j, slot, p, entries);
+        break;
+      }
+    }
+    if (chosen == nullptr) return false;
+  }
+
+  // Phase 2: successor-free NFs — nothing downstream constrains where
+  // they run, so pick the feasible slot minimizing (extra passes over
+  // the plan so far, latest stage, window not already open for another
+  // tenant, pass index). Preferring *late* stages keeps scarce
+  // early-stage table capacity for order-constrained chains — the
+  // lever behind the aggregate pass savings — and among equal stages
+  // the open-window bit lines this tenant's claims up with windows the
+  // population already holds, so departures compact instead of
+  // fragmenting. Extra passes dominate the score, so the per-tenant
+  // plan never grows a pass just to steer late or join a window.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!successor_free[j]) continue;
+    const auto& logical = sfc.chain[j];
+    const std::int64_t entries = static_cast<std::int64_t>(logical.rules.size()) + 1;
+    PhysicalNfSlot* best = nullptr;
+    int best_pass = 0;
+    std::tuple<int, int, int, int> best_score{};
+    for (int p = 0; p < pass_limit; ++p) {
+      int floor = 0;
+      if (!pass_floor(j, p, floor)) continue;
+      const auto& used = claimed[static_cast<std::size_t>(p)];
+      for (int k = floor; k < pipeline_.num_stages(); ++k) {
+        auto* slot = FindSlot(k, logical.type);
+        if (slot == nullptr) continue;
+        if (std::find(used.begin(), used.end(), slot->table) != used.end()) continue;
+        const std::int64_t already = pending[slot->table];
+        if (!pipeline_.stage(k).CanAddEntries(*slot->table, already + entries)) continue;
+        const int extra = p > max_pass ? p - max_pass : 0;
+        const std::tuple<int, int, int, int> score{
+            extra, -k, window_open(p, k) ? 0 : 1, p};
+        if (best == nullptr || score < best_score) {
+          best = slot;
+          best_pass = p;
+          best_score = score;
+        }
+      }
+    }
+    if (best == nullptr) return false;
+    commit(j, best, best_pass, entries);
   }
   return true;
 }
@@ -292,9 +406,15 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   const int sequential_passes = sequential_ok ? AssignRecMarks(sequential) : 0;
 
   switchsim::Pipeline::PassPackingStats stats;
+  const bool xt = pipeline_.config().cross_tenant_packing;
+  // Cross-tenant co-scheduling implies dependency-aware planning: the
+  // packed per-tenant plan is the reference the co-scheduled plan must
+  // never be worse than.
+  const bool dependency_aware = pipeline_.config().nf_parallelism || xt;
   bool use_packed = false;
+  bool use_xt = false;
   int total_passes = sequential_passes;
-  if (pipeline_.config().nf_parallelism) {
+  if (dependency_aware) {
     std::vector<std::uint64_t> rejects(3, 0);
     std::vector<PlanStep> packed;
     const bool packed_ok = PlanPacked(sfc, pass_limit, packed, rejects);
@@ -313,7 +433,26 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
       total_passes = packed_passes;
     }
   }
-  if (!use_packed) {
+  if (xt) {
+    // Co-schedule against the fabric-wide stage-window ledger. The
+    // per-tenant never-worse guard compares against the reference the
+    // PR-9 selection just made: the co-scheduled plan is installed
+    // only when it needs no more passes (it may also succeed where the
+    // per-tenant planners failed, extending admissibility).
+    std::vector<PlanStep> co;
+    const bool co_ok = PlanCoScheduled(sfc, pass_limit, co);
+    const int co_passes = co_ok ? AssignRecMarks(co) : 0;
+    const bool have_reference = use_packed || sequential_ok;
+    const int reference_passes = use_packed ? total_passes : sequential_passes;
+    use_xt = co_ok && (!have_reference || co_passes <= reference_passes);
+    if (use_xt) {
+      plan = std::move(co);
+      total_passes = co_passes;
+    } else if (have_reference) {
+      stats.xt_fallback = 1;
+    }
+  }
+  if (!use_packed && !use_xt) {
     if (!sequential_ok) {
       result.code = AllocCode::kNoPlacement;
       result.error = "cannot place the chain within the recirculation budget";
@@ -323,6 +462,7 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   }
   stats.sequential = static_cast<std::uint64_t>(sequential_passes);
   stats.packed = static_cast<std::uint64_t>(total_passes);
+  stats.xt_allocations = use_xt ? 1 : 0;
 
   // ---- install: copy rules with the (tenant, pass) prefix ------------
   // A rule install can fail transiently under fault injection
@@ -386,7 +526,24 @@ AllocationResult DataPlane::AllocateSfc(const Sfc& sfc, std::optional<int> max_p
   result.ok = true;
   result.passes = total_passes;
   result.sequential_passes = sequential_passes;
-  if (pipeline_.config().nf_parallelism) pipeline_.RecordPassPacking(stats);
+  if (xt) {
+    // Book the installed placements in the shared ledger (one claim
+    // per logical NF) — also for non-co-scheduled installs, so the
+    // ledger mirrors the pipeline's whole occupancy and later tenants
+    // see every open window.
+    std::vector<StageWindowLedger::Claim> claims;
+    claims.reserve(plan.size());
+    for (std::size_t j = 0; j < plan.size(); ++j) {
+      claims.push_back({plan[j].placement.pass, plan[j].placement.stage,
+                        plan[j].slot->table,
+                        static_cast<std::int64_t>(sfc.chain[j].rules.size()) + 1});
+    }
+    const auto [opened, joined] = xt_ledger_.Commit(sfc.tenant, std::move(claims));
+    stats.xt_windows_opened = opened;
+    stats.xt_windows_joined = joined;
+    retained_[sfc.tenant] = sfc;
+  }
+  if (dependency_aware) pipeline_.RecordPassPacking(stats);
   allocations_[sfc.tenant] = result;
   // The tenant's rules just changed under any previously compiled plan
   // (re-admission after departure); the per-packet epoch check would
@@ -405,8 +562,96 @@ std::size_t DataPlane::DeallocateSfc(TenantId tenant) {
   // serve path may keep running concurrently throughout.
   for (auto& slot : slots_) removed += slot.table->RemoveTenantEntries(tenant);
   allocations_.erase(tenant);
+  // No-ops unless cross_tenant_packing booked the tenant at admit.
+  xt_ledger_.Release(tenant);
+  retained_.erase(tenant);
   InvalidatePlan(tenant);
   return removed;
+}
+
+std::vector<DataPlane::CompactionCandidate> DataPlane::PlanCompaction() {
+  std::vector<CompactionCandidate> candidates;
+  if (!pipeline_.config().cross_tenant_packing) return candidates;
+  const int pass_limit = pipeline_.config().max_passes;
+  for (const auto& [tenant, allocation] : allocations_) {
+    if (allocation.passes <= 1) continue;  // already optimal
+    const auto it = retained_.find(tenant);
+    if (it == retained_.end()) continue;
+    std::vector<PlanStep> probe;
+    if (!PlanCoScheduled(it->second, pass_limit, probe, tenant)) continue;
+    const int replanned = AssignRecMarks(probe);
+    if (replanned < allocation.passes) {
+      candidates.push_back({tenant, allocation.passes, replanned});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CompactionCandidate& a, const CompactionCandidate& b) {
+              const int sa = a.current_passes - a.replanned_passes;
+              const int sb = b.current_passes - b.replanned_passes;
+              if (sa != sb) return sa > sb;
+              return a.tenant < b.tenant;
+            });
+  return candidates;
+}
+
+std::vector<std::string> DataPlane::AuditXtLedger() const {
+  std::vector<std::string> issues;
+  if (!pipeline_.config().cross_tenant_packing) return issues;
+  for (const auto& [tenant, allocation] : allocations_) {
+    if (!xt_ledger_.HasTenant(tenant)) {
+      issues.push_back("tenant " + std::to_string(tenant) +
+                       " allocated but missing from the ledger");
+    }
+  }
+  for (const auto& [tenant, claims] : xt_ledger_.claims()) {
+    if (!allocations_.contains(tenant)) {
+      issues.push_back("tenant " + std::to_string(tenant) +
+                       " in the ledger but not allocated");
+      continue;
+    }
+    const auto it = retained_.find(tenant);
+    if (it == retained_.end()) {
+      issues.push_back("tenant " + std::to_string(tenant) + " has no retained SFC");
+      continue;
+    }
+    std::int64_t expected = 0;
+    for (const auto& logical : it->second.chain) {
+      expected += static_cast<std::int64_t>(logical.rules.size()) + 1;
+    }
+    if (xt_ledger_.TenantEntries(tenant) != expected) {
+      issues.push_back("tenant " + std::to_string(tenant) + " books " +
+                       std::to_string(xt_ledger_.TenantEntries(tenant)) +
+                       " ledger entries, chain expects " + std::to_string(expected));
+    }
+  }
+  // Window aggregates must equal the per-tenant claims that formed them.
+  std::map<StageWindowLedger::WindowKey, StageWindowLedger::Window> recomputed;
+  for (const auto& [tenant, claims] : xt_ledger_.claims()) {
+    for (const auto& claim : claims) {
+      auto& window = recomputed[{claim.pass, claim.stage}];
+      ++window.claims;
+      window.entries += claim.entries;
+    }
+  }
+  if (recomputed.size() != xt_ledger_.windows().size()) {
+    issues.push_back("window count diverges from the committed claims");
+  } else {
+    for (const auto& [key, window] : xt_ledger_.windows()) {
+      const auto it = recomputed.find(key);
+      if (it == recomputed.end() || it->second.claims != window.claims ||
+          it->second.entries != window.entries) {
+        issues.push_back("window (pass " + std::to_string(key.first) + ", stage " +
+                         std::to_string(key.second) + ") occupancy diverges");
+      }
+    }
+  }
+  // And the ledger total must equal the rules actually installed.
+  if (xt_ledger_.TotalEntries() != pipeline_.TotalEntriesUsed()) {
+    issues.push_back("ledger books " + std::to_string(xt_ledger_.TotalEntries()) +
+                     " entries, pipeline holds " +
+                     std::to_string(pipeline_.TotalEntriesUsed()));
+  }
+  return issues;
 }
 
 DataPlane::BatchResult DataPlane::ApplyAtomic(const std::vector<UpdateOp>& ops) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "dataplane/sfc.h"
+#include "dataplane/stage_window.h"
 #include "switchsim/pipeline.h"
 
 namespace sfp::dataplane {
@@ -182,6 +183,44 @@ class DataPlane {
   switchsim::Pipeline& pipeline() { return pipeline_; }
   const switchsim::Pipeline& pipeline() const { return pipeline_; }
 
+  /// The fabric-wide stage-window occupancy ledger, or nullptr unless
+  /// SwitchConfig::cross_tenant_packing (DESIGN.md "Cross-tenant pass
+  /// sharing"). Read-only; valid until the next (de)allocation.
+  const StageWindowLedger* xt_ledger() const {
+    return pipeline_.config().cross_tenant_packing ? &xt_ledger_ : nullptr;
+  }
+
+  /// The SFC a tenant was admitted with (retained for departure-time
+  /// window compaction; cross_tenant_packing only). nullptr when
+  /// unknown.
+  const Sfc* RetainedSfc(TenantId tenant) const {
+    const auto it = retained_.find(tenant);
+    return it != retained_.end() ? &it->second : nullptr;
+  }
+
+  /// One tenant whose retained SFC would re-plan into fewer passes
+  /// against the current ledger (its own footprint discounted).
+  struct CompactionCandidate {
+    TenantId tenant = 0;
+    int current_passes = 0;
+    int replanned_passes = 0;
+  };
+
+  /// Probes every allocated multi-pass tenant for a window-compaction
+  /// win (pure — nothing is moved). Candidates are sorted biggest
+  /// pass saving first, ties by tenant id, so the §V-E re-provision
+  /// driver in SfpSystem::RemoveTenant applies them deterministically.
+  /// Empty unless cross_tenant_packing.
+  std::vector<CompactionCandidate> PlanCompaction();
+
+  /// Ledger conservation check (empty == consistent, entries describe
+  /// violations): ledger tenants == allocated tenants, per-tenant
+  /// ledger entries == Σ (rules + 1) over the retained chain, window
+  /// occupancy == Σ claims, and the ledger total == the pipeline's
+  /// installed entry count. Always empty when cross_tenant_packing is
+  /// off.
+  std::vector<std::string> AuditXtLedger() const;
+
   /// All physical NF types installed per stage (for inspection/P4 gen).
   std::vector<std::vector<nf::NfType>> PhysicalLayout() const;
 
@@ -221,6 +260,19 @@ class DataPlane {
   bool PlanPacked(const Sfc& sfc, int pass_limit, std::vector<PlanStep>& plan,
                   std::vector<std::uint64_t>& rejects);
 
+  /// Cross-tenant co-scheduler (DESIGN.md "Cross-tenant pass
+  /// sharing"): schedules successor-carrying NFs exactly like
+  /// PlanPacked (earliest feasible (pass, stage)), then steers
+  /// successor-free NFs to the best-scoring slot — fewest extra
+  /// passes, then the latest stage, then windows other tenants
+  /// already hold open — so early-stage capacity stays free for
+  /// order-constrained chains and claims line up in shared windows.
+  /// With `replan_tenant` set (departure compaction probe) that
+  /// tenant's own table entries and window claims are discounted, as
+  /// if it had departed. Pure.
+  bool PlanCoScheduled(const Sfc& sfc, int pass_limit, std::vector<PlanStep>& plan,
+                       std::optional<TenantId> replan_tenant = {});
+
   /// Marks the execution-order-last step of every non-final pass with
   /// the REC flag (stage order, then table order within the stage —
   /// the interpreter's execution order) and returns the pass count.
@@ -234,6 +286,12 @@ class DataPlane {
   std::vector<PhysicalNfSlot> slots_;
   /// tenant -> placements of its chain (for bookkeeping / tests).
   std::map<TenantId, AllocationResult> allocations_;
+  /// Shared (pass, stage) occupancy across tenants; only populated
+  /// while cross_tenant_packing is on.
+  StageWindowLedger xt_ledger_;
+  /// Admitted SFCs kept for departure-time compaction re-plans
+  /// (cross_tenant_packing only).
+  std::map<TenantId, Sfc> retained_;
 };
 
 }  // namespace sfp::dataplane

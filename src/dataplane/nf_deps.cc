@@ -53,6 +53,29 @@ bool Independent(const NfEffects& a, const NfEffects& b, MergeReject* why) {
   return true;
 }
 
+std::vector<std::vector<std::size_t>> BuildPrecedence(
+    const std::vector<NfEffects>& effects, std::vector<std::uint64_t>* rejects) {
+  std::vector<std::vector<std::size_t>> preds(effects.size());
+  for (std::size_t j = 0; j < effects.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      MergeReject why = MergeReject::kNone;
+      if (!Independent(effects[i], effects[j], &why)) {
+        preds[j].push_back(i);
+        if (rejects != nullptr) ++(*rejects)[static_cast<std::size_t>(why)];
+      }
+    }
+  }
+  return preds;
+}
+
+std::vector<bool> SuccessorFree(const std::vector<std::vector<std::size_t>>& preds) {
+  std::vector<bool> free(preds.size(), true);
+  for (const auto& list : preds) {
+    for (const std::size_t i : list) free[i] = false;
+  }
+  return free;
+}
+
 std::vector<int> MergeRuns(const std::vector<nf::NfConfig>& chain,
                            std::vector<std::uint64_t>* rejects) {
   std::vector<int> run_of(chain.size(), 0);

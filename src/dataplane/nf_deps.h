@@ -62,6 +62,22 @@ NfEffects SummarizeNf(const nf::NfConfig& config);
 /// `why` is non-null, *why names the first violated clause.
 bool Independent(const NfEffects& a, const NfEffects& b, MergeReject* why = nullptr);
 
+/// Directed precedence edges over one chain's effect summaries:
+/// preds[j] lists every i < j whose effects conflict with j's
+/// (i.e. !Independent), so i must execute before j on the switch.
+/// Each conflict is tallied into `rejects` by MergeReject when
+/// non-null (`rejects` must then have at least 3 elements). Both the
+/// per-tenant packed planner and the cross-tenant co-scheduler derive
+/// their ordering constraints from this one relation.
+std::vector<std::vector<std::size_t>> BuildPrecedence(
+    const std::vector<NfEffects>& effects, std::vector<std::uint64_t>* rejects = nullptr);
+
+/// Per chain element: true when no later element depends on it
+/// (it appears in no preds list). Successor-free NFs are the ones the
+/// cross-tenant co-scheduler may steer to late stage windows — nothing
+/// downstream constrains where they run.
+std::vector<bool> SuccessorFree(const std::vector<std::vector<std::size_t>>& preds);
+
 /// Partitions `chain` into maximal runs of mutually independent NFs:
 /// returns one entry per chain element giving its run index (runs are
 /// contiguous, numbered 0, 1, ... in chain order). A candidate joins

@@ -203,6 +203,12 @@ void ScenarioRunner::CheckConservation(double now_s, ScenarioResult& result) {
     violate("backplane charge " + std::to_string(stats.backplane_gbps) +
             " exceeds capacity " + std::to_string(capacity));
   }
+
+  // Cross-tenant packing extends rule-entry conservation to the shared
+  // stage-window ledger: its books must match the pipeline exactly.
+  for (const auto& issue : system_->data_plane().AuditXtLedger()) {
+    violate("xt ledger: " + issue);
+  }
 }
 
 ScenarioResult ScenarioRunner::Run() {
@@ -272,6 +278,7 @@ ScenarioResult ScenarioRunner::Run() {
 
     // Quarantined tenants stop sending (the controller already
     // released their resources); departures release theirs here.
+    bool departed_this_tick = false;
     for (auto it = active_.begin(); it != active_.end();) {
       if (recovery_->IsQuarantined(it->sfc.tenant)) {
         it = active_.erase(it);
@@ -279,9 +286,24 @@ ScenarioResult ScenarioRunner::Run() {
         system_->RemoveTenant(it->sfc.tenant);
         recovery_->UntrackTenant(it->sfc.tenant);
         ++result.tenants_departed;
+        departed_this_tick = true;
         it = active_.erase(it);
       } else {
         ++it;
+      }
+    }
+    // Cross-tenant window compaction inside RemoveTenant may have
+    // legally re-provisioned survivors into fewer passes; re-track
+    // them so the recovery loop's passes-collapse signature doesn't
+    // mistake the improvement for damage.
+    if (departed_this_tick &&
+        system_->data_plane().pipeline().config().cross_tenant_packing) {
+      for (auto& tenant : active_) {
+        const auto* allocation =
+            system_->data_plane().FindAllocation(tenant.sfc.tenant);
+        if (allocation == nullptr || allocation->passes == tenant.passes) continue;
+        tenant.passes = allocation->passes;
+        recovery_->TrackTenant(tenant.sfc, tenant.passes);
       }
     }
 

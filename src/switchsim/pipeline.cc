@@ -355,6 +355,15 @@ void Pipeline::RecordPassPacking(const PassPackingStats& stats) {
   }
   if (stats.reject_drop_gate != 0) pack_reject_gate_.Add(stats.reject_drop_gate);
   if (stats.fallback_sequential != 0) pack_fallback_.Add(stats.fallback_sequential);
+  if (stats.xt_allocations != 0) xt_allocations_.Add(stats.xt_allocations);
+  if (stats.xt_windows_opened != 0) xt_windows_opened_.Add(stats.xt_windows_opened);
+  if (stats.xt_windows_joined != 0) xt_windows_joined_.Add(stats.xt_windows_joined);
+  if (stats.xt_fallback != 0) xt_fallback_.Add(stats.xt_fallback);
+}
+
+void Pipeline::RecordXtCompaction(std::uint64_t passes_saved) {
+  xt_compactions_.Add(1);
+  if (passes_saved != 0) xt_compaction_saved_.Add(passes_saved);
 }
 
 Pipeline::PassPackingStats Pipeline::pass_packing() const {
@@ -364,6 +373,10 @@ Pipeline::PassPackingStats Pipeline::pass_packing() const {
   stats.reject_field_conflict = pack_reject_conflict_.Value();
   stats.reject_drop_gate = pack_reject_gate_.Value();
   stats.fallback_sequential = pack_fallback_.Value();
+  stats.xt_allocations = xt_allocations_.Value();
+  stats.xt_windows_opened = xt_windows_opened_.Value();
+  stats.xt_windows_joined = xt_windows_joined_.Value();
+  stats.xt_fallback = xt_fallback_.Value();
   return stats;
 }
 
@@ -388,6 +401,17 @@ void Pipeline::ExportMetrics(common::metrics::Registry& registry) const {
   registry.GetCounter("pipeline.passes.merge_rejects.drop_gate")
       .Set(pack_reject_gate_.Value());
   registry.GetCounter("pipeline.passes.fallback_sequential").Set(pack_fallback_.Value());
+  if (config_.cross_tenant_packing) {
+    // Conditional like compiler.*: only cross-tenant runs carry the
+    // parallelism.xt.* family, so per-tenant baselines stay unchanged.
+    registry.GetCounter("parallelism.xt.allocations").Set(xt_allocations_.Value());
+    registry.GetCounter("parallelism.xt.windows_opened").Set(xt_windows_opened_.Value());
+    registry.GetCounter("parallelism.xt.windows_joined").Set(xt_windows_joined_.Value());
+    registry.GetCounter("parallelism.xt.fallback").Set(xt_fallback_.Value());
+    registry.GetCounter("parallelism.xt.compactions").Set(xt_compactions_.Value());
+    registry.GetCounter("parallelism.xt.compaction_passes_saved")
+        .Set(xt_compaction_saved_.Value());
+  }
   if (plan_cache_ != nullptr) {
     registry.GetCounter("compiler.plans_compiled").Set(plan_cache_->PlansCompiled());
     registry.GetCounter("compiler.recompiles").Set(plan_cache_->Recompiles());

@@ -63,6 +63,19 @@ struct SwitchConfig {
   /// and sequential layouts are verdict- and telemetry-equivalent
   /// (pass counts and latency excluded — reducing them is the point).
   bool nf_parallelism = false;
+  /// Cross-tenant recirculation pass co-scheduling (DESIGN.md
+  /// "Cross-tenant pass sharing"): when true, AllocateSfc consults a
+  /// fabric-wide stage-window occupancy ledger and steers NFs without
+  /// chain successors into already-open (pass, stage) windows, keeping
+  /// scarce early-stage capacity for order-constrained chains, and
+  /// tenant departures trigger window compaction through the §V-E
+  /// atomic update path. Implies dependency-aware planning (the packed
+  /// reference is computed even when nf_parallelism is off). Opt-in;
+  /// off preserves the per-tenant behaviour bit-for-bit. Per tenant the
+  /// co-scheduled plan is never worse than the PR-9 reference
+  /// (fallback counted in parallelism.xt.fallback); forwarding and
+  /// telemetry stay equivalent (pass counts and latency excluded).
+  bool cross_tenant_packing = false;
   TimingModel timing;
 };
 
@@ -211,10 +224,30 @@ class Pipeline {
     /// Packed plans discarded for the sequential reference (the
     /// never-worse fallback: greedy packing needed more passes).
     std::uint64_t fallback_sequential = 0;
+    /// Cross-tenant co-scheduling tallies (parallelism.xt.*; all zero
+    /// unless SwitchConfig::cross_tenant_packing).
+    /// Allocations that installed the co-scheduled plan.
+    std::uint64_t xt_allocations = 0;
+    /// Placements that opened a new (pass, stage) window.
+    std::uint64_t xt_windows_opened = 0;
+    /// Placements that joined a window another tenant already holds.
+    std::uint64_t xt_windows_joined = 0;
+    /// Co-scheduled plans discarded for the per-tenant reference (the
+    /// never-worse fallback: co-scheduling needed more passes).
+    std::uint64_t xt_fallback = 0;
   };
   /// Accumulates one allocation's packing tallies (data plane only).
   void RecordPassPacking(const PassPackingStats& stats);
   PassPackingStats pass_packing() const;
+
+  /// Accumulates one departure-time window-compaction move that
+  /// re-provisioned a tenant into `passes_saved` fewer passes
+  /// (SfpSystem only; exported as parallelism.xt.compaction*).
+  void RecordXtCompaction(std::uint64_t passes_saved);
+  std::uint64_t xt_compactions() const { return xt_compactions_.Value(); }
+  std::uint64_t xt_compaction_passes_saved() const {
+    return xt_compaction_saved_.Value();
+  }
 
   /// Turns on the per-tenant pipeline compiler (docs/COMPILER.md):
   /// batch workers serve tenants whose rules lift cleanly from a
@@ -307,6 +340,12 @@ class Pipeline {
   common::metrics::RelaxedCounter pack_reject_conflict_;
   common::metrics::RelaxedCounter pack_reject_gate_;
   common::metrics::RelaxedCounter pack_fallback_;
+  common::metrics::RelaxedCounter xt_allocations_;
+  common::metrics::RelaxedCounter xt_windows_opened_;
+  common::metrics::RelaxedCounter xt_windows_joined_;
+  common::metrics::RelaxedCounter xt_fallback_;
+  common::metrics::RelaxedCounter xt_compactions_;
+  common::metrics::RelaxedCounter xt_compaction_saved_;
   /// Virtual time at which the recirculation port next frees up.
   common::metrics::RelaxedDouble recirc_busy_until_ns_;
   /// Set by EnableCompiler; shared with the batch workers' per-shard

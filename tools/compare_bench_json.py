@@ -123,6 +123,12 @@ GATES = [
     (r"parallelism\.passes_saved_pct_l6$", {"abs_min": 30}),
     (r"parallelism\.p99_saved_pct_l6$", {"abs_min": 1}),
     (r"parallelism\.passes_saved_pct$", {"exact": True}),
+    # Cross-tenant co-scheduling (DESIGN.md "Cross-tenant pass
+    # sharing"): the fig07c population is fully deterministic (no RNG,
+    # fixed admission order), so aggregate pass counts are exact; the
+    # saved-% floor of 20 is the tentpole acceptance bar.
+    (r"parallelism\.xt\.passes_saved_pct$", {"abs_min": 20, "exact": True}),
+    (r"parallelism\.xt\.", {"exact": True}),
     # Branch & bound calibration (fig08's uncapped deterministic solve):
     # node/pivot counts are deterministic on one binary but drift a few
     # percent across the compiler matrix (fp-contract changes LP pivot
@@ -148,6 +154,11 @@ GATES = [
     # builtin poll cadence with margin).
     (r"scenario\.recovery\.(p50|p99|max)_us$",
      {"tolerance": 0.25, "abs_max": 60_000_000}),
+    # Flash-crowd admit-horizon sweep (deterministic population, no
+    # RNG): co-scheduling must admit at least 15% further before the
+    # recirculation port overloads. Listed before the generic
+    # scenario.* rule so the floor applies (first match wins).
+    (r"scenario\.xt\.admit_horizon_gain_pct$", {"abs_min": 15, "exact": True}),
     # Everything else the scenario runner and recovery loop export is a
     # pure function of the scenario seed (serve_threads=1): packet and
     # episode accounting must reproduce exactly.
@@ -206,6 +217,16 @@ def compare_counters(errors, name, base, cand):
     base_counters = base.get("metrics", {}).get("counters", {})
     cand_counters = cand.get("metrics", {}).get("counters", {})
     diff_sets(errors, name, "counter", set(base_counters), set(cand_counters))
+    # A gated baseline counter that the candidate dropped entirely must
+    # fail as an unevaluated gate, not just as generic schema drift:
+    # the diff_sets message alone reads as cosmetic, and the loop below
+    # only sees the intersection, so without this the rule would be
+    # silently skipped.
+    for counter in sorted(set(base_counters) - set(cand_counters)):
+        pattern, rule = find_rule(counter)
+        if rule is not None:
+            errors.append(f"{name}: {counter}: gated counter missing from "
+                          f"candidate; gate {pattern} not evaluated")
     gated = 0
     for counter in sorted(set(base_counters) & set(cand_counters)):
         pattern, rule = find_rule(counter)

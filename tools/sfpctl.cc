@@ -7,16 +7,20 @@
 //                                         solve and print the placement
 //   sfpctl p4    --layout fw,tc/lb,rt     emit P4 for a physical layout
 //   sfpctl trace --replay FILE [--threads N] [--batch B]
-//                [--nf-parallel on|off] [--tenants N] [--seed S]
+//                [--nf-parallel on|off] [--xt-packing on|off]
+//                [--tenants N] [--seed S]
 //                                         replay an SFPT trace; batch > 1
 //                                         or threads > 0 selects the
 //                                         batched serve path with fused
 //                                         telemetry; --tenants admits N
 //                                         generated chains first and
 //                                         prints the per-tenant pass map
+//                                         (--xt-packing adds the shared
+//                                         stage-window occupancy)
 //   sfpctl scenario list                  list the builtin scenarios
 //   sfpctl scenario run NAME [--duration SEC] [--threads N] [--compiled 1]
-//                [--nf-parallel on|off]   run a scenario with its
+//                [--nf-parallel on|off] [--xt-packing on|off]
+//                                         run a scenario with its
 //                                         recovery loop and print the
 //                                         summary (docs/SCENARIOS.md)
 //   sfpctl churn --tenants N [--arrivals A] [--seed S] [--warm=off]
@@ -264,10 +268,10 @@ std::optional<bool> GetOnOff(const std::map<std::string, std::string>& args,
 /// be compared tenant by tenant on the same command line.
 bool AdmitGeneratedTenants(core::SfpSystem& system, int count, std::uint64_t seed) {
   Rng rng(seed);
-  std::printf("tenant pass map (%s):\n",
-              system.data_plane().pipeline().config().nf_parallelism
-                  ? "nf-parallel on"
-                  : "nf-parallel off");
+  const auto& config = system.data_plane().pipeline().config();
+  std::printf("tenant pass map (nf-parallel %s, xt-packing %s):\n",
+              config.nf_parallelism ? "on" : "off",
+              config.cross_tenant_packing ? "on" : "off");
   for (int t = 1; t <= count; ++t) {
     const auto tenant = static_cast<dataplane::TenantId>(t);
     const int chain_len = static_cast<int>(rng.UniformInt(3, 6));
@@ -291,6 +295,22 @@ bool AdmitGeneratedTenants(core::SfpSystem& system, int count, std::uint64_t see
   return true;
 }
 
+/// Prints the shared stage-window occupancy ledger: one line per open
+/// (pass, stage) window with its tenant-claim and rule-entry load.
+/// Shared by `trace` and `scenario run` when --xt-packing is on.
+void PrintXtOccupancy(const dataplane::DataPlane& data_plane) {
+  const auto* ledger = data_plane.xt_ledger();
+  if (ledger == nullptr) return;
+  std::printf("stage-window occupancy (%zu tenants, %lld entries booked):\n",
+              ledger->NumTenants(),
+              static_cast<long long>(ledger->TotalEntries()));
+  for (const auto& [key, window] : ledger->windows()) {
+    std::printf("  pass %d stage %-2d  %3lld claims  %5lld entries\n", key.first,
+                key.second, static_cast<long long>(window.claims),
+                static_cast<long long>(window.entries));
+  }
+}
+
 int CmdTrace(const std::map<std::string, std::string>& args) {
   const std::string path = Get(args, "replay", "");
   const int threads = std::atoi(Get(args, "threads", "0").c_str());
@@ -301,6 +321,8 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   }
   const auto parallel = GetOnOff(args, "nf-parallel", false);
   if (!parallel) return 1;
+  const auto xt_packing = GetOnOff(args, "xt-packing", false);
+  if (!xt_packing) return 1;
   const int tenants = std::atoi(Get(args, "tenants", "0").c_str());
   if (tenants < 0) {
     std::fprintf(stderr, "sfpctl trace: --tenants must be >= 0\n");
@@ -313,6 +335,7 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
 
   switchsim::SwitchConfig config;
   config.nf_parallelism = *parallel;
+  config.cross_tenant_packing = *xt_packing;
   core::SfpSystem system{config};
   for (int t = 0; t < nf::kNumNfTypes; ++t) {
     system.data_plane().InstallPhysicalNf(t % system.data_plane().pipeline().num_stages(),
@@ -325,7 +348,8 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   }
   if (path.empty()) {
     // Pass-map-only mode: the admission output above is the result.
-    PrintStats(system, {"pipeline.passes."});
+    PrintXtOccupancy(system.data_plane());
+    PrintStats(system, {"pipeline.passes.", "parallelism.xt."});
     return 0;
   }
   const auto trace = net::Trace::Load(path);
@@ -373,7 +397,9 @@ int CmdTrace(const std::map<std::string, std::string>& args) {
   std::printf("replayed: %llu packets, %d parse errors, mean latency %.0f ns\n",
               static_cast<unsigned long long>(total.packets), parse_errors,
               total.MeanLatencyNs());
-  PrintStats(system, {"telemetry.", "pipeline.cache.", "pipeline.passes."});
+  PrintXtOccupancy(system.data_plane());
+  PrintStats(system, {"telemetry.", "pipeline.cache.", "pipeline.passes.",
+                      "parallelism.xt."});
   return 0;
 }
 
@@ -504,7 +530,8 @@ int CmdScenario(int argc, char** argv) {
   }
   if (verb != "run" || argc < 4) {
     std::fprintf(stderr, "usage: sfpctl scenario <list|run NAME> [--duration SEC] "
-                         "[--threads N] [--compiled 1] [--nf-parallel on|off]\n");
+                         "[--threads N] [--compiled 1] [--nf-parallel on|off] "
+                         "[--xt-packing on|off]\n");
     return 1;
   }
 
@@ -522,11 +549,16 @@ int CmdScenario(int argc, char** argv) {
   const auto parallel = GetOnOff(args, "nf-parallel", spec.switch_config.nf_parallelism);
   if (!parallel) return 1;
   spec.switch_config.nf_parallelism = *parallel;
+  const auto xt_packing =
+      GetOnOff(args, "xt-packing", spec.switch_config.cross_tenant_packing);
+  if (!xt_packing) return 1;
+  spec.switch_config.cross_tenant_packing = *xt_packing;
 
-  std::printf("running %s for %.0f simulated seconds (threads=%d%s%s)...\n",
+  std::printf("running %s for %.0f simulated seconds (threads=%d%s%s%s)...\n",
               spec.name.c_str(), spec.duration_s, spec.serve_threads,
               spec.use_compiled_plans ? ", compiled plans" : "",
-              spec.switch_config.nf_parallelism ? ", nf-parallel" : "");
+              spec.switch_config.nf_parallelism ? ", nf-parallel" : "",
+              spec.switch_config.cross_tenant_packing ? ", xt-packing" : "");
   scenario::ScenarioRunner runner(spec);
   const auto result = runner.Run();
 
@@ -569,9 +601,10 @@ int main(int argc, char** argv) {
                  "        [--time-limit SEC] [--no-consolidation]\n"
                  "  p4    --layout fw,tc/lb,rt\n"
                  "  trace --replay FILE [--threads N] [--batch B]\n"
-                 "        [--nf-parallel on|off] [--tenants N] [--seed S]\n"
+                 "        [--nf-parallel on|off] [--xt-packing on|off]\n"
+                 "        [--tenants N] [--seed S]\n"
                  "  scenario <list|run NAME> [--duration SEC] [--threads N]\n"
-                 "        [--compiled 1] [--nf-parallel on|off]\n"
+                 "        [--compiled 1] [--nf-parallel on|off] [--xt-packing on|off]\n"
                  "  churn --tenants N [--arrivals A] [--seed S] [--warm=off]\n");
     return 1;
   }

@@ -81,6 +81,12 @@ def check_file(errors, path):
                       ("seeds", int)):
         if not isinstance(doc.get(key), kind):
             fail(errors, path, f"{key!r} missing or wrong type")
+    # Provenance stamps (build type + hardware threads): optional so
+    # baselines written before the stamps existed stay valid, but
+    # type-checked when present.
+    for key, kind in (("build_type", str), ("hardware_threads", int)):
+        if key in doc and not isinstance(doc[key], kind):
+            fail(errors, path, f"{key!r} has wrong type")
 
     notes = doc.get("notes")
     if not isinstance(notes, list) or not all(isinstance(n, str) for n in notes):
